@@ -1,0 +1,189 @@
+// Command convsim simulates conversion systems.
+//
+// Two modes:
+//
+//	convsim -walk closed.spec [-steps n] [-seed s] [-runs r]
+//
+// runs fair random walks over a closed specification (one whose events are
+// all user-facing), reporting per-event counts, internal activity, and any
+// deadlock encountered; and
+//
+//	convsim -scenario abns [-messages n] [-loss p] [-seed s]
+//
+// deploys the paper's AB→NS conversion as a real message-passing system:
+// the AB sender and NS receiver run as goroutines joined by lossy links,
+// with the derived (and pruned) converter interpreted between them, and
+// reports delivery statistics.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"protoquot/internal/core"
+	"protoquot/internal/dsl"
+	"protoquot/internal/engine"
+	"protoquot/internal/protocols"
+	"protoquot/internal/runtime"
+	"protoquot/internal/spec"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("convsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		walkPath = fs.String("walk", "", "closed specification file to random-walk")
+		scenario = fs.String("scenario", "", `built-in scenario ("abns")`)
+		steps    = fs.Int("steps", 10000, "walk length in moves")
+		runs     = fs.Int("runs", 1, "number of walks")
+		messages = fs.Int("messages", 25, "payloads to send in scenario mode")
+		loss     = fs.Float64("loss", 0.2, "per-message loss probability in scenario mode")
+		seed     = fs.Int64("seed", 1, "random seed")
+		timeout  = fs.Duration("timeout", 30*time.Second, "scenario wall-clock budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	switch {
+	case *walkPath != "" && *scenario == "":
+		return runWalk(stdout, stderr, *walkPath, *steps, *runs, *seed)
+	case *scenario == "abns" && *walkPath == "":
+		return runABNS(stdout, stderr, *messages, *loss, *seed, *timeout)
+	default:
+		fmt.Fprintln(stderr, "convsim: exactly one of -walk or -scenario abns is required")
+		fs.Usage()
+		return 1
+	}
+}
+
+func runWalk(stdout, stderr io.Writer, path string, steps, runs int, seed int64) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "convsim: %v\n", err)
+		return 1
+	}
+	specs, perr := dsl.Parse(f)
+	f.Close()
+	if perr != nil {
+		fmt.Fprintf(stderr, "convsim: %v\n", perr)
+		return 1
+	}
+	if len(specs) != 1 {
+		fmt.Fprintf(stderr, "convsim: expected one spec in %s, found %d\n", path, len(specs))
+		return 1
+	}
+	s := specs[0]
+	if tr, state, found := engine.FindDeadlock(s); found {
+		fmt.Fprintf(stdout, "reachable deadlock at %s via trace %v\n", state, tr)
+	}
+	if state, found := engine.FindLivelock(s); found {
+		fmt.Fprintf(stdout, "reachable livelock (silent internal cycle) at %s\n", state)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	totals := map[spec.Event]int{}
+	internal, deadlocks := 0, 0
+	for i := 0; i < runs; i++ {
+		r := engine.New(s, rng)
+		res := r.Walk(steps)
+		for e, n := range res.EventCount {
+			totals[e] += n
+		}
+		internal += res.InternalSteps
+		if res.Deadlocked {
+			deadlocks++
+			fmt.Fprintf(stdout, "run %d: deadlocked at %s after %d steps\n", i, res.FinalState, res.Steps)
+		}
+	}
+	fmt.Fprintf(stdout, "%d run(s) × %d steps over %s\n", runs, steps, s)
+	fmt.Fprintf(stdout, "internal moves: %d\n", internal)
+	var events []string
+	for e := range totals {
+		events = append(events, string(e))
+	}
+	sort.Strings(events)
+	for _, e := range events {
+		fmt.Fprintf(stdout, "  %-12s %d\n", e, totals[spec.Event(e)])
+	}
+	if deadlocks > 0 {
+		fmt.Fprintf(stdout, "deadlocked runs: %d\n", deadlocks)
+	}
+	return 0
+}
+
+func runABNS(stdout, stderr io.Writer, messages int, loss float64, seed int64, budget time.Duration) int {
+	fmt.Fprintf(stdout, "deriving AB→NS converter (eventually-reliable channel model)…\n")
+	b := protocols.EventuallyReliableNSB()
+	res, err := core.Derive(protocols.Service(), b, core.Options{OmitVacuous: true})
+	if err != nil {
+		fmt.Fprintf(stderr, "convsim: %v\n", err)
+		return 1
+	}
+	conv, err := core.Prune(protocols.Service(), b, res.Converter)
+	if err != nil {
+		fmt.Fprintf(stderr, "convsim: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "converter: %d states maximal, %d after pruning\n",
+		res.Converter.NumStates(), conv.NumStates())
+
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	rng := rand.New(rand.NewSource(seed))
+	ab := runtime.NewDuplex(loss, rng)
+	ns := runtime.NewDuplex(0, rng)
+	payloads := make([][]byte, messages)
+	for i := range payloads {
+		payloads[i] = []byte(fmt.Sprintf("payload-%04d", i))
+	}
+	delivered := make(chan []byte, messages+16)
+	go runtime.NSReceiver(ctx, ns, delivered)
+	convDone := make(chan error, 1)
+	go func() {
+		convDone <- runtime.Converter(ctx, conv, ab, ns, runtime.ABToNSPortMap(false))
+	}()
+	start := time.Now()
+	acked := runtime.ABSender(ctx, payloads, ab)
+	elapsed := time.Since(start)
+
+	got := 0
+	ordered := true
+	for got < acked {
+		select {
+		case p := <-delivered:
+			if string(p) != fmt.Sprintf("payload-%04d", got) {
+				ordered = false
+			}
+			got++
+		case err := <-convDone:
+			fmt.Fprintf(stderr, "convsim: converter stopped: %v\n", err)
+			return 1
+		case <-ctx.Done():
+			fmt.Fprintf(stderr, "convsim: timed out with %d/%d delivered\n", got, messages)
+			return 1
+		}
+	}
+	cancel()
+	fSent, fDrop := ab.Forward.Stats()
+	rSent, rDrop := ab.Reverse.Stats()
+	fmt.Fprintf(stdout, "sent %d payloads, acknowledged %d, delivered %d (in order: %v)\n",
+		messages, acked, got, ordered)
+	fmt.Fprintf(stdout, "AB link: %d data frames (%d lost), %d ack frames (%d lost)\n",
+		fSent, fDrop, rSent, rDrop)
+	fmt.Fprintf(stdout, "elapsed: %v (%.0f msgs/sec)\n", elapsed.Round(time.Millisecond),
+		float64(acked)/elapsed.Seconds())
+	if acked != messages || got != acked || !ordered {
+		fmt.Fprintln(stderr, "convsim: delivery guarantee violated")
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"protoquot/internal/dsl"
+	"protoquot/internal/protocols"
+)
+
+func TestWalkABSystem(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "ab.spec")
+	if err := os.WriteFile(p, []byte(dsl.String(protocols.ABSystem())), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	if code := run([]string{"-walk", p, "-steps", "5000", "-runs", "2"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "acc") || !strings.Contains(s, "del") {
+		t.Errorf("event counts missing:\n%s", s)
+	}
+	if strings.Contains(s, "deadlock") {
+		t.Errorf("AB system should not deadlock:\n%s", s)
+	}
+}
+
+func TestWalkReportsDeadlock(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "d.spec")
+	os.WriteFile(p, []byte("spec D\ninit a\next a x b\n"), 0o644)
+	var out, errb strings.Builder
+	if code := run([]string{"-walk", p, "-steps", "10"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "deadlock") {
+		t.Errorf("deadlock not reported:\n%s", out.String())
+	}
+}
+
+func TestScenarioABNS(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-scenario", "abns", "-messages", "8", "-loss", "0.3", "-seed", "7"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "acknowledged 8") {
+		t.Errorf("acks missing:\n%s", s)
+	}
+	if !strings.Contains(s, "in order: true") {
+		t.Errorf("ordering report missing:\n%s", s)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 1 {
+		t.Error("no mode should exit 1")
+	}
+	if code := run([]string{"-walk", "x", "-scenario", "abns"}, &out, &errb); code != 1 {
+		t.Error("both modes should exit 1")
+	}
+	if code := run([]string{"-walk", "/nonexistent"}, &out, &errb); code != 1 {
+		t.Error("missing file should exit 1")
+	}
+	if code := run([]string{"-scenario", "bogus"}, &out, &errb); code != 1 {
+		t.Error("unknown scenario should exit 1")
+	}
+}

@@ -1,0 +1,11 @@
+package main
+
+import (
+	"protoquot/internal/compose"
+	"protoquot/internal/spec"
+)
+
+// composeMany wraps compose.Many for the figure generator.
+func composeMany(specs []*spec.Spec) (*spec.Spec, error) {
+	return compose.Many(specs...)
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"protoquot/internal/dsl"
+)
+
+func TestGenerateFast(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb strings.Builder
+	if code := run([]string{"-out", dir, "-skip-slow"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"Figure 4", "Figure 14", "Figure 16", "Figure 17", "Figure 18",
+		"satisfies S: true", "satisfies S: false",
+		"orderly-close violation witness",
+		"co-located converter: EXISTS",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q", want)
+		}
+	}
+	// Summary file exists and matches stdout.
+	data, err := os.ReadFile(filepath.Join(dir, "summary.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != s {
+		t.Error("summary.txt differs from stdout")
+	}
+	// Every emitted .spec file parses back.
+	matches, _ := filepath.Glob(filepath.Join(dir, "*.spec"))
+	if len(matches) < 10 {
+		t.Fatalf("expected ≥10 spec files, found %d", len(matches))
+	}
+	for _, m := range matches {
+		b, err := os.ReadFile(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dsl.ParseString(string(b)); err != nil {
+			t.Errorf("%s does not reparse: %v", m, err)
+		}
+	}
+	// Every .spec has a .dot sibling.
+	for _, m := range matches {
+		dot := strings.TrimSuffix(m, ".spec") + ".dot"
+		if _, err := os.Stat(dot); err != nil {
+			t.Errorf("missing %s", dot)
+		}
+	}
+}
+
+func TestGenerateFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full generation includes the slow symmetric derivations")
+	}
+	dir := t.TempDir()
+	var out, errb strings.Builder
+	if code := run([]string{"-out", dir}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"Figure 12",
+		"NO CONVERTER EXISTS",
+		"matches the paper",
+		"weakened service: converter EXISTS",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q", want)
+		}
+	}
+}
+
+func TestBadOutDir(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-out", "/dev/null/impossible"}, &out, &errb); code != 1 {
+		t.Error("invalid out dir should exit 1")
+	}
+}

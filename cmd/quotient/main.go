@@ -1,0 +1,232 @@
+// Command quotient derives a protocol converter from specification files.
+//
+// Usage:
+//
+//	quotient -service S.spec -env B.spec [-env B2.spec ...] [flags]
+//
+// The service file must contain exactly one specification in the text
+// format of internal/dsl (see `specviz -help` for the grammar); each -env
+// file contributes one environment variant (several variants trigger
+// robust derivation). The derived converter is written to stdout or -o in
+// the same format.
+//
+// Flags:
+//
+//	-service file     service specification A (required)
+//	-env file         environment specification B (repeatable, ≥1 required)
+//	-o file           write the converter here instead of stdout
+//	-dot file         also write a Graphviz rendering of the converter
+//	-gen file         also write standalone Go source implementing the converter
+//	-gen-pkg name     package name for -gen output (default "converter")
+//	-prune            greedily remove useless converter behavior
+//	-minimize         bisimulation-minimize the converter before output
+//	-safety-only      stop after the safety phase (paper Figure 12 artifact)
+//	-omit-vacuous     drop converter states no environment behavior can reach
+//	-max-states n     abort if the safety phase exceeds n states
+//	-normalize        determinize the service if it is not in normal form
+//	-verify           re-verify B‖C against A after derivation
+//	-stats            print derivation statistics to stderr
+//	-v                narrate the derivation phases to stderr
+//
+// Exit status: 0 on success, 1 on usage or I/O errors, 2 when no converter
+// exists (the definitive top-down answer).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"protoquot/internal/codegen"
+	"protoquot/internal/core"
+	"protoquot/internal/dsl"
+	"protoquot/internal/render"
+	"protoquot/internal/spec"
+)
+
+// multiFlag collects repeatable string flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	code := run(os.Args[1:], os.Stdout, os.Stderr)
+	os.Exit(code)
+}
+
+// run implements the tool; factored out of main for testing.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("quotient", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		servicePath = fs.String("service", "", "service specification file (required)")
+		envPaths    multiFlag
+		outPath     = fs.String("o", "", "output file for the converter (default stdout)")
+		dotPath     = fs.String("dot", "", "also write a Graphviz rendering here")
+		genPath     = fs.String("gen", "", "also write standalone Go source for the converter here")
+		genPkg      = fs.String("gen-pkg", "converter", "package name for -gen output")
+		prune       = fs.Bool("prune", false, "greedily remove useless converter behavior")
+		minimize    = fs.Bool("minimize", false, "bisimulation-minimize the converter before output")
+		safetyOnly  = fs.Bool("safety-only", false, "stop after the safety phase")
+		omitVacuous = fs.Bool("omit-vacuous", false, "drop unreachable-for-B converter states")
+		maxStates   = fs.Int("max-states", 0, "abort if the safety phase exceeds this many states (0 = unlimited)")
+		compress    = fs.Bool("compress", false, "τ-compress each environment before deriving (semantics-preserving)")
+		normalize   = fs.Bool("normalize", false, "determinize the service if not in normal form")
+		verify      = fs.Bool("verify", false, "re-verify the result against every environment")
+		stats       = fs.Bool("stats", false, "print derivation statistics to stderr")
+		verbose     = fs.Bool("v", false, "narrate the derivation phases to stderr")
+	)
+	fs.Var(&envPaths, "env", "environment specification file (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *servicePath == "" || len(envPaths) == 0 {
+		fmt.Fprintln(stderr, "quotient: -service and at least one -env are required")
+		fs.Usage()
+		return 1
+	}
+
+	a, err := loadOne(*servicePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "quotient: %v\n", err)
+		return 1
+	}
+	if err := a.IsNormalForm(); err != nil {
+		if !*normalize {
+			fmt.Fprintf(stderr, "quotient: %v (rerun with -normalize to determinize)\n", err)
+			return 1
+		}
+		a = a.Normalize()
+	}
+	var envs []*spec.Spec
+	for _, p := range envPaths {
+		b, err := loadOne(p)
+		if err != nil {
+			fmt.Fprintf(stderr, "quotient: %v\n", err)
+			return 1
+		}
+		if *compress {
+			b = b.CompressTau()
+		}
+		envs = append(envs, b)
+	}
+
+	opts := core.Options{
+		OmitVacuous: *omitVacuous,
+		MaxStates:   *maxStates,
+		SafetyOnly:  *safetyOnly,
+	}
+	if *verbose {
+		opts.Log = stderr
+	}
+	res, derr := core.DeriveRobust(a, envs, opts)
+	if derr != nil {
+		if _, ok := derr.(*core.NoQuotientError); ok {
+			fmt.Fprintf(stderr, "quotient: %v\n", derr)
+			if *stats && res != nil {
+				printStats(stderr, res.Stats)
+			}
+			return 2
+		}
+		fmt.Fprintf(stderr, "quotient: %v\n", derr)
+		return 1
+	}
+	c := res.Converter
+	if *prune {
+		c, err = core.PruneRobust(a, envs, c)
+		if err != nil {
+			fmt.Fprintf(stderr, "quotient: prune: %v\n", err)
+			return 1
+		}
+	}
+	if *minimize {
+		c = c.Minimize()
+	}
+	if *verify && !*safetyOnly {
+		if err := core.VerifyRobust(a, envs, c); err != nil {
+			fmt.Fprintf(stderr, "quotient: verification failed: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(stderr, "quotient: verified: B‖C satisfies A for every environment")
+	}
+	if *stats {
+		printStats(stderr, res.Stats)
+		if *prune {
+			fmt.Fprintf(stderr, "after pruning: %d states, %d transitions\n",
+				c.NumStates(), c.NumExternalTransitions())
+		}
+	}
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "quotient: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := dsl.Write(out, c); err != nil {
+		fmt.Fprintf(stderr, "quotient: %v\n", err)
+		return 1
+	}
+	if *dotPath != "" {
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "quotient: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := render.DOT(f, c, render.DOTOptions{}); err != nil {
+			fmt.Fprintf(stderr, "quotient: %v\n", err)
+			return 1
+		}
+	}
+	if *genPath != "" {
+		src, err := codegen.Generate(c, codegen.Config{
+			Package: *genPkg,
+			Comment: fmt.Sprintf("derived from service %s and environment(s) %s", *servicePath, envPaths.String()),
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "quotient: %v (hint: -prune or -minimize yields a deterministic converter)\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*genPath, src, 0o644); err != nil {
+			fmt.Fprintf(stderr, "quotient: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+func printStats(w io.Writer, s core.Stats) {
+	fmt.Fprintf(w, "safety phase:   %d states, %d transitions, %d tracked pairs\n",
+		s.SafetyStates, s.SafetyTransitions, s.PairSetTotal)
+	fmt.Fprintf(w, "progress phase: %d iterations, %d states removed\n",
+		s.ProgressIterations, s.RemovedStates)
+	fmt.Fprintf(w, "converter:      %d states, %d transitions\n",
+		s.FinalStates, s.FinalTransitions)
+}
+
+func loadOne(path string) (*spec.Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	specs, err := dsl.Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(specs) != 1 {
+		return nil, fmt.Errorf("%s: expected one specification, found %d", path, len(specs))
+	}
+	return specs[0], nil
+}

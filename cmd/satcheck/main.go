@@ -1,0 +1,140 @@
+// Command satcheck decides whether one specification satisfies another.
+//
+// Usage:
+//
+//	satcheck -impl B.spec -service A.spec [-safety-only] [-compose X.spec ...]
+//
+// B (optionally the composition of several -compose files together with
+// -impl) is checked against A with respect to safety and progress. On a
+// violation the witness trace is printed. Exit status: 0 satisfied,
+// 1 usage/I/O error, 3 safety violation, 4 progress violation.
+//
+// With -normalize, a service that is not in normal form is determinized
+// first (sound for progress: the determinized service is stronger).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"protoquot/internal/compose"
+	"protoquot/internal/dsl"
+	"protoquot/internal/sat"
+	"protoquot/internal/spec"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("satcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		implPath    = fs.String("impl", "", "implementation specification B (required)")
+		servicePath = fs.String("service", "", "service specification A (required)")
+		safetyOnly  = fs.Bool("safety-only", false, "check safety only")
+		normalize   = fs.Bool("normalize", false, "determinize the service if not in normal form")
+		extra       multiFlag
+	)
+	fs.Var(&extra, "compose", "additional component to compose with -impl (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *implPath == "" || *servicePath == "" {
+		fmt.Fprintln(stderr, "satcheck: -impl and -service are required")
+		fs.Usage()
+		return 1
+	}
+	b, err := loadOne(*implPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "satcheck: %v\n", err)
+		return 1
+	}
+	if len(extra) > 0 {
+		parts := []*spec.Spec{b}
+		for _, p := range extra {
+			s, err := loadOne(p)
+			if err != nil {
+				fmt.Fprintf(stderr, "satcheck: %v\n", err)
+				return 1
+			}
+			parts = append(parts, s)
+		}
+		b, err = compose.Many(parts...)
+		if err != nil {
+			fmt.Fprintf(stderr, "satcheck: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "composed implementation: %s\n", b)
+	}
+	a, err := loadOne(*servicePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "satcheck: %v\n", err)
+		return 1
+	}
+	if !*safetyOnly {
+		if err := a.IsNormalForm(); err != nil {
+			if !*normalize {
+				fmt.Fprintf(stderr, "satcheck: %v (rerun with -normalize, or -safety-only)\n", err)
+				return 1
+			}
+			a = a.Normalize()
+		}
+	}
+
+	check := sat.Satisfies
+	if *safetyOnly {
+		check = sat.Safety
+	}
+	err = check(b, a)
+	if err == nil {
+		if *safetyOnly {
+			fmt.Fprintf(stdout, "%s satisfies %s with respect to safety\n", b.Name(), a.Name())
+		} else {
+			fmt.Fprintf(stdout, "%s satisfies %s (safety and progress)\n", b.Name(), a.Name())
+		}
+		return 0
+	}
+	var v *sat.Violation
+	if errors.As(err, &v) {
+		fmt.Fprintf(stdout, "%s violation\n", v.Kind)
+		fmt.Fprintf(stdout, "  witness trace: %s\n", sat.FormatTrace(v.Trace))
+		fmt.Fprintf(stdout, "  at state:      %s\n", v.BState)
+		fmt.Fprintf(stdout, "  detail:        %s\n", v.Detail)
+		if v.Kind == "safety" {
+			return 3
+		}
+		return 4
+	}
+	fmt.Fprintf(stderr, "satcheck: %v\n", err)
+	return 1
+}
+
+func loadOne(path string) (*spec.Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	specs, err := dsl.Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(specs) != 1 {
+		return nil, fmt.Errorf("%s: expected one specification, found %d", path, len(specs))
+	}
+	return specs[0], nil
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"protoquot/internal/dsl"
+	"protoquot/internal/protocols"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSatisfied(t *testing.T) {
+	dir := t.TempDir()
+	svc := write(t, dir, "a.spec", dsl.String(protocols.Service()))
+	impl := write(t, dir, "b.spec", dsl.String(protocols.ABSystem()))
+	var out, errb strings.Builder
+	if code := run([]string{"-impl", impl, "-service", svc}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "satisfies") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestSafetyViolationExitCode(t *testing.T) {
+	dir := t.TempDir()
+	svc := write(t, dir, "a.spec", dsl.String(protocols.Service()))
+	impl := write(t, dir, "b.spec", dsl.String(protocols.NSSystem()))
+	var out, errb strings.Builder
+	code := run([]string{"-impl", impl, "-service", svc}, &out, &errb)
+	if code != 3 {
+		t.Fatalf("exit = %d, want 3; out: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "witness trace: acc del del") {
+		t.Errorf("witness missing: %s", out.String())
+	}
+}
+
+func TestProgressViolationExitCode(t *testing.T) {
+	dir := t.TempDir()
+	svc := write(t, dir, "a.spec", dsl.String(protocols.Service()))
+	impl := write(t, dir, "b.spec", `
+spec halting
+init b0
+ext b0 acc b1
+ext b1 del b2
+event acc del
+`)
+	var out, errb strings.Builder
+	code := run([]string{"-impl", impl, "-service", svc}, &out, &errb)
+	if code != 4 {
+		t.Fatalf("exit = %d, want 4; out: %s", code, out.String())
+	}
+	// Safety-only mode passes for the same input.
+	out.Reset()
+	if code := run([]string{"-impl", impl, "-service", svc, "-safety-only"}, &out, &errb); code != 0 {
+		t.Fatalf("safety-only exit = %d", code)
+	}
+}
+
+func TestComposeFlag(t *testing.T) {
+	dir := t.TempDir()
+	svc := write(t, dir, "a.spec", dsl.String(protocols.Service()))
+	snd := write(t, dir, "snd.spec", dsl.String(protocols.ABSender()))
+	ch := write(t, dir, "ch.spec", dsl.String(protocols.ABChannel()))
+	rcv := write(t, dir, "rcv.spec", dsl.String(protocols.ABReceiver()))
+	var out, errb strings.Builder
+	code := run([]string{"-impl", snd, "-compose", ch, "-compose", rcv, "-service", svc}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "composed implementation") {
+		t.Error("composition note missing")
+	}
+}
+
+func TestNormalizeRequired(t *testing.T) {
+	dir := t.TempDir()
+	svc := write(t, dir, "a.spec", `
+spec A
+init v0
+ext v0 acc v1
+ext v0 acc v2
+ext v1 del v0
+ext v2 del v0
+`)
+	impl := write(t, dir, "b.spec", dsl.String(protocols.ABSystem()))
+	var out, errb strings.Builder
+	if code := run([]string{"-impl", impl, "-service", svc}, &out, &errb); code != 1 {
+		t.Error("non-normal service without -normalize should exit 1")
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-impl", impl, "-service", svc, "-normalize"}, &out, &errb); code != 0 {
+		t.Fatalf("with -normalize: exit %d: %s", code, errb.String())
+	}
+}
+
+func TestUsage(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 1 {
+		t.Error("missing flags should exit 1")
+	}
+	if code := run([]string{"-impl", "/nope", "-service", "/nope"}, &out, &errb); code != 1 {
+		t.Error("missing files should exit 1")
+	}
+}

@@ -1,0 +1,131 @@
+// Command specviz renders specification files for inspection.
+//
+// Usage:
+//
+//	specviz [-format dot|table|text] [-o dir] [-check] file.spec ...
+//
+// Each input file may contain several specifications in the text format of
+// internal/dsl:
+//
+//	spec NAME                 # begins a specification
+//	state s0 s1 …             # optional explicit state declarations
+//	init s0                   # initial state
+//	event e1 e2 …             # optional explicit event declarations
+//	ext  from event to        # external transition
+//	int  from to              # internal transition
+//	# comments run to end of line
+//
+// Formats: "dot" (Graphviz), "table" (fixed-width adjacency table), and
+// "text" (canonical round-trip form). With -o, each spec is written to
+// <dir>/<name>.<ext>; otherwise everything goes to stdout. -check also
+// reports structural facts: determinism, normal form, sink sets, and
+// reachability.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"protoquot/internal/dsl"
+	"protoquot/internal/render"
+	"protoquot/internal/spec"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("specviz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		format = fs.String("format", "table", `output format: "dot", "table", or "text"`)
+		outDir = fs.String("o", "", "write per-spec files into this directory instead of stdout")
+		check  = fs.Bool("check", false, "print structural facts about each spec")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "specviz: no input files")
+		fs.Usage()
+		return 1
+	}
+	ext, ok := map[string]string{"dot": "dot", "table": "txt", "text": "spec"}[*format]
+	if !ok {
+		fmt.Fprintf(stderr, "specviz: unknown format %q\n", *format)
+		return 1
+	}
+
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "specviz: %v\n", err)
+			return 1
+		}
+		specs, perr := dsl.Parse(f)
+		f.Close()
+		if perr != nil {
+			fmt.Fprintf(stderr, "specviz: %s: %v\n", path, perr)
+			return 1
+		}
+		for _, s := range specs {
+			var w io.Writer = stdout
+			if *outDir != "" {
+				if err := os.MkdirAll(*outDir, 0o755); err != nil {
+					fmt.Fprintf(stderr, "specviz: %v\n", err)
+					return 1
+				}
+				file, err := os.Create(filepath.Join(*outDir, s.Name()+"."+ext))
+				if err != nil {
+					fmt.Fprintf(stderr, "specviz: %v\n", err)
+					return 1
+				}
+				w = file
+				defer file.Close()
+			}
+			if err := emit(w, s, *format); err != nil {
+				fmt.Fprintf(stderr, "specviz: %v\n", err)
+				return 1
+			}
+			if *check {
+				report(stdout, s)
+			}
+		}
+	}
+	return 0
+}
+
+func emit(w io.Writer, s *spec.Spec, format string) error {
+	switch format {
+	case "dot":
+		return render.DOT(w, s, render.DOTOptions{HighlightSinks: true})
+	case "table":
+		return render.Table(w, s)
+	default:
+		return dsl.Write(w, s)
+	}
+}
+
+func report(w io.Writer, s *spec.Spec) {
+	fmt.Fprintf(w, "check %s:\n", s.Name())
+	fmt.Fprintf(w, "  deterministic: %v\n", s.Deterministic())
+	if err := s.IsNormalForm(); err != nil {
+		fmt.Fprintf(w, "  normal form:   no (%v)\n", err)
+	} else {
+		fmt.Fprintf(w, "  normal form:   yes\n")
+	}
+	reach := len(s.Reachable())
+	fmt.Fprintf(w, "  reachable:     %d of %d states\n", reach, s.NumStates())
+	cycleSinks := 0
+	for st := 0; st < s.NumStates(); st++ {
+		if s.Sink(spec.State(st)) && len(s.IntEdges(spec.State(st))) > 0 {
+			cycleSinks++
+		}
+	}
+	fmt.Fprintf(w, "  internal-cycle sink states: %d\n", cycleSinks)
+	fmt.Fprintf(w, "  acceptance sets at init: %v\n", s.AcceptanceSets(s.Init()))
+}

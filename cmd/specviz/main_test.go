@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const twoSpecs = `
+spec S
+init v0
+ext v0 acc v1
+ext v1 del v0
+
+spec Fig4
+init u1
+int u1 u2
+int u2 u1
+ext u1 f z
+ext u2 g z
+`
+
+func writeInput(t *testing.T, dir string) string {
+	t.Helper()
+	p := filepath.Join(dir, "in.spec")
+	if err := os.WriteFile(p, []byte(twoSpecs), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTableToStdout(t *testing.T) {
+	p := writeInput(t, t.TempDir())
+	var out, errb strings.Builder
+	if code := run([]string{p}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "> v0") || !strings.Contains(out.String(), "u1") {
+		t.Errorf("table output incomplete:\n%s", out.String())
+	}
+}
+
+func TestDOTToDir(t *testing.T) {
+	dir := t.TempDir()
+	p := writeInput(t, dir)
+	outDir := filepath.Join(dir, "out")
+	var out, errb strings.Builder
+	if code := run([]string{"-format", "dot", "-o", outDir, p}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	for _, name := range []string{"S.dot", "Fig4.dot"} {
+		data, err := os.ReadFile(filepath.Join(outDir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(string(data), "digraph") {
+			t.Errorf("%s is not DOT", name)
+		}
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	p := writeInput(t, t.TempDir())
+	var out, errb strings.Builder
+	if code := run([]string{"-format", "text", p}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "spec S") || !strings.Contains(out.String(), "spec Fig4") {
+		t.Error("text output missing specs")
+	}
+}
+
+func TestCheckReport(t *testing.T) {
+	p := writeInput(t, t.TempDir())
+	var out, errb strings.Builder
+	if code := run([]string{"-check", p}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "deterministic: true") {
+		t.Error("S should be reported deterministic")
+	}
+	if !strings.Contains(s, "normal form:   no") {
+		t.Error("Fig4 should be reported not normal form (internal cycle)")
+	}
+	if !strings.Contains(s, "internal-cycle sink states: 2") {
+		t.Errorf("Fig4 sink report missing:\n%s", s)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 1 {
+		t.Error("no inputs should exit 1")
+	}
+	if code := run([]string{"-format", "bogus", "x"}, &out, &errb); code != 1 {
+		t.Error("bad format should exit 1")
+	}
+	if code := run([]string{"/nonexistent.spec"}, &out, &errb); code != 1 {
+		t.Error("missing file should exit 1")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.spec")
+	os.WriteFile(bad, []byte("garbage line"), 0o644)
+	if code := run([]string{bad}, &out, &errb); code != 1 {
+		t.Error("parse error should exit 1")
+	}
+}

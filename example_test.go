@@ -1,0 +1,104 @@
+package protoquot_test
+
+import (
+	"errors"
+	"fmt"
+
+	"protoquot"
+)
+
+// Derive a converter between two mismatched halves and print it.
+func ExampleDerive() {
+	service := protoquot.NewSpec("S").
+		Init("v0").Ext("v0", "acc", "v1").Ext("v1", "del", "v0").
+		MustBuild()
+	world := protoquot.NewSpec("B").
+		Init("b0").Ext("b0", "acc", "b1").
+		Ext("b1", "fwd", "b2").
+		Ext("b2", "del", "b0").
+		MustBuild()
+	res, err := protoquot.Derive(service, world, protoquot.Options{OmitVacuous: true})
+	if err != nil {
+		fmt.Println("no converter:", err)
+		return
+	}
+	fmt.Print(res.Converter.Format())
+	// Output:
+	// spec C(S/B)
+	// init c0
+	// events fwd
+	// c0 -fwd-> c1
+	// c1 -fwd-> c1
+}
+
+// The derivation is complete: failure proves no converter exists.
+func ExampleDerive_impossible() {
+	service := protoquot.NewSpec("S").
+		Init("v0").Ext("v0", "acc", "v1").Ext("v1", "del", "v0").
+		MustBuild()
+	// The environment halts after fwd: the service's "del forever after"
+	// cannot be provided by any converter.
+	world := protoquot.NewSpec("B").
+		Init("b0").Ext("b0", "acc", "b1").Ext("b1", "fwd", "b2").
+		MustBuild().WithEvents("del")
+	_, err := protoquot.Derive(service, world, protoquot.Options{})
+	var nq *protoquot.NoQuotientError
+	fmt.Println(errors.As(err, &nq))
+	// Output:
+	// true
+}
+
+// Composition synchronizes shared events and hides them.
+func ExampleCompose() {
+	snd := protoquot.NewSpec("snd").
+		Init("s0").Ext("s0", "go", "s1").Ext("s1", "msg", "s0").MustBuild()
+	rcv := protoquot.NewSpec("rcv").
+		Init("r0").Ext("r0", "msg", "r1").Ext("r1", "done", "r0").MustBuild()
+	sys, _ := protoquot.Compose(snd, rcv)
+	fmt.Println(sys.Alphabet())
+	fmt.Println(sys.HasTrace([]protoquot.Event{"go", "done"}))
+	// Output:
+	// [done go]
+	// true
+}
+
+// Satisfaction violations carry witness traces.
+func ExampleSatisfies() {
+	service := protoquot.NewSpec("S").
+		Init("v0").Ext("v0", "acc", "v1").Ext("v1", "del", "v0").
+		MustBuild()
+	dup := protoquot.NewSpec("Dup").
+		Init("b0").Ext("b0", "acc", "b1").
+		Ext("b1", "del", "b2").Ext("b2", "del", "b0").
+		MustBuild()
+	err := protoquot.Satisfies(dup, service)
+	var v *protoquot.Violation
+	if errors.As(err, &v) {
+		fmt.Println(v.Kind, v.Trace)
+	}
+	// Output:
+	// safety [acc del del]
+}
+
+// Services compose from combinators instead of hand-wired machines.
+func ExampleServiceLoop() {
+	once, _ := protoquot.ServiceLiteral("once", "acc", "del")
+	service, _ := protoquot.ServiceLoop("S", once)
+	fmt.Println(service.HasTrace([]protoquot.Event{"acc", "del", "acc"}))
+	fmt.Println(service.HasTrace([]protoquot.Event{"acc", "acc"}))
+	// Output:
+	// true
+	// false
+}
+
+// Specs round-trip through the text format used by the CLI tools.
+func ExampleSpecText() {
+	s := protoquot.NewSpec("S").
+		Init("v0").Ext("v0", "acc", "v1").Ext("v1", "del", "v0").
+		MustBuild()
+	text := protoquot.SpecText(s)
+	back, _ := protoquot.ParseSpec(text)
+	fmt.Println(back.Name(), back.NumStates())
+	// Output:
+	// S 2
+}

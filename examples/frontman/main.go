@@ -1,0 +1,178 @@
+// The "front man" example from the paper's Section 6: a server speaks one
+// application protocol, remote clients speak another, and a derived
+// converter fronts the server so the remote clients can use it.
+//
+// The client protocol poses a question (rq) and expects one reply (rp),
+// with no acknowledgement. The server protocol answers each question (Q)
+// with a reply (R) and then requires an explicit completion ack (K) before
+// taking the next question. The converter must learn, from the quotient
+// derivation alone, to forward the question, relay the reply, and
+// synthesize the ack the client will never send.
+//
+// One subtlety this example demonstrates: the service must mention the
+// server's own "serve" action. Finite-state specifications abstract data,
+// so a service that only orders pose/answer is satisfied by a degenerate
+// converter that answers clients by itself; requiring the trace
+// pose→serve→answer pins the causality and forces a genuine relay.
+//
+// After deriving and verifying the converter, this program deploys it as
+// real middleware: client and server run as goroutines joined by links, the
+// converter is interpreted live, and actual payloads flow end to end.
+//
+// Run with: go run ./examples/frontman
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"protoquot/internal/compose"
+	"protoquot/internal/core"
+	"protoquot/internal/runtime"
+	"protoquot/internal/spec"
+)
+
+// clientSide returns the client transport entity: the user poses a
+// question, the entity ships rq to the converter and turns the converter's
+// rp into the user's answer. No acks.
+func clientSide() *spec.Spec {
+	b := spec.NewBuilder("Client")
+	b.Init("c0")
+	b.Ext("c0", "pose", "c1")
+	b.Ext("c1", "-rq", "c2")
+	b.Ext("c2", "+rp", "c3")
+	b.Ext("c3", "answer", "c0")
+	return b.MustBuild()
+}
+
+// serverSide returns the server entity: question Q, visible serve action,
+// reply R, then a required completion ack K.
+func serverSide() *spec.Spec {
+	b := spec.NewBuilder("Server")
+	b.Init("s0")
+	b.Ext("s0", "+Q", "s1")
+	b.Ext("s1", "serve", "s2")
+	b.Ext("s2", "-R", "s3")
+	b.Ext("s3", "+K", "s0")
+	return b.MustBuild()
+}
+
+func main() {
+	// The end-to-end service: pose, serve (at the real server), answer.
+	service := spec.NewBuilder("QnA").
+		Init("q0").
+		Ext("q0", "pose", "q1").
+		Ext("q1", "serve", "q2").
+		Ext("q2", "answer", "q0").
+		MustBuild()
+
+	// Reliable duplex transports client↔converter and converter↔server.
+	clientLink := reliable("TClient", []string{"rq"}, []string{"rp"})
+	serverLink := reliable("TServer", []string{"Q", "K"}, []string{"R"})
+
+	world, err := compose.Many(clientSide(), clientLink, serverLink, serverSide())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("environment:", world)
+
+	res, err := core.Derive(service, world, core.Options{OmitVacuous: true})
+	if err != nil {
+		log.Fatalf("no front man possible: %v", err)
+	}
+	front, err := core.Prune(service, world, res.Converter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := core.Verify(service, world, front); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("front man derived and verified: %d states maximal, %d pruned\n\n%s\n",
+		res.Converter.NumStates(), front.NumStates(), front.Format())
+
+	// ---- Deploy it ----
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	rng := rand.New(rand.NewSource(42))
+	clientDuplex := runtime.NewDuplex(0, rng)
+	serverDuplex := runtime.NewDuplex(0, rng)
+
+	pm := runtime.PortMap{
+		RecvA: map[string]spec.Event{"rq": "+rq"},
+		SendA: map[spec.Event]string{"-rp": "rp"},
+		SendB: map[spec.Event]string{"-Q": "Q", "-K": "K"},
+		RecvB: map[string]spec.Event{"R": "+R"},
+	}
+	go func() {
+		if err := runtime.Converter(ctx, front, clientDuplex, serverDuplex, pm); err != nil {
+			log.Printf("converter: %v", err)
+		}
+	}()
+	// The server goroutine: serve each question, await the ack.
+	go func() {
+		for {
+			select {
+			case m := <-serverDuplex.Forward.Recv():
+				switch m.Kind {
+				case "Q":
+					reply := runtime.Msg{Kind: "R", Payload: []byte(fmt.Sprintf("answer to %q", m.Payload))}
+					if !serverDuplex.Reverse.Send(ctx, reply) {
+						return
+					}
+				case "K":
+					// Completion acknowledged; ready for the next question.
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// The client: pose five questions, print the answers.
+	questions := []string{"who?", "what?", "when?", "where?", "why?"}
+	for _, q := range questions {
+		if !clientDuplex.Forward.Send(ctx, runtime.Msg{Kind: "rq", Payload: []byte(q)}) {
+			log.Fatal("client send failed")
+		}
+		select {
+		case m := <-clientDuplex.Reverse.Recv():
+			fmt.Printf("client asked %-8q got %q\n", q, m.Payload)
+		case <-ctx.Done():
+			log.Fatal("timed out waiting for a reply")
+		}
+	}
+	fmt.Println("\nthe front man fronted", len(questions), "questions between mismatched protocols.")
+}
+
+// reliable builds a loss-free duplex channel spec with one slot per
+// direction.
+func reliable(name string, fwd, rev []string) *spec.Spec {
+	b := spec.NewBuilder(name)
+	st := func(f, r string) string { return f + "|" + r }
+	slots := func(list []string) []string { return append([]string{"-"}, list...) }
+	for _, f := range slots(fwd) {
+		for _, r := range slots(rev) {
+			cur := st(f, r)
+			b.State(cur)
+			if f == "-" {
+				for _, m := range fwd {
+					b.Ext(cur, spec.Event("-"+m), st(m, r))
+				}
+			} else {
+				b.Ext(cur, spec.Event("+"+f), st("-", r))
+			}
+			if r == "-" {
+				for _, m := range rev {
+					b.Ext(cur, spec.Event("-"+m), st(f, m))
+				}
+			} else {
+				b.Ext(cur, spec.Event("+"+r), st(f, "-"))
+			}
+		}
+	}
+	b.Init(st("-", "-"))
+	return b.MustBuild()
+}

@@ -1,0 +1,74 @@
+// Quickstart: derive a protocol converter in ~40 lines using the public
+// API. Two toy components disagree about the wire protocol — one speaks a
+// two-step handshake (syn/fin), the other expects a single "go" — and we
+// want the combined system to provide a simple request/response service.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"protoquot"
+)
+
+func main() {
+	// The service both users should see: req, rsp, req, rsp, …
+	service := protoquot.NewSpec("Service").
+		Init("s0").
+		Ext("s0", "req", "s1").
+		Ext("s1", "rsp", "s0").
+		MustBuild()
+
+	// The requester half: takes the user's req, then performs a two-step
+	// handshake toward the converter (syn, fin).
+	requester := protoquot.NewSpec("Requester").
+		Init("r0").
+		Ext("r0", "req", "r1").
+		Ext("r1", "syn", "r2").
+		Ext("r2", "fin", "r3").
+		Ext("r3", "ok", "r0"). // waits for the converter's completion signal
+		MustBuild()
+
+	// The responder half: expects one "go" from the converter, then
+	// answers the user.
+	responder := protoquot.NewSpec("Responder").
+		Init("p0").
+		Ext("p0", "go", "p1").
+		Ext("p1", "rsp", "p2").
+		Ext("p2", "done", "p0"). // tells the converter it finished
+		MustBuild()
+
+	// B is everything that surrounds the converter.
+	world, err := protoquot.Compose(requester, responder)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("environment:", world)
+	fmt.Println("converter-facing events: syn fin ok go done")
+	fmt.Println()
+
+	// Derive the maximal converter, then prune the useless parts.
+	res, err := protoquot.Derive(service, world, protoquot.Options{OmitVacuous: true})
+	if err != nil {
+		log.Fatalf("no converter: %v", err)
+	}
+	pruned, err := protoquot.Prune(service, world, res.Converter)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("derived converter: %d states maximal, %d after pruning\n\n",
+		res.Converter.NumStates(), pruned.NumStates())
+	fmt.Println(pruned.Format())
+
+	// Independently verify the closed system against the service.
+	if err := protoquot.Verify(service, world, pruned); err != nil {
+		log.Fatalf("verification failed: %v", err)
+	}
+	fmt.Println("verified: Requester ‖ Responder ‖ Converter satisfies Service")
+	fmt.Println()
+	fmt.Println("Graphviz rendering:")
+	fmt.Println(protoquot.DOT(pruned))
+}

@@ -1,0 +1,3 @@
+module protoquot
+
+go 1.22

@@ -1,0 +1,208 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"protoquot/internal/compose"
+	"protoquot/internal/core"
+	"protoquot/internal/protocols"
+	"protoquot/internal/sat"
+	"protoquot/internal/spec"
+)
+
+// abSeed is the natural data-dependency seed for AB→NS conversion: a data
+// message may go out on the NS side only after one arrived on the AB side;
+// an AB-side acknowledgement may go out only after an NS-side one arrived.
+func abSeed() Seed {
+	return Seed{Rules: []SeedRule{
+		{Name: "data", Producers: []spec.Event{"+d0", "+d1"}, Consumer: "-D"},
+		{Name: "ack", Producers: []spec.Event{"+A"}, Consumer: "-a0"},
+		{Name: "ack1", Producers: []spec.Event{"+A"}, Consumer: "-a1"},
+	}}
+}
+
+// p1Role is the converter-side role of the missing AB receiver: the full
+// receiver with its user interface (del) hidden.
+func p1Role() *spec.Spec {
+	return HideEvents(protocols.ABReceiver(), protocols.Del)
+}
+
+// q0Role is the converter-side role of the missing NS sender: the full
+// sender with its user interface (acc) hidden.
+func q0Role() *spec.Spec {
+	return HideEvents(protocols.NSSender(), protocols.Acc)
+}
+
+func TestHideEvents(t *testing.T) {
+	h := p1Role()
+	if h.HasEvent(protocols.Del) {
+		t.Error("del should be hidden")
+	}
+	if h.NumInternalTransitions() == 0 {
+		t.Error("hidden events should become internal transitions")
+	}
+	if !h.HasEvent("+d0") {
+		t.Error("message events should remain")
+	}
+}
+
+func TestOkumuraProducesCandidate(t *testing.T) {
+	cand, err := Okumura(p1Role(), q0Role(), abSeed())
+	if err != nil {
+		t.Fatalf("Okumura: %v", err)
+	}
+	if cand.NumStates() == 0 {
+		t.Fatal("empty candidate")
+	}
+	// The candidate must respect the seed: no -D before a +d.
+	if cand.HasTrace([]spec.Event{"-D"}) {
+		t.Error("seed violation: -D before any data arrived")
+	}
+	if !cand.HasTrace([]spec.Event{"+d0", "-D"}) {
+		t.Error("candidate should forward data")
+	}
+}
+
+func TestOkumuraRejectsOverlappingInterfaces(t *testing.T) {
+	if _, err := Okumura(p1Role(), p1Role(), Seed{}); err == nil {
+		t.Error("overlapping interfaces should be rejected")
+	}
+}
+
+// E12a: the bottom-up candidate for the symmetric configuration fails the
+// a posteriori global check — and unlike the quotient method, that failure
+// proves nothing about converter existence; the paper's point is that the
+// top-down method settles the question (here: no converter exists).
+func TestOkumuraCandidateFailsGlobalCheck(t *testing.T) {
+	cand, err := Okumura(p1Role(), q0Role(), abSeed())
+	if err != nil {
+		t.Fatalf("Okumura: %v", err)
+	}
+	// In the symmetric configuration the candidate must still talk to the
+	// NS receiver through the lossy channel; its tmo.ns interface is part
+	// of q0Role already (the NS sender handles timeouts).
+	b := protocols.SymmetricB()
+	sys := compose.Pair(b, cand)
+	if !sat.SameInterface(sys, protocols.Service()) {
+		t.Fatalf("composite interface %v does not match the service", sys.Alphabet())
+	}
+	err = sat.Satisfies(sys, protocols.Service())
+	var v *sat.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("global check should fail for the symmetric configuration, got %v", err)
+	}
+	t.Logf("global check fails as the paper predicts: %v", v)
+}
+
+// E12b: in the co-located configuration a converter exists; the seed
+// candidate — adapted to the direct N1 interface — passes the global check
+// after the quotient method independently establishes existence.
+func TestOkumuraColocatedCandidate(t *testing.T) {
+	// The co-located q0 role: the NS sender without channel or timeouts,
+	// talking directly to N1: -D becomes +D (hand data to N1), +A becomes
+	// -A (take N1's ack).
+	q0, err := HideEvents(protocols.NSSender(), protocols.Acc, protocols.TmoNS).
+		RenameEvents(map[spec.Event]spec.Event{"-D": "+D", "+A": "-A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := Seed{Rules: []SeedRule{
+		{Name: "data", Producers: []spec.Event{"+d0", "+d1"}, Consumer: "+D"},
+		{Name: "ack0", Producers: []spec.Event{"-A"}, Consumer: "-a0"},
+		{Name: "ack1", Producers: []spec.Event{"-A"}, Consumer: "-a1"},
+	}}
+	cand, err := Okumura(p1Role(), q0, seed)
+	if err != nil {
+		t.Fatalf("Okumura: %v", err)
+	}
+	b := protocols.ColocatedB()
+	sys := compose.Pair(b, cand)
+	if err := sat.Satisfies(sys, protocols.Service()); err != nil {
+		t.Logf("candidate fails global check (%v) — bottom-up methods may need re-derivation", err)
+	} else {
+		t.Log("candidate passes the global check in the co-located configuration")
+	}
+	// Whatever the candidate's fate, the top-down method settles existence.
+	res, derr := core.Derive(protocols.Service(), b, core.Options{})
+	if derr != nil || !res.Exists {
+		t.Fatalf("quotient method should find the co-located converter: %v", derr)
+	}
+	// Maximality: if the bottom-up candidate is correct, its traces embed
+	// in the quotient converter's.
+	if sat.Satisfies(sys, protocols.Service()) == nil {
+		if err := sat.Safety(cand, res.Converter); err != nil {
+			t.Errorf("correct bottom-up candidate exceeds the maximal converter: %v", err)
+		}
+	}
+}
+
+func TestRelayBuildsAndValidates(t *testing.T) {
+	r, err := Relay("R", []Mapping{{In: "+x", Out: "-y"}, {In: "+u", Out: "-y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.HasTrace([]spec.Event{"+x", "-y", "+u", "-y"}) {
+		t.Error("relay should forward messages")
+	}
+	if r.HasTrace([]spec.Event{"+x", "+u"}) {
+		t.Error("relay holds at most one message")
+	}
+	if _, err := Relay("bad", []Mapping{{In: "+x", Out: "-y"}, {In: "+x", Out: "-z"}}); err == nil {
+		t.Error("duplicate inputs should be rejected")
+	}
+	if _, err := Relay("bad", []Mapping{{In: "", Out: "-z"}}); err == nil {
+		t.Error("empty events should be rejected")
+	}
+}
+
+// E12c: the projection method applies when a common image exists — here,
+// two isomorphic protocols (the NS protocol and a renamed copy) — and its
+// relay converter is then globally correct.
+func TestProjectionMethodOnIsomorphicProtocols(t *testing.T) {
+	// P system: the NS system. Q system: the NS system with renamed user
+	// events is the same machine, so the common image is immediate.
+	image := protocols.AtLeastOnceService()
+	if err := CommonImage(protocols.NSSystem(), protocols.NSSystem(), image); err != nil {
+		t.Fatalf("CommonImage: %v", err)
+	}
+	// Conversion between a NS sender and a primed NS receiver: the
+	// converter relays D to D' and A' to A. B = N0 ‖ Nch ‖ Nch' ‖ N1',
+	// converter interface {+D, -D', +A', -A, tmo.ns'}.
+	prime := map[spec.Event]spec.Event{
+		"-D": "-D'", "+D": "+D'", "-A": "-A'", "+A": "+A'",
+		protocols.TmoNS: "tmo.ns'",
+	}
+	nch2, err := protocols.NSChannel().RenameEvents(prime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1p, err := protocols.NSReceiver().RenameEvents(prime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := compose.MustMany(protocols.NSSender(), protocols.NSChannel(), nch2, n1p)
+	relay, err := Relay("NS2NS'", []Mapping{
+		{In: "+D", Out: "-D'"},
+		{In: "+A'", Out: "-A"},
+		{In: "tmo.ns'", Out: "-D'"}, // retransmit on the primed side
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := compose.Pair(b, relay)
+	if !sat.SameInterface(sys, image) {
+		t.Fatalf("interface mismatch: %v vs %v", sys.Alphabet(), image.Alphabet())
+	}
+	if err := sat.Satisfies(sys, image); err != nil {
+		t.Errorf("relay converter between isomorphic protocols should satisfy the image: %v", err)
+	}
+}
+
+func TestCommonImageFailsForABvsExactlyOnce(t *testing.T) {
+	// NS does not project onto the exactly-once service: precondition
+	// fails, so the method simply does not apply (no conclusion).
+	if err := CommonImage(protocols.ABSystem(), protocols.NSSystem(), protocols.Service()); err == nil {
+		t.Error("NS cannot project onto the exactly-once image")
+	}
+}

@@ -1,0 +1,269 @@
+// Package baseline implements the two prior approaches the paper compares
+// against in §2, reconstructed from its descriptions:
+//
+//   - Okumura's conversion-seed method (SIGCOMM '86): a bottom-up synthesis
+//     that builds a converter from the specifications of the protocols'
+//     "missing" entities and a conversion seed, then requires an a
+//     posteriori global check against the desired service;
+//   - Lam's projection method (IEEE TSE '88): when both protocol systems
+//     project onto a common image service, a simple message-relay converter
+//     suffices.
+//
+// Both are faithful in mechanism — bottom-up, seed/projection driven — and
+// exist here so the benchmark harness can reproduce the paper's
+// qualitative comparison: the top-down quotient method is the only one of
+// the three whose failure proves no converter exists.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"protoquot/internal/spec"
+)
+
+// SeedRule is one produce/consume constraint of a conversion seed: every
+// occurrence of Consumer must be preceded by an unconsumed occurrence of
+// one of the Producers (a token buffer of capacity Cap). This is the
+// classic data-dependency seed: "the converter may send a data message on
+// the Q side only after receiving one on the P side".
+type SeedRule struct {
+	Name      string
+	Producers []spec.Event
+	Consumer  spec.Event
+	Cap       int // token capacity; 0 means 1
+}
+
+// Seed is a conversion seed: a partial behavioral specification of the
+// converter expressed as token-flow constraints between the two interfaces.
+type Seed struct {
+	Rules []SeedRule
+}
+
+// Okumura synthesizes a converter candidate from the missing entities'
+// specifications. p1 and q0 describe, over the converter-side event
+// alphabets, how the converter must behave toward each protocol (the roles
+// it impersonates); the seed constrains cross-interface ordering. The
+// construction is the reachable product of p1, q0 and the seed counters,
+// followed by iterative removal of states with no outgoing transitions
+// (local deadlocks). The result is a candidate only: per the paper's
+// critique, it must still be checked against the global service
+// specification, and failure of this method does not mean no converter
+// exists.
+func Okumura(p1, q0 *spec.Spec, seed Seed) (*spec.Spec, error) {
+	for _, e := range p1.Alphabet() {
+		if q0.HasEvent(e) {
+			return nil, fmt.Errorf("baseline: interfaces of p1 and q0 overlap on %q", e)
+		}
+	}
+	caps := make([]int, len(seed.Rules))
+	for i, r := range seed.Rules {
+		caps[i] = r.Cap
+		if caps[i] <= 0 {
+			caps[i] = 1
+		}
+	}
+
+	type cfg struct {
+		p, q spec.State
+		tok  string // counter vector, comma-separated
+	}
+	tokKey := func(t []int) string {
+		parts := make([]string, len(t))
+		for i, v := range t {
+			parts[i] = fmt.Sprint(v)
+		}
+		return strings.Join(parts, ",")
+	}
+	parseTok := func(s string) []int {
+		if s == "" {
+			return nil
+		}
+		parts := strings.Split(s, ",")
+		out := make([]int, len(parts))
+		for i, p := range parts {
+			fmt.Sscan(p, &out[i])
+		}
+		return out
+	}
+	stName := func(c cfg) string {
+		return p1.StateName(c.p) + "|" + q0.StateName(c.q) + "|" + c.tok
+	}
+
+	// fire updates the token vector for event e, or reports the event
+	// blocked by an empty buffer.
+	fire := func(tok []int, e spec.Event) ([]int, bool) {
+		out := append([]int(nil), tok...)
+		for i, r := range seed.Rules {
+			if r.Consumer == e {
+				if out[i] == 0 {
+					return nil, false
+				}
+				out[i]--
+			}
+		}
+		for i, r := range seed.Rules {
+			for _, p := range r.Producers {
+				if p == e && out[i] < caps[i] {
+					out[i]++
+				}
+			}
+		}
+		return out, true
+	}
+
+	b := spec.NewBuilder(fmt.Sprintf("Okumura(%s,%s)", p1.Name(), q0.Name()))
+	for _, e := range p1.Alphabet() {
+		b.Event(e)
+	}
+	for _, e := range q0.Alphabet() {
+		b.Event(e)
+	}
+	zero := make([]int, len(seed.Rules))
+	init := cfg{p1.Init(), q0.Init(), tokKey(zero)}
+	b.Init(stName(init))
+	seen := map[cfg]bool{init: true}
+	work := []cfg{init}
+	type edge struct {
+		from string
+		e    spec.Event
+		to   string
+		intl bool
+	}
+	var edges []edge
+	for len(work) > 0 {
+		c := work[len(work)-1]
+		work = work[:len(work)-1]
+		tok := parseTok(c.tok)
+		push := func(n cfg) {
+			if !seen[n] {
+				seen[n] = true
+				work = append(work, n)
+			}
+		}
+		for _, ed := range p1.ExtEdges(c.p) {
+			nt, ok := fire(tok, ed.Event)
+			if !ok {
+				continue
+			}
+			n := cfg{ed.To, c.q, tokKey(nt)}
+			edges = append(edges, edge{stName(c), ed.Event, stName(n), false})
+			push(n)
+		}
+		for _, t := range p1.IntEdges(c.p) {
+			n := cfg{t, c.q, c.tok}
+			edges = append(edges, edge{from: stName(c), to: stName(n), intl: true})
+			push(n)
+		}
+		for _, ed := range q0.ExtEdges(c.q) {
+			nt, ok := fire(tok, ed.Event)
+			if !ok {
+				continue
+			}
+			n := cfg{c.p, ed.To, tokKey(nt)}
+			edges = append(edges, edge{stName(c), ed.Event, stName(n), false})
+			push(n)
+		}
+		for _, t := range q0.IntEdges(c.q) {
+			n := cfg{c.p, t, c.tok}
+			edges = append(edges, edge{from: stName(c), to: stName(n), intl: true})
+			push(n)
+		}
+	}
+	for _, ed := range edges {
+		if ed.intl {
+			b.Int(ed.from, ed.to)
+		} else {
+			b.Ext(ed.from, ed.e, ed.to)
+		}
+	}
+	cand, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return pruneDeadlocks(cand)
+}
+
+// pruneDeadlocks iteratively removes states with no outgoing transitions;
+// Okumura-style synthesis treats such local deadlocks as synthesis failures
+// of the candidate rather than service-level decisions.
+func pruneDeadlocks(s *spec.Spec) (*spec.Spec, error) {
+	for {
+		dead := map[spec.State]bool{}
+		for st := 0; st < s.NumStates(); st++ {
+			if len(s.ExtEdges(spec.State(st))) == 0 && len(s.IntEdges(spec.State(st))) == 0 {
+				dead[spec.State(st)] = true
+			}
+		}
+		if len(dead) == 0 {
+			return s, nil
+		}
+		if dead[s.Init()] {
+			return nil, fmt.Errorf("baseline: seed synthesis deadlocked at the initial state")
+		}
+		b := spec.NewBuilder(s.Name())
+		for _, e := range s.Alphabet() {
+			b.Event(e)
+		}
+		b.Init(s.StateName(s.Init()))
+		for st := 0; st < s.NumStates(); st++ {
+			if dead[spec.State(st)] {
+				continue
+			}
+			b.State(s.StateName(spec.State(st)))
+			for _, ed := range s.ExtEdges(spec.State(st)) {
+				if !dead[ed.To] {
+					b.Ext(s.StateName(spec.State(st)), ed.Event, s.StateName(ed.To))
+				}
+			}
+			for _, t := range s.IntEdges(spec.State(st)) {
+				if !dead[t] {
+					b.Int(s.StateName(spec.State(st)), s.StateName(t))
+				}
+			}
+		}
+		ns := b.MustBuild().Trim()
+		if ns.NumStates() == s.NumStates() {
+			return ns, nil
+		}
+		s = ns
+	}
+}
+
+// HideEvents returns a copy of s with the given events removed from the
+// alphabet and their transitions converted to internal moves — the
+// projection used to turn a full protocol entity into its converter-side
+// role (e.g. hiding the AB receiver's user interface).
+func HideEvents(s *spec.Spec, hide ...spec.Event) *spec.Spec {
+	hidden := make(map[spec.Event]bool, len(hide))
+	for _, e := range hide {
+		hidden[e] = true
+	}
+	b := spec.NewBuilder(s.Name() + ".hidden")
+	var kept []spec.Event
+	for _, e := range s.Alphabet() {
+		if !hidden[e] {
+			kept = append(kept, e)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i] < kept[j] })
+	for _, e := range kept {
+		b.Event(e)
+	}
+	b.Init(s.StateName(s.Init()))
+	for st := 0; st < s.NumStates(); st++ {
+		b.State(s.StateName(spec.State(st)))
+		for _, ed := range s.ExtEdges(spec.State(st)) {
+			if hidden[ed.Event] {
+				b.Int(s.StateName(spec.State(st)), s.StateName(ed.To))
+			} else {
+				b.Ext(s.StateName(spec.State(st)), ed.Event, s.StateName(ed.To))
+			}
+		}
+		for _, t := range s.IntEdges(spec.State(st)) {
+			b.Int(s.StateName(spec.State(st)), s.StateName(t))
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,61 @@
+package baseline
+
+import (
+	"fmt"
+
+	"protoquot/internal/sat"
+	"protoquot/internal/spec"
+)
+
+// Lam's projection method (IEEE TSE 1988, as summarized in the paper's §2):
+// if each existing protocol system can be projected onto a common image —
+// i.e. both satisfy the same abstract service specification — then a
+// simple, (protocol-)stateless converter that relays each message of one
+// protocol as the corresponding message of the other is easily obtained.
+// The method is a heuristic: when no common image exists at the message
+// level (as for AB vs NS, where acknowledgement bits have no NS
+// counterpart), it does not apply, and nothing can be concluded about
+// converter existence.
+
+// Mapping is one relay rule of a stateless converter: upon receiving In,
+// emit Out.
+type Mapping struct {
+	In  spec.Event
+	Out spec.Event
+}
+
+// CommonImage checks the method's precondition: both protocol systems
+// satisfy the image service. It returns nil when the common image holds.
+func CommonImage(pSys, qSys, image *spec.Spec) error {
+	if err := sat.Satisfies(pSys, image); err != nil {
+		return fmt.Errorf("baseline: P system does not project onto the image: %w", err)
+	}
+	if err := sat.Satisfies(qSys, image); err != nil {
+		return fmt.Errorf("baseline: Q system does not project onto the image: %w", err)
+	}
+	return nil
+}
+
+// Relay builds the stateless converter induced by the rules: from the idle
+// state, receiving In moves to a holding state from which Out is emitted
+// and the converter returns to idle. It holds at most one message — the
+// "simple converter" of the projection method. Every In must be distinct;
+// multiple rules may share an Out.
+func Relay(name string, rules []Mapping) (*spec.Spec, error) {
+	seen := map[spec.Event]bool{}
+	b := spec.NewBuilder(name)
+	b.Init("idle")
+	for i, r := range rules {
+		if r.In == "" || r.Out == "" {
+			return nil, fmt.Errorf("baseline: relay rule %d has empty events", i)
+		}
+		if seen[r.In] {
+			return nil, fmt.Errorf("baseline: duplicate relay input %q", r.In)
+		}
+		seen[r.In] = true
+		hold := "hold." + string(r.In)
+		b.Ext("idle", r.In, hold)
+		b.Ext(hold, r.Out, "idle")
+	}
+	return b.Build()
+}

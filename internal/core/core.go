@@ -1,0 +1,599 @@
+// Package core implements the quotient algorithm of Calvert & Lam,
+// "Deriving a Protocol Converter: A Top-Down Method" (SIGCOMM 1989, §4) —
+// the paper's primary contribution.
+//
+// Given a service specification A over alphabet Ext (in normal form) and a
+// component specification B over Int ∪ Ext (in the protocol-conversion
+// reading, B is the composition of the mismatched protocol halves and their
+// channels, Int the converter-facing events, Ext the user-facing events),
+// the algorithm produces a converter C over Int such that B‖C satisfies A,
+// or reports that no such C exists. The derived converter is maximal: every
+// trace of any correct converter is a trace of C.
+//
+// The derivation runs in two phases, mirroring the paper's Figures 5 and 6:
+//
+//  1. Safety phase. Converter states are sets of (a, b) pairs — the h.r
+//     sets of the paper — encoding where A and B may be after any trace
+//     whose Int-projection reached that state. Starting from h.ε, the
+//     successor function φ(J, e) and the predicate ok.J grow the largest
+//     converter C0 that keeps B‖C0 inside A's trace set.
+//  2. Progress phase. States of C0 from which B‖C could stabilize on a
+//     configuration whose ready set covers none of A's permitted acceptance
+//     sets are "bad" and removed; removal changes reachability, so the
+//     phase iterates to a fixpoint. If the initial state is removed, no
+//     converter exists (Theorem 2).
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"protoquot/internal/compose"
+	"protoquot/internal/sat"
+	"protoquot/internal/spec"
+)
+
+// Options tune the derivation. The zero value is the recommended default.
+type Options struct {
+	// OmitVacuous drops converter states whose pair set is empty. An empty
+	// pair set means no behavior of B can accompany the converter there —
+	// any trace B cannot match is trivially safe — so the paper's maximal
+	// converter contains a single absorbing "vacuous" state with self-loops
+	// on every Int event. By default it is kept, preserving the maximality
+	// property of Theorem 1(ii) exactly; set OmitVacuous for a converter
+	// containing only states that B can actually drive.
+	OmitVacuous bool
+	// MaxStates aborts the safety phase if the converter exceeds this many
+	// states; 0 means unlimited. The quotient problem is PSPACE-hard and
+	// the safety phase exponential in the worst case (paper §7), so
+	// callers deriving from untrusted inputs should set a bound.
+	MaxStates int
+	// SafetyOnly stops after the safety phase and returns C0 — the largest
+	// converter correct with respect to safety alone (the paper's
+	// Figure 12 artifact). The result may violate progress; Exists then
+	// means only "a safety converter exists".
+	SafetyOnly bool
+	// Log, when non-nil, receives a line-oriented narration of the
+	// derivation: safety-phase growth and per-iteration progress-phase
+	// removals. Intended for the CLI's verbose mode and for debugging
+	// reconstructions.
+	Log io.Writer
+}
+
+// Result is the outcome of a derivation.
+type Result struct {
+	// Converter is the derived maximal converter over Int, trimmed to
+	// reachable states. It is nil iff Exists is false.
+	Converter *spec.Spec
+	// Exists reports whether a converter exists for the inputs.
+	Exists bool
+	// Stats describes the work performed.
+	Stats Stats
+	// pairSets maps each converter state name to its f.c pair set, in
+	// (A-state, B-state) name pairs — diagnostic information.
+	pairSets map[string][][2]string
+}
+
+// Stats records derivation effort, used by the benchmark harness to
+// reproduce the paper's complexity observations (§7).
+type Stats struct {
+	// SafetyStates is |S_C0|: converter states after the safety phase.
+	SafetyStates int
+	// SafetyTransitions is |T_C0|.
+	SafetyTransitions int
+	// PairSetTotal is the summed cardinality of all f.c sets.
+	PairSetTotal int
+	// ProgressIterations counts progress-phase sweeps (≥1 when the
+	// safety phase produced anything).
+	ProgressIterations int
+	// RemovedStates counts states deleted as bad across all iterations.
+	RemovedStates int
+	// FinalStates / FinalTransitions describe the returned converter.
+	FinalStates      int
+	FinalTransitions int
+}
+
+// PairSet returns the f.c pair set of a converter state (by state name) as
+// (A-state, B-state) name pairs, or nil if unknown. Useful for diagnosing
+// why a state was kept or removed.
+func (r *Result) PairSet(stateName string) [][2]string {
+	return r.pairSets[stateName]
+}
+
+// NoQuotientError reports that no converter exists, with the reason.
+type NoQuotientError struct {
+	Reason string
+}
+
+func (e *NoQuotientError) Error() string {
+	return "quotient: no converter exists: " + e.Reason
+}
+
+// pair is one element of an h.r set: the tracked A-state and B-state, plus
+// the index of the environment variant the B-state belongs to (always 0 for
+// single-environment derivation; see DeriveRobust).
+type pair struct {
+	v int
+	a spec.State
+	b spec.State
+}
+
+// pairSet is a sorted, deduplicated set of pairs with a canonical key.
+type pairSet []pair
+
+func (ps pairSet) key() string {
+	var sb strings.Builder
+	for i, p := range ps {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		fmt.Fprintf(&sb, "%d:%d,%d", p.v, p.a, p.b)
+	}
+	return sb.String()
+}
+
+func canon(ps []pair) pairSet {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].v != ps[j].v {
+			return ps[i].v < ps[j].v
+		}
+		if ps[i].a != ps[j].a {
+			return ps[i].a < ps[j].a
+		}
+		return ps[i].b < ps[j].b
+	})
+	out := ps[:0]
+	for i, p := range ps {
+		if i == 0 || p != ps[i-1] {
+			out = append(out, p)
+		}
+	}
+	return pairSet(out)
+}
+
+// deriver carries the immutable inputs and memoized helpers of one run.
+type deriver struct {
+	a    *spec.Spec
+	bs   []*spec.Spec        // environment variants; len 1 for plain Derive
+	ext  map[spec.Event]bool // Ext = Σ_A
+	intl []spec.Event        // Int = Σ_B − Ext, sorted
+	opts Options
+}
+
+// Derive computes the quotient of A by B. A must be in normal form with
+// Σ_A ⊆ Σ_B; Int is inferred as Σ_B − Σ_A. On success the Result carries
+// the maximal converter; if no converter exists, Result.Exists is false and
+// the error is a *NoQuotientError. Precondition failures return ordinary
+// errors.
+func Derive(a, b *spec.Spec, opts Options) (*Result, error) {
+	return DeriveRobust(a, []*spec.Spec{b}, opts)
+}
+
+// DeriveRobust computes a converter that is simultaneously correct for
+// every environment variant: for each B_i in bs, B_i‖C satisfies A. All
+// variants must share one alphabet.
+//
+// This generalization addresses a deployment subtlety the package tests
+// document: under the paper's fairness assumption, message loss is an
+// internal transition that eventually occurs, so the maximal converter may
+// contain recovery paths that rely on loss. A converter derived against
+// both the lossy environment and its loss-free variant contains only
+// behavior that works whether or not losses happen. With a single variant
+// DeriveRobust is exactly the paper's algorithm.
+//
+// The construction runs the two phases on sets of (variant, a, b) triples:
+// a trace is safe iff safe in every variant, and a converter state is bad
+// if a progress violation is possible in any variant. Maximality holds per
+// variant, so the result has the largest trace set among robust converters.
+func DeriveRobust(a *spec.Spec, bs []*spec.Spec, opts Options) (*Result, error) {
+	if err := a.IsNormalForm(); err != nil {
+		return nil, fmt.Errorf("quotient: service spec: %w", err)
+	}
+	if len(bs) == 0 {
+		return nil, fmt.Errorf("quotient: no environment specification")
+	}
+	for _, b := range bs[1:] {
+		if !sameAlphabet(bs[0], b) {
+			return nil, fmt.Errorf("quotient: environment variants %s and %s have different alphabets",
+				bs[0].Name(), b.Name())
+		}
+	}
+	ext := make(map[spec.Event]bool, len(a.Alphabet()))
+	for _, e := range a.Alphabet() {
+		if !bs[0].HasEvent(e) {
+			return nil, fmt.Errorf("quotient: service event %q not in Σ_B; Ext must be a subset of B's interface", e)
+		}
+		ext[e] = true
+	}
+	var intl []spec.Event
+	for _, e := range bs[0].Alphabet() {
+		if !ext[e] {
+			intl = append(intl, e)
+		}
+	}
+	if len(intl) == 0 {
+		return nil, fmt.Errorf("quotient: Int = Σ_B − Ext is empty; B leaves no interface for a converter")
+	}
+	d := &deriver{a: a, bs: bs, ext: ext, intl: intl, opts: opts}
+	return d.run()
+}
+
+func sameAlphabet(x, y *spec.Spec) bool {
+	ax, ay := x.Alphabet(), y.Alphabet()
+	if len(ax) != len(ay) {
+		return false
+	}
+	for i := range ax {
+		if ax[i] != ay[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// logf writes one narration line when Options.Log is set.
+func (d *deriver) logf(format string, args ...any) {
+	if d.opts.Log != nil {
+		fmt.Fprintf(d.opts.Log, format+"\n", args...)
+	}
+}
+
+// closure extends a pair set to its (Ext ∪ λ)-closure: from (a, b), B may
+// take internal moves (a unchanged) or external events e ∈ Ext jointly with
+// A (a advances by ψ-step). Pairs where B enables an Ext event that A's
+// current state cannot accept anywhere in its λ*-closure are recorded via
+// the ok flag — they make the set unacceptable (predicate ok.J fails) —
+// but closure still completes so diagnostics can show the whole set.
+func (d *deriver) closure(seed []pair) (pairSet, bool) {
+	seen := make(map[pair]bool, len(seed)*2)
+	var stack []pair
+	for _, p := range seed {
+		if !seen[p] {
+			seen[p] = true
+			stack = append(stack, p)
+		}
+	}
+	ok := true
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		b := d.bs[p.v]
+		for _, t := range b.IntEdges(p.b) {
+			q := pair{p.v, p.a, t}
+			if !seen[q] {
+				seen[q] = true
+				stack = append(stack, q)
+			}
+		}
+		for _, ed := range b.ExtEdges(p.b) {
+			if !d.ext[ed.Event] {
+				continue
+			}
+			a2, allowed := d.a.PsiStep(p.a, ed.Event)
+			if !allowed {
+				ok = false // τ.b ∩ Ext ⊄ τ*.a — ok.J fails
+				continue
+			}
+			q := pair{p.v, a2, ed.To}
+			if !seen[q] {
+				seen[q] = true
+				stack = append(stack, q)
+			}
+		}
+	}
+	out := make([]pair, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	return canon(out), ok
+}
+
+// phi computes φ(J, e) for e ∈ Int: step every pair's B-component through
+// one e-transition, then (Ext ∪ λ)-close.
+func (d *deriver) phi(J pairSet, e spec.Event) (pairSet, bool) {
+	var seed []pair
+	for _, p := range J {
+		for _, ed := range d.bs[p.v].ExtEdges(p.b) {
+			if ed.Event == e {
+				seed = append(seed, pair{p.v, p.a, ed.To})
+			}
+		}
+	}
+	if len(seed) == 0 {
+		return nil, true // vacuously safe: no trace of B matches
+	}
+	return d.closure(seed)
+}
+
+// cState is a converter state under construction.
+type cState struct {
+	name  string
+	pairs pairSet
+	succ  map[spec.Event]int // by Int event, index into states
+}
+
+func (d *deriver) run() (*Result, error) {
+	res := &Result{pairSets: make(map[string][][2]string)}
+
+	// ---- Safety phase (paper Fig. 5) ----
+	seed := make([]pair, len(d.bs))
+	for v, b := range d.bs {
+		seed[v] = pair{v, d.a.Init(), b.Init()}
+	}
+	h0, ok0 := d.closure(seed)
+	if !ok0 {
+		return res, &NoQuotientError{Reason: fmt.Sprintf(
+			"ok(h.ε) fails: B can emit an external event the service forbids before any converter action (h.ε has %d pairs)", len(h0))}
+	}
+	var states []*cState
+	index := map[string]int{}
+	add := func(ps pairSet) int {
+		k := ps.key()
+		if i, ok := index[k]; ok {
+			return i
+		}
+		i := len(states)
+		states = append(states, &cState{
+			name:  fmt.Sprintf("c%d", i),
+			pairs: ps,
+			succ:  make(map[spec.Event]int),
+		})
+		index[k] = i
+		return i
+	}
+	add(h0)
+	for i := 0; i < len(states); i++ {
+		if d.opts.MaxStates > 0 && len(states) > d.opts.MaxStates {
+			return nil, fmt.Errorf("quotient: safety phase exceeded MaxStates=%d", d.opts.MaxStates)
+		}
+		cur := states[i]
+		for _, e := range d.intl {
+			J, ok := d.phi(cur.pairs, e)
+			if !ok {
+				continue // ok.J fails: omit the transition (and the state)
+			}
+			if len(J) == 0 && d.opts.OmitVacuous {
+				continue
+			}
+			cur.succ[e] = add(J)
+		}
+	}
+	res.Stats.SafetyStates = len(states)
+	for _, st := range states {
+		res.Stats.SafetyTransitions += len(st.succ)
+		res.Stats.PairSetTotal += len(st.pairs)
+	}
+	d.logf("safety phase: %d states, %d transitions, %d tracked (a,b) pairs",
+		res.Stats.SafetyStates, res.Stats.SafetyTransitions, res.Stats.PairSetTotal)
+
+	// ---- Progress phase (paper Fig. 6) ----
+	alive := make([]bool, len(states))
+	for i := range alive {
+		alive[i] = true
+	}
+	removedTotal := 0
+	for !d.opts.SafetyOnly {
+		res.Stats.ProgressIterations++
+		// τ*.⟨b,c⟩ for the composite B‖C under the current T_C: compute,
+		// per (b, cIndex), the Ext events enabled anywhere reachable via
+		// internal moves of the composite (B's λ, plus Int events
+		// synchronized between B and C).
+		ready := d.compositeReady(states, alive)
+
+		var removed []int
+		for ci, st := range states {
+			if !alive[ci] {
+				continue
+			}
+			bad := false
+			for _, p := range st.pairs {
+				if !sat.Prog(d.a, p.a, ready[comboKey{p.v, p.b, ci}]) {
+					bad = true
+					break
+				}
+			}
+			if bad {
+				removed = append(removed, ci)
+			}
+		}
+		if len(removed) == 0 {
+			d.logf("progress phase: iteration %d removed nothing; fixpoint", res.Stats.ProgressIterations)
+			break
+		}
+		d.logf("progress phase: iteration %d marked %d state(s) bad", res.Stats.ProgressIterations, len(removed))
+		for _, ci := range removed {
+			alive[ci] = false
+			removedTotal++
+		}
+		if !alive[0] {
+			break // initial state removed: all states unreachable
+		}
+		// Drop transitions into dead states.
+		for _, st := range states {
+			if st == nil {
+				continue
+			}
+			for e, t := range st.succ {
+				if !alive[t] {
+					delete(st.succ, e)
+				}
+			}
+		}
+	}
+	res.Stats.RemovedStates = removedTotal
+	if !alive[0] {
+		return res, &NoQuotientError{Reason: fmt.Sprintf(
+			"progress phase removed the initial state after %d iterations (%d states removed): every candidate behavior risks a progress violation of the service",
+			res.Stats.ProgressIterations, removedTotal)}
+	}
+
+	// ---- Emit the converter spec ----
+	bld := spec.NewBuilder(fmt.Sprintf("C(%s/%s)", d.a.Name(), d.bs[0].Name()))
+	for _, e := range d.intl {
+		bld.Event(e)
+	}
+	bld.Init(states[0].name)
+	for ci, st := range states {
+		if !alive[ci] {
+			continue
+		}
+		bld.State(st.name)
+		for e, t := range st.succ {
+			if alive[t] {
+				bld.Ext(st.name, e, states[t].name)
+			}
+		}
+	}
+	c, err := bld.Build()
+	if err != nil {
+		return nil, fmt.Errorf("quotient: building converter: %w", err)
+	}
+	c = c.Trim()
+	res.Converter = c
+	res.Exists = true
+	res.Stats.FinalStates = c.NumStates()
+	res.Stats.FinalTransitions = c.NumExternalTransitions()
+	for ci, st := range states {
+		if !alive[ci] {
+			continue
+		}
+		pairs := make([][2]string, len(st.pairs))
+		for i, p := range st.pairs {
+			bName := d.bs[p.v].StateName(p.b)
+			if len(d.bs) > 1 {
+				bName = fmt.Sprintf("%s@%d", bName, p.v)
+			}
+			pairs[i] = [2]string{d.a.StateName(p.a), bName}
+		}
+		res.pairSets[st.name] = pairs
+	}
+	return res, nil
+}
+
+// comboKey identifies a composite state ⟨b, c⟩ of B_v‖C.
+type comboKey struct {
+	v int
+	b spec.State
+	c int
+}
+
+// compositeReady computes τ*.⟨b,c⟩ — the Ext events enabled from ⟨b,c⟩
+// after any sequence of internal moves of B‖C — for every composite state
+// that pairs a live converter state with a B-state in its pair set.
+//
+// Internal moves of B‖C are B's λ-transitions and the synchronized Int
+// events (enabled in both B and C). External events of B‖C are B's Ext
+// events (C's whole alphabet is Int, so C contributes none).
+func (d *deriver) compositeReady(states []*cState, alive []bool) map[comboKey][]spec.Event {
+	// Build the internal-successor graph over composite states lazily,
+	// then propagate enabled-Ext sets backwards by fixpoint. Composite
+	// states of interest: every (b, c) with (·,b) ∈ f.c plus everything
+	// internally reachable from those.
+	type node struct {
+		key comboKey
+	}
+	succ := make(map[comboKey][]comboKey)
+	base := make(map[comboKey][]spec.Event) // τ.b ∩ Ext at the node itself
+	var work []node
+	seen := make(map[comboKey]bool)
+	push := func(k comboKey) {
+		if !seen[k] {
+			seen[k] = true
+			work = append(work, node{k})
+		}
+	}
+	for ci, st := range states {
+		if !alive[ci] {
+			continue
+		}
+		for _, p := range st.pairs {
+			push(comboKey{p.v, p.b, ci})
+		}
+	}
+	for i := 0; i < len(work); i++ {
+		k := work[i].key
+		bspec := d.bs[k.v]
+		var ext []spec.Event
+		for _, e := range bspec.Tau(k.b) {
+			if d.ext[e] {
+				ext = append(ext, e)
+			}
+		}
+		base[k] = ext
+		for _, t := range bspec.IntEdges(k.b) {
+			n := comboKey{k.v, t, k.c}
+			succ[k] = append(succ[k], n)
+			push(n)
+		}
+		for _, ed := range bspec.ExtEdges(k.b) {
+			if d.ext[ed.Event] {
+				continue // external to the composite
+			}
+			t, ok := states[k.c].succ[ed.Event]
+			if !ok || !alive[t] {
+				continue
+			}
+			n := comboKey{k.v, ed.To, t}
+			succ[k] = append(succ[k], n)
+			push(n)
+		}
+	}
+	// Fixpoint: ready(k) = base(k) ∪ ⋃ ready(succ(k)).
+	ready := make(map[comboKey]map[spec.Event]bool, len(work))
+	for _, nd := range work {
+		m := make(map[spec.Event]bool)
+		for _, e := range base[nd.key] {
+			m[e] = true
+		}
+		ready[nd.key] = m
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, nd := range work {
+			m := ready[nd.key]
+			for _, n := range succ[nd.key] {
+				for e := range ready[n] {
+					if !m[e] {
+						m[e] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	out := make(map[comboKey][]spec.Event, len(ready))
+	for k, m := range ready {
+		evs := make([]spec.Event, 0, len(m))
+		for e := range m {
+			evs = append(evs, e)
+		}
+		sort.Slice(evs, func(i, j int) bool { return evs[i] < evs[j] })
+		out[k] = evs
+	}
+	return out
+}
+
+// Verify checks end to end that B‖C satisfies A, using the composition
+// operator and the satisfaction checker. It is the library's independent
+// oracle for derivation correctness (paper Theorems 1 and 2 imply it always
+// holds for converters returned by Derive).
+func Verify(a, b, c *spec.Spec) error {
+	bc := compose.Pair(b, c)
+	if !sat.SameInterface(bc, a) {
+		return fmt.Errorf("quotient: B‖C has interface %v, service has %v", bc.Alphabet(), a.Alphabet())
+	}
+	return sat.Satisfies(bc, a)
+}
+
+// VerifyRobust checks B_i‖C satisfies A for every environment variant.
+func VerifyRobust(a *spec.Spec, bs []*spec.Spec, c *spec.Spec) error {
+	for _, b := range bs {
+		if err := Verify(a, b, c); err != nil {
+			return fmt.Errorf("variant %s: %w", b.Name(), err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+
+	"protoquot/internal/spec"
+)
+
+// Prune removes "useless" portions of a converter — the dotted boxes of the
+// paper's Figure 14: behavior that is harmless (B‖C still satisfies A
+// without it) but contributes nothing, such as cycles that only recover via
+// message loss. The paper notes such removal "is computationally expensive
+// and is best done by hand"; Prune automates a greedy version, re-verifying
+// the whole system after every candidate removal, which is exactly the
+// expensive part. Complexity is O((|S_C| + |T_C|) · cost(Verify)).
+//
+// The result is a correct converter whose trace set is a subset of the
+// input's; it is locally minimal (no single state or transition can be
+// removed without breaking correctness) but not guaranteed globally
+// minimum. Prune never touches the initial state and preserves the
+// interface alphabet.
+func Prune(a, b, c *spec.Spec) (*spec.Spec, error) {
+	return PruneRobust(a, []*spec.Spec{b}, c)
+}
+
+// PruneRobust is Prune against several environment variants at once: a
+// removal is kept only if B_i‖C' still satisfies A for every variant. Use
+// it on DeriveRobust output to obtain a compact converter that does not
+// depend on which variant the deployment resembles — in particular, one
+// whose progress does not rely on message loss occurring.
+func PruneRobust(a *spec.Spec, bs []*spec.Spec, c *spec.Spec) (*spec.Spec, error) {
+	if err := VerifyRobust(a, bs, c); err != nil {
+		return nil, fmt.Errorf("quotient: Prune input is not a correct converter: %w", err)
+	}
+	cur := c
+	for {
+		next, changed := pruneOnce(a, bs, cur)
+		if !changed {
+			return cur, nil
+		}
+		cur = next
+	}
+}
+
+// pruneOnce attempts one pass of state removals then transition removals,
+// returning the improved converter and whether anything changed.
+func pruneOnce(a *spec.Spec, bs []*spec.Spec, cur *spec.Spec) (*spec.Spec, bool) {
+	changed := false
+	// States (never the initial one), in stable order.
+	for st := 0; st < cur.NumStates(); st++ {
+		if spec.State(st) == cur.Init() {
+			continue
+		}
+		cand := removeState(cur, spec.State(st))
+		if cand == nil {
+			continue
+		}
+		if VerifyRobust(a, bs, cand) == nil {
+			cur = cand
+			changed = true
+			st = -1 // restart: indices shifted
+		}
+	}
+	// Individual transitions.
+	for st := 0; st < cur.NumStates(); st++ {
+		edges := cur.ExtEdges(spec.State(st))
+		for ei := 0; ei < len(edges); ei++ {
+			cand := removeEdge(cur, spec.State(st), edges[ei])
+			if VerifyRobust(a, bs, cand) == nil {
+				cur = cand
+				changed = true
+				edges = cur.ExtEdges(spec.State(st))
+				ei = -1
+			}
+		}
+	}
+	return cur, changed
+}
+
+// removeState rebuilds cur without state victim (and without its incident
+// transitions), trimmed to reachable states. Returns nil if the victim is
+// the initial state.
+func removeState(cur *spec.Spec, victim spec.State) *spec.Spec {
+	if victim == cur.Init() {
+		return nil
+	}
+	b := spec.NewBuilder(cur.Name())
+	for _, e := range cur.Alphabet() {
+		b.Event(e)
+	}
+	b.Init(cur.StateName(cur.Init()))
+	for st := 0; st < cur.NumStates(); st++ {
+		if spec.State(st) == victim {
+			continue
+		}
+		b.State(cur.StateName(spec.State(st)))
+		for _, ed := range cur.ExtEdges(spec.State(st)) {
+			if ed.To == victim {
+				continue
+			}
+			b.Ext(cur.StateName(spec.State(st)), ed.Event, cur.StateName(ed.To))
+		}
+		for _, t := range cur.IntEdges(spec.State(st)) {
+			if t == victim {
+				continue
+			}
+			b.Int(cur.StateName(spec.State(st)), cur.StateName(t))
+		}
+	}
+	return b.MustBuild().Trim()
+}
+
+// removeEdge rebuilds cur without one external transition, trimmed.
+func removeEdge(cur *spec.Spec, from spec.State, victim spec.ExtEdge) *spec.Spec {
+	b := spec.NewBuilder(cur.Name())
+	for _, e := range cur.Alphabet() {
+		b.Event(e)
+	}
+	b.Init(cur.StateName(cur.Init()))
+	for st := 0; st < cur.NumStates(); st++ {
+		b.State(cur.StateName(spec.State(st)))
+		for _, ed := range cur.ExtEdges(spec.State(st)) {
+			if spec.State(st) == from && ed == victim {
+				continue
+			}
+			b.Ext(cur.StateName(spec.State(st)), ed.Event, cur.StateName(ed.To))
+		}
+		for _, t := range cur.IntEdges(spec.State(st)) {
+			b.Int(cur.StateName(spec.State(st)), cur.StateName(t))
+		}
+	}
+	return b.MustBuild().Trim()
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"protoquot/internal/spec"
+)
+
+func TestPruneRemovesVacuousState(t *testing.T) {
+	a := altService(t)
+	b := spec.NewBuilder("B")
+	b.Init("b0").Ext("b0", "acc", "b1").Ext("b1", "x", "b2").Ext("b2", "del", "b0")
+	b.Event("y") // y is never usable: the maximal converter gets a vacuous state
+	bs := build(t, b)
+	res, err := Derive(a, bs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := res.Converter.NumStates()
+	pruned, err := Prune(a, bs, res.Converter)
+	if err != nil {
+		t.Fatalf("Prune: %v", err)
+	}
+	if pruned.NumStates() >= before {
+		t.Errorf("Prune should shrink the converter: %d -> %d", before, pruned.NumStates())
+	}
+	if pruned.HasTrace([]spec.Event{"y"}) {
+		t.Error("the vacuous y branch should be pruned")
+	}
+	if err := Verify(a, bs, pruned); err != nil {
+		t.Errorf("pruned converter no longer verifies: %v", err)
+	}
+	// The essential behavior survives.
+	if !pruned.HasTrace([]spec.Event{"x", "x"}) {
+		t.Error("pruned converter lost its essential relay behavior")
+	}
+}
+
+func TestPruneRejectsIncorrectInput(t *testing.T) {
+	a := altService(t)
+	bs := relayB(t)
+	// A converter that deadlocks immediately (no transitions at all) is
+	// not correct; Prune must refuse it.
+	cb := spec.NewBuilder("C")
+	cb.Init("c0").Event("x")
+	if _, err := Prune(a, bs, build(t, cb)); err == nil {
+		t.Error("Prune should reject an incorrect converter")
+	}
+}
+
+func TestPruneIsLocallyMinimal(t *testing.T) {
+	a := altService(t)
+	bs := relayB(t)
+	res, err := Derive(a, bs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := Prune(a, bs, res.Converter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Removing any single remaining transition must break correctness.
+	for st := 0; st < pruned.NumStates(); st++ {
+		for _, ed := range pruned.ExtEdges(spec.State(st)) {
+			cand := removeEdge(pruned, spec.State(st), ed)
+			if Verify(a, bs, cand) == nil {
+				t.Errorf("transition %s -%s-> %s is still removable",
+					pruned.StateName(spec.State(st)), ed.Event, pruned.StateName(ed.To))
+			}
+		}
+	}
+}
+
+func TestPruneIdempotent(t *testing.T) {
+	a := altService(t)
+	bs := relayB(t)
+	res, err := Derive(a, bs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := Prune(a, bs, res.Converter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Prune(a, bs, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.NumStates() != p1.NumStates() || p2.NumExternalTransitions() != p1.NumExternalTransitions() {
+		t.Errorf("Prune not idempotent: %v vs %v", p1, p2)
+	}
+}

@@ -1,0 +1,68 @@
+package dsl
+
+import (
+	"strings"
+	"testing"
+
+	"protoquot/internal/spec"
+)
+
+// FuzzParse feeds arbitrary text to the parser: it must never panic, and
+// anything it accepts must survive a serialize/reparse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add("spec S\ninit v0\next v0 acc v1\next v1 del v0\n")
+	f.Add("spec X\nint a b\nint b a\nevent z\n")
+	f.Add("spec A\nstate s0 s1\ninit s1\next s0 -d0 s1\n")
+	f.Add("# only a comment\n")
+	f.Add("spec ok\ninit a\n\nspec two\ninit b\next b e b\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		specs, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for _, s := range specs {
+			text := String(s)
+			back, rerr := ParseString(text)
+			if rerr != nil {
+				t.Fatalf("accepted input did not round trip: %v\ninput: %q\nserialized:\n%s", rerr, input, text)
+			}
+			if back.Format() != s.Format() {
+				t.Fatalf("round trip changed spec\ninput: %q", input)
+			}
+		}
+	})
+}
+
+// FuzzJSON: UnmarshalJSON must never panic and accepted values must round
+// trip.
+func FuzzJSON(f *testing.F) {
+	seed, _ := MarshalJSON(mustSpec())
+	f.Add(seed)
+	f.Add([]byte(`{"name":"x","init":"a","states":["a"],"ext":[["a","e","a"]]}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := UnmarshalJSON(data)
+		if err != nil {
+			return
+		}
+		out, err := MarshalJSON(s)
+		if err != nil {
+			t.Fatalf("accepted value failed to marshal: %v", err)
+		}
+		back, err := UnmarshalJSON(out)
+		if err != nil {
+			t.Fatalf("marshal output failed to parse: %v", err)
+		}
+		if back.Format() != s.Format() {
+			t.Fatal("JSON round trip changed spec")
+		}
+	})
+}
+
+func mustSpec() *spec.Spec {
+	s, err := ParseString("spec S\ninit v0\next v0 acc v1\next v1 del v0\n")
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

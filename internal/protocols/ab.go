@@ -1,0 +1,68 @@
+package protocols
+
+import (
+	"protoquot/internal/compose"
+	"protoquot/internal/spec"
+)
+
+// The alternating-bit protocol (paper Figure 7, after Bartlett et al. 1969).
+//
+// The sender attaches a one-bit sequence number to each data message; the
+// receiver uses the bit to recognize duplicates, delivers each message
+// exactly once, and acknowledges with the sequence number of the last
+// delivered message. On a channel timeout the sender retransmits the
+// current message.
+
+// ABSender returns the AB protocol sender A0. Interface:
+//
+//	acc            — accept a message from the user (Ext)
+//	-d0, -d1       — pass data message with sequence bit into the channel
+//	+a0, +a1       — remove acknowledgement from the channel
+//	tmo.ab         — channel timeout after a loss (either direction)
+func ABSender() *spec.Spec {
+	b := spec.NewBuilder("A0")
+	b.Init("s0")
+	b.Ext("s0", Acc, "s1")
+	b.Ext("s1", "-d0", "s2")
+	b.Ext("s2", "+a0", "s3")
+	b.Ext("s2", TmoAB, "s1") // loss of d0 or of a0: retransmit
+	b.Ext("s3", Acc, "s4")
+	b.Ext("s4", "-d1", "s5")
+	b.Ext("s5", "+a1", "s0")
+	b.Ext("s5", TmoAB, "s4") // loss of d1 or of a1: retransmit
+	return b.MustBuild()
+}
+
+// ABReceiver returns the AB protocol receiver A1. Interface:
+//
+//	del            — deliver a message to the user (Ext)
+//	+d0, +d1       — remove data message from the channel
+//	-a0, -a1       — pass acknowledgement into the channel
+//
+// A data message with the expected bit is delivered and acknowledged; a
+// duplicate (wrong bit) is re-acknowledged without delivery.
+func ABReceiver() *spec.Spec {
+	b := spec.NewBuilder("A1")
+	b.Init("e0")
+	// Expecting d0.
+	b.Ext("e0", "+d0", "f0")
+	b.Ext("f0", Del, "h0")
+	b.Ext("h0", "-a0", "e1")
+	b.Ext("e0", "+d1", "g1") // duplicate of the previous message
+	b.Ext("g1", "-a1", "e0")
+	// Expecting d1.
+	b.Ext("e1", "+d1", "f1")
+	b.Ext("f1", Del, "h1")
+	b.Ext("h1", "-a1", "e0")
+	b.Ext("e1", "+d0", "g0") // duplicate
+	b.Ext("g0", "-a0", "e1")
+	return b.MustBuild()
+}
+
+// ABSystem composes sender, channel, and receiver into the closed AB
+// protocol system of Figure 7/9 (left half): external events are acc and
+// del only. The package tests verify it satisfies the exactly-once Service.
+func ABSystem() *spec.Spec {
+	s := compose.MustMany(ABSender(), ABChannel(), ABReceiver())
+	return s.Renamed("ABSystem")
+}

@@ -1,0 +1,137 @@
+package protocols
+
+import (
+	"testing"
+
+	"protoquot/internal/core"
+	"protoquot/internal/spec"
+)
+
+// These tests document a finding made while deploying derived converters
+// (see DESIGN.md): under the paper's fairness assumption, message loss is
+// an internal transition that eventually occurs, so the maximal converter
+// for a lossy environment legitimately contains recovery paths that RELY on
+// loss — e.g. acknowledging with the wrong sequence bit and waiting for the
+// channel to lose the bogus ack. Such converters are correct in the model
+// and useless on a real link. Deriving against the eventually-reliable
+// channel model eliminates them.
+
+func TestMaximalConverterContainsLossRelianceJunk(t *testing.T) {
+	res, err := core.Derive(Service(), ReliableNSB(), core.Options{OmitVacuous: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Acking a1 right after receiving d0 is only survivable if the channel
+	// loses the bogus ack; the fair-loss model licenses it.
+	if !res.Converter.HasTrace([]spec.Event{"+d0", "-a1"}) {
+		t.Error("expected the loss-reliant -a1 branch in the fair-loss maximal converter")
+	}
+}
+
+func TestEventuallyReliableEliminatesLossReliance(t *testing.T) {
+	b := EventuallyReliableNSB()
+	res, err := core.Derive(Service(), b, core.Options{OmitVacuous: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Converter
+	if c.HasTrace([]spec.Event{"+d0", "-a1"}) {
+		t.Errorf("loss-reliant branch survived the eventually-reliable derivation:\n%s", c.Format())
+	}
+	// The clean relay remains, duplicates handled.
+	for _, tr := range [][]spec.Event{
+		{"+d0", "-D", "+A", "-a0"},
+		{"+d0", "-D", "+A", "-a0", "+d0", "-a0"},             // dup d0 re-acked
+		{"+d0", "-D", "+A", "-a0", "+d1", "-D", "+A", "-a1"}, // next message
+	} {
+		if !c.HasTrace(tr) {
+			t.Errorf("essential trace %v missing", tr)
+		}
+	}
+	if err := core.Verify(Service(), b, c); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	// The eventually-reliable converter also verifies against the plain
+	// fair-loss environment and its loss-free variant: it is deployable
+	// whatever the link does.
+	if err := core.Verify(Service(), ReliableNSB(), c); err != nil {
+		t.Errorf("Verify against fair-loss environment: %v", err)
+	}
+	if err := core.Verify(Service(), ReliableNSBLossFree(), c); err != nil {
+		t.Errorf("Verify against loss-free environment: %v", err)
+	}
+}
+
+func TestBoundedLossChannelShape(t *testing.T) {
+	ch := MustDuplexChannel("b1", ChannelConfig{
+		Forward: []string{"x"}, Reverse: []string{"y"},
+		Lossy: true, Timeout: "tmo", MaxLosses: 1,
+	})
+	// With budget 1: one loss possible, then reliable.
+	if ch.NumInternalTransitions() == 0 {
+		t.Error("budget-1 channel should still lose once")
+	}
+	// From any k0 state no further internal (loss) transitions exist.
+	for st := 0; st < ch.NumStates(); st++ {
+		name := ch.StateName(spec.State(st))
+		if len(name) > 3 && name[len(name)-2:] == "k0" && len(ch.IntEdges(spec.State(st))) > 0 {
+			t.Errorf("budget-exhausted state %s can still lose", name)
+		}
+	}
+}
+
+func TestEventuallyReliableChannelShape(t *testing.T) {
+	ch := MustDuplexChannel("er", ChannelConfig{
+		Forward: []string{"x"}, Reverse: []string{"y"},
+		Lossy: true, Timeout: "tmo", EventuallyReliable: true,
+	})
+	// Every lossy-phase state has an internal calm transition.
+	calm, ok := ch.LookupState("f-,r-,calm")
+	if !ok {
+		t.Fatal("calm copy missing")
+	}
+	if !ch.CanReachInternally(ch.Init(), calm) {
+		t.Error("calm copy should be internally reachable from the start")
+	}
+	// The calm copy never loses: its only internal edges would be losses.
+	for st := 0; st < ch.NumStates(); st++ {
+		name := ch.StateName(spec.State(st))
+		if len(name) > 5 && name[len(name)-4:] == "calm" && len(ch.IntEdges(spec.State(st))) > 0 {
+			t.Errorf("calm state %s has internal transitions", name)
+		}
+	}
+}
+
+func TestChannelConfigValidation(t *testing.T) {
+	if _, err := DuplexChannel("bad", ChannelConfig{
+		Forward: []string{"x"}, EventuallyReliable: true,
+	}); err == nil {
+		t.Error("EventuallyReliable without Lossy should fail")
+	}
+	if _, err := DuplexChannel("bad", ChannelConfig{
+		Forward: []string{"x"}, Lossy: true, Timeout: "t",
+		EventuallyReliable: true, MaxLosses: 2,
+	}); err == nil {
+		t.Error("EventuallyReliable with MaxLosses should fail")
+	}
+}
+
+// Robust derivation across the bounded family also eliminates shallow
+// loss-reliance (within the budget) and agrees with single-variant
+// derivation when given one environment.
+func TestDeriveRobustBoundedFamily(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	envs := DeploymentEnvs(1)
+	res, err := core.DeriveRobust(Service(), envs, core.Options{OmitVacuous: true})
+	if err != nil {
+		t.Fatalf("DeriveRobust: %v", err)
+	}
+	if res.Converter.HasTrace([]spec.Event{"+d0", "-a1"}) {
+		t.Error("budget-0 variant should kill the first-loss-reliant branch")
+	}
+	if err := core.VerifyRobust(Service(), envs, res.Converter); err != nil {
+		t.Errorf("VerifyRobust: %v", err)
+	}
+}

@@ -1,0 +1,166 @@
+package protocols
+
+import (
+	"fmt"
+
+	"protoquot/internal/compose"
+	"protoquot/internal/spec"
+)
+
+// The mod-k sequenced protocol family generalizes the alternating-bit
+// protocol: data messages carry a sequence number modulo k (k = 2 is
+// exactly AB). The family serves two purposes beyond the paper's figures:
+// a richer scaling axis for the §7 complexity measurements, and a
+// conversion experiment between two sequenced protocols with different
+// moduli — the kind of "different generations of the same architecture"
+// mismatch the introduction motivates.
+//
+// Event naming: data "-d<i>/+d<i>", acks "-a<i>/+a<i>", timeout per
+// instance. A prefix distinguishes instances so two families can appear in
+// one composition.
+
+// SeqConfig describes one protocol instance.
+type SeqConfig struct {
+	// Modulus is k ≥ 2.
+	Modulus int
+	// Prefix distinguishes event names between instances ("" is fine when
+	// only one instance is composed).
+	Prefix string
+	// AccEvent and DelEvent are the user-facing events (default Acc/Del).
+	AccEvent spec.Event
+	DelEvent spec.Event
+	// Timeout is the channel-timeout event (default "tmo.<prefix>seq").
+	Timeout spec.Event
+}
+
+func (c *SeqConfig) fill() {
+	if c.AccEvent == "" {
+		c.AccEvent = Acc
+	}
+	if c.DelEvent == "" {
+		c.DelEvent = Del
+	}
+	if c.Timeout == "" {
+		c.Timeout = spec.Event("tmo." + c.Prefix + "seq")
+	}
+}
+
+func (c SeqConfig) data(i int) string { return fmt.Sprintf("%sd%d", c.Prefix, i) }
+func (c SeqConfig) ack(i int) string  { return fmt.Sprintf("%sa%d", c.Prefix, i) }
+
+// SeqSender builds the mod-k sender: accept, send d<i>, await a<i>
+// (retransmitting on timeout), advance i := i+1 mod k.
+func SeqSender(cfg SeqConfig) (*spec.Spec, error) {
+	cfg.fill()
+	if cfg.Modulus < 2 {
+		return nil, fmt.Errorf("protocols: sequence modulus must be ≥ 2, got %d", cfg.Modulus)
+	}
+	b := spec.NewBuilder(fmt.Sprintf("%sSeqS%d", cfg.Prefix, cfg.Modulus))
+	st := func(phase string, i int) string { return fmt.Sprintf("%s%d", phase, i) }
+	b.Init(st("idle", 0))
+	for i := 0; i < cfg.Modulus; i++ {
+		b.Ext(st("idle", i), cfg.AccEvent, st("send", i))
+		b.Ext(st("send", i), spec.Event("-"+cfg.data(i)), st("wait", i))
+		b.Ext(st("wait", i), spec.Event("+"+cfg.ack(i)), st("idle", (i+1)%cfg.Modulus))
+		b.Ext(st("wait", i), cfg.Timeout, st("send", i))
+	}
+	return b.Build()
+}
+
+// SeqReceiver builds the mod-k receiver: deliver data with the expected
+// number and acknowledge it; re-acknowledge the previous number on a
+// duplicate without delivering. Data with any other number is rejected by
+// never being enabled (the channel preserves order and holds one message,
+// so only expected or previous can arrive).
+func SeqReceiver(cfg SeqConfig) (*spec.Spec, error) {
+	cfg.fill()
+	if cfg.Modulus < 2 {
+		return nil, fmt.Errorf("protocols: sequence modulus must be ≥ 2, got %d", cfg.Modulus)
+	}
+	b := spec.NewBuilder(fmt.Sprintf("%sSeqR%d", cfg.Prefix, cfg.Modulus))
+	st := func(phase string, i int) string { return fmt.Sprintf("%s%d", phase, i) }
+	b.Init(st("exp", 0))
+	for i := 0; i < cfg.Modulus; i++ {
+		prev := (i - 1 + cfg.Modulus) % cfg.Modulus
+		b.Ext(st("exp", i), spec.Event("+"+cfg.data(i)), st("dlv", i))
+		b.Ext(st("dlv", i), cfg.DelEvent, st("ackN", i))
+		b.Ext(st("ackN", i), spec.Event("-"+cfg.ack(i)), st("exp", (i+1)%cfg.Modulus))
+		// Duplicate of the previous message: re-ack without delivering.
+		b.Ext(st("exp", i), spec.Event("+"+cfg.data(prev)), st("ackD", i))
+		b.Ext(st("ackD", i), spec.Event("-"+cfg.ack(prev)), st("exp", i))
+	}
+	return b.Build()
+}
+
+// SeqChannel builds the duplex lossy channel for the instance, carrying all
+// k data messages forward and all k acks in reverse.
+func SeqChannel(cfg SeqConfig) (*spec.Spec, error) {
+	cfg.fill()
+	if cfg.Modulus < 2 {
+		return nil, fmt.Errorf("protocols: sequence modulus must be ≥ 2, got %d", cfg.Modulus)
+	}
+	var fwd, rev []string
+	for i := 0; i < cfg.Modulus; i++ {
+		fwd = append(fwd, cfg.data(i))
+		rev = append(rev, cfg.ack(i))
+	}
+	return DuplexChannel(fmt.Sprintf("%sSeqCh%d", cfg.Prefix, cfg.Modulus), ChannelConfig{
+		Forward: fwd,
+		Reverse: rev,
+		Lossy:   true,
+		Timeout: cfg.Timeout,
+	})
+}
+
+// SeqSystem composes the closed mod-k protocol system (sender, channel,
+// receiver). It satisfies the exactly-once Service for every k ≥ 2; the
+// package tests verify k = 2 is trace-equivalent to the AB system.
+func SeqSystem(k int) (*spec.Spec, error) {
+	cfg := SeqConfig{Modulus: k}
+	s, err := SeqSender(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ch, err := SeqChannel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r, err := SeqReceiver(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := compose.Many(s, ch, r)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Renamed(fmt.Sprintf("SeqSystem(%d)", k)), nil
+}
+
+// CrossSeqB builds the conversion environment between a mod-j sender and a
+// mod-k receiver (different protocol generations): the sender talks through
+// its lossy channel to the converter; the converter talks directly to the
+// mod-k receiver (co-located, as in Figure 13 — the placement the paper
+// shows is necessary for exactly-once conversion over a lossy channel).
+// Int is the sender channel's converter side plus the receiver's own
+// events.
+func CrossSeqB(j, k int) (*spec.Spec, error) {
+	sCfg := SeqConfig{Modulus: j, Prefix: "s."}
+	rCfg := SeqConfig{Modulus: k, Prefix: "r."}
+	snd, err := SeqSender(sCfg)
+	if err != nil {
+		return nil, err
+	}
+	ch, err := SeqChannel(sCfg)
+	if err != nil {
+		return nil, err
+	}
+	rcv, err := SeqReceiver(rCfg)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := compose.Many(snd, ch, rcv)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Renamed(fmt.Sprintf("B.seq%d-%d", j, k)), nil
+}

@@ -1,0 +1,111 @@
+// Package protocols contains executable reconstructions of every machine in
+// the paper's figures — the alternating-bit (AB) protocol, the
+// non-sequenced (NS) protocol, the lossy channels, and the service
+// specifications — plus the parameterized families used by the benchmark
+// harness and the transport-layer machines for the §6 architectural
+// configurations.
+//
+// The paper's figures are diagrams; the machines here are reconstructed
+// from its prose and validated behaviorally (see the package tests):
+// the AB system satisfies the exactly-once service, the NS system satisfies
+// only the at-least-once service, and the two §5 quotient results
+// reproduce.
+package protocols
+
+import (
+	"fmt"
+
+	"protoquot/internal/compose"
+	"protoquot/internal/spec"
+)
+
+// Standard external (user-facing) events of the data-transfer services.
+const (
+	Acc spec.Event = "acc" // user submits a message for transmission
+	Del spec.Event = "del" // message is delivered to the receiving user
+)
+
+// Service returns the paper's Figure 11 service specification: the strictly
+// alternating sequence acc, del, acc, del, … — each accepted message is
+// delivered exactly once before the next is accepted. Deterministic, hence
+// in normal form.
+func Service() *spec.Spec {
+	b := spec.NewBuilder("S")
+	b.Init("v0").Ext("v0", Acc, "v1").Ext("v1", Del, "v0")
+	return b.MustBuild()
+}
+
+// AtLeastOnceService returns the weakened service discussed in §5: after
+// each accepted message is delivered, the service may nondeterministically
+// permit duplicate deliveries. The choice is the service's (unfair
+// nondeterminism): an implementation may deliver exactly once or many
+// times, and after each delivery must offer at least one of {next accept,
+// another duplicate}. The spec is in normal form: the internal fork at
+// state h focuses into two stable states with acceptance sets {acc} and
+// {del}.
+func AtLeastOnceService() *spec.Spec {
+	b := spec.NewBuilder("W")
+	b.Init("w0")
+	b.Ext("w0", Acc, "w1")
+	b.Ext("w1", Del, "h")
+	b.Int("h", "k1").Int("h", "k2")
+	b.Ext("k1", Acc, "w1") // done with this message
+	b.Ext("k2", Del, "h")  // one more duplicate
+	return b.MustBuild()
+}
+
+// Fig4 returns the left-hand specification of the paper's Figure 4: an
+// internal cycle of two unlabeled states offering f and g respectively.
+// Because no internal transition leaves the cycle, the two states form a
+// sink set whose acceptance set is {f, g} — the figure's point is that the
+// cycle collapses to a single state for progress purposes.
+func Fig4() *spec.Spec {
+	b := spec.NewBuilder("fig4")
+	b.Init("u1")
+	b.Int("u1", "u2").Int("u2", "u1")
+	b.Ext("u1", "f", "z").Ext("u2", "g", "z")
+	return b.MustBuild()
+}
+
+// LaneService returns the interleaved product of n independent one-message
+// services: lane i alternates acc.i and del.i. It is the service input of
+// the scaling family (experiment E11); the product of deterministic
+// components is deterministic, hence in normal form.
+func LaneService(n int) *spec.Spec {
+	specs := make([]*spec.Spec, n)
+	for i := 0; i < n; i++ {
+		b := spec.NewBuilder(fmt.Sprintf("S%d", i))
+		b.Init(fmt.Sprintf("v%d.0", i))
+		b.Ext(fmt.Sprintf("v%d.0", i), spec.Event(fmt.Sprintf("acc.%d", i)), fmt.Sprintf("v%d.1", i))
+		b.Ext(fmt.Sprintf("v%d.1", i), spec.Event(fmt.Sprintf("del.%d", i)), fmt.Sprintf("v%d.0", i))
+		specs[i] = b.MustBuild()
+	}
+	s := compose.MustMany(specs...)
+	return s.Renamed(fmt.Sprintf("LaneService(%d)", n))
+}
+
+// Lane returns lane i of the scaling family: the user submits on acc.i, the
+// component emits a request req.i to the converter, awaits the converter's
+// response rsp.i, and delivers on del.i.
+func Lane(i int) *spec.Spec {
+	b := spec.NewBuilder(fmt.Sprintf("L%d", i))
+	s := func(j int) string { return fmt.Sprintf("l%d.%d", i, j) }
+	b.Init(s(0))
+	b.Ext(s(0), spec.Event(fmt.Sprintf("acc.%d", i)), s(1))
+	b.Ext(s(1), spec.Event(fmt.Sprintf("req.%d", i)), s(2))
+	b.Ext(s(2), spec.Event(fmt.Sprintf("rsp.%d", i)), s(3))
+	b.Ext(s(3), spec.Event(fmt.Sprintf("del.%d", i)), s(0))
+	return b.MustBuild()
+}
+
+// LaneSystem composes n lanes; its Int alphabet is {req.i, rsp.i} and its
+// Ext alphabet matches LaneService(n). State count is 4^n, which drives
+// the paper's §7 exponential-safety-phase observation in the benchmarks.
+func LaneSystem(n int) *spec.Spec {
+	specs := make([]*spec.Spec, n)
+	for i := 0; i < n; i++ {
+		specs[i] = Lane(i)
+	}
+	s := compose.MustMany(specs...)
+	return s.Renamed(fmt.Sprintf("LaneSystem(%d)", n))
+}

@@ -1,0 +1,183 @@
+package protocols
+
+import (
+	"protoquot/internal/compose"
+	"protoquot/internal/spec"
+)
+
+// Section 6 of the paper considers conversion between transport protocols
+// of two heterogeneous networks (Figures 15–18). The machines below model
+// a minimal but complete end-to-end story: a connection is opened, one data
+// unit is transferred, and the connection is closed in an orderly fashion —
+// the close completing only after the data has been delivered to the remote
+// user. Orderly close is the paper's example of an end-to-end
+// synchronization property that a naive pass-through interconnection
+// (Figure 16) destroys.
+
+// User-facing events of the cross-network transport service CST.
+const (
+	Open  spec.Event = "open"  // user A requests a connection
+	OInd  spec.Event = "oind"  // user B is told the connection is open
+	Xfer  spec.Event = "xfer"  // user A submits the data unit
+	Dlv   spec.Event = "dlv"   // user B receives the data unit
+	Close spec.Event = "close" // user A's close completes
+	CInd  spec.Event = "cind"  // user B sees the connection close
+)
+
+// CST returns the strict cross-network transport service: open, oind,
+// xfer, dlv, close, cind in order. Note dlv strictly precedes close — the
+// orderly-close guarantee. Deterministic, hence normal form.
+func CST() *spec.Spec {
+	b := spec.NewBuilder("CST")
+	b.Init("t0")
+	b.Ext("t0", Open, "t1")
+	b.Ext("t1", OInd, "t2")
+	b.Ext("t2", Xfer, "t3")
+	b.Ext("t3", Dlv, "t4")
+	b.Ext("t4", Close, "t5")
+	b.Ext("t5", CInd, "t6")
+	return b.MustBuild()
+}
+
+// CSTConcat returns the weaker "concatenated" service provided by the
+// Figure 16 pass-through interconnection: close and dlv may occur in either
+// order, because user A's close only synchronizes with the converter, not
+// end to end.
+func CSTConcat() *spec.Spec {
+	b := spec.NewBuilder("CSTconcat")
+	b.Init("t0")
+	b.Ext("t0", Open, "t1")
+	b.Ext("t1", OInd, "t2")
+	b.Ext("t2", Xfer, "t3")
+	// Diamond: dlv and close in either order.
+	b.Ext("t3", Dlv, "td")
+	b.Ext("t3", Close, "tc")
+	b.Ext("td", Close, "t5")
+	b.Ext("tc", Dlv, "t5")
+	b.Ext("t5", CInd, "t6")
+	return b.MustBuild()
+}
+
+// TmoTA is the timeout of network A's unreliable service, signaled to the
+// transport-A initiator, which retransmits.
+const TmoTA spec.Event = "tmo.ta"
+
+// TransportA returns TA0, the network-A transport entity serving user A.
+// Protocol phases: connect request cr / connect ack ca, data dt / data ack
+// ak, fin fn / fin ack fa. On timeout, the current packet is retransmitted.
+// Interface: open, xfer, close (Ext); -cr +ca -dt +ak -fn +fa tmo.ta (to
+// the network service NetA).
+func TransportA() *spec.Spec {
+	b := spec.NewBuilder("TA0")
+	b.Init("i0")
+	b.Ext("i0", Open, "i1")
+	b.Ext("i1", "-cr", "i2")
+	b.Ext("i2", "+ca", "i3")
+	b.Ext("i2", TmoTA, "i1")
+	b.Ext("i3", Xfer, "i4")
+	b.Ext("i4", "-dt", "i5")
+	b.Ext("i5", "+ak", "i6")
+	b.Ext("i5", TmoTA, "i4")
+	b.Ext("i6", Close, "i7")
+	b.Ext("i7", "-fn", "i8")
+	b.Ext("i8", "+fa", "i9")
+	b.Ext("i8", TmoTA, "i7")
+	return b.MustBuild()
+}
+
+// TransportB returns TB1, the network-B transport entity serving user B.
+// Protocol phases: connect indication cn / connect confirm cc, data packet
+// dp / data ack da, fin indication fi / fin confirm fc. Interface: oind,
+// dlv, cind (Ext); +cn -cc +dp -da +fi -fc (to the network service NetB).
+func TransportB() *spec.Spec {
+	b := spec.NewBuilder("TB1")
+	b.Init("j0")
+	b.Ext("j0", "+cn", "j1")
+	b.Ext("j1", OInd, "j2")
+	b.Ext("j2", "-cc", "j3")
+	b.Ext("j3", "+dp", "j4")
+	b.Ext("j4", Dlv, "j5")
+	b.Ext("j5", "-da", "j6")
+	b.Ext("j6", "+fi", "j7")
+	b.Ext("j7", CInd, "j8")
+	b.Ext("j8", "-fc", "j9")
+	return b.MustBuild()
+}
+
+// NetA returns network A's service between TA0 and the converter. In the
+// Figure 18 asymmetric configuration this is the internetwork path and is
+// unreliable: packets cr/dt/fn forward and ca/ak/fa reverse may be lost,
+// with timeouts signaled to TA0 (which retransmits; the converter, like the
+// AB receiver, re-acknowledges duplicates).
+func NetA(lossy bool) *spec.Spec {
+	cfg := ChannelConfig{
+		Forward: []string{"cr", "dt", "fn"},
+		Reverse: []string{"ca", "ak", "fa"},
+	}
+	if lossy {
+		cfg.Lossy = true
+		cfg.Timeout = TmoTA
+		return MustDuplexChannel("NetA", cfg)
+	}
+	// A reliable network never times out, but it must still declare the
+	// timeout event so that composition hides TA0's (now dead) retransmit
+	// edges rather than exposing them as a converter-triggerable input.
+	return MustDuplexChannel("NetA", cfg).WithEvents(TmoTA)
+}
+
+// NetB returns network B's service between the converter and TB1. In the
+// Figure 18 configuration the converter is co-located with TB1, so the
+// path is reliable.
+func NetB() *spec.Spec {
+	return ReliableChannel("NetB", []string{"cn", "dp", "fi"}, []string{"cc", "da", "fc"})
+}
+
+// TransportB17 returns B for the Figure 17 symmetric configuration with
+// reliable network services on both sides:
+//
+//	B = TA0 ‖ NetA(reliable) ‖ NetB ‖ TB1
+//
+// Ext = {open, oind, xfer, dlv, close, cind}; Int = the packet events of
+// both network interfaces.
+func TransportB17() *spec.Spec {
+	s := compose.MustMany(TransportA(), NetA(false), NetB(), TransportB())
+	return s.Renamed("B.t17")
+}
+
+// TransportB18 returns B for the Figure 18 asymmetric configuration: the
+// internetwork path to TA0 is unreliable, the co-located path to TB1 is
+// reliable:
+//
+//	B = TA0 ‖ NetA(lossy) ‖ NetB ‖ TB1
+func TransportB18() *spec.Spec {
+	s := compose.MustMany(TransportA(), NetA(true), NetB(), TransportB())
+	return s.Renamed("B.t18")
+}
+
+// PassThrough returns the Figure 16 pass-through entity: a simple relay
+// that establishes the connection end to end but acknowledges TA0's data
+// packet locally, before the data has crossed network B. User A's close can
+// therefore complete before user B's delivery — the broken end-to-end
+// synchronization the paper describes. The package tests show
+// TA0‖NetA‖PassThrough‖NetB‖TB1 satisfies CSTConcat but not CST.
+func PassThrough() *spec.Spec {
+	b := spec.NewBuilder("PT")
+	b.Init("p0")
+	// Open phase relayed end to end (oind must precede xfer even for the
+	// concatenated service — the connection itself needs both halves).
+	b.Ext("p0", "+cr", "p1")
+	b.Ext("p1", "-cn", "p2")
+	b.Ext("p2", "+cc", "p3")
+	b.Ext("p3", "-ca", "p4")
+	// Data phase acked locally: -ak before the data reaches TB1.
+	b.Ext("p4", "+dt", "p5")
+	b.Ext("p5", "-ak", "p6")
+	b.Ext("p6", "-dp", "p7")
+	b.Ext("p7", "+da", "p8")
+	// Fin phase: ack locally, then propagate the fin indication.
+	b.Ext("p8", "+fn", "p9")
+	b.Ext("p9", "-fa", "p10")
+	b.Ext("p10", "-fi", "p11")
+	b.Ext("p11", "+fc", "p11")
+	return b.MustBuild()
+}

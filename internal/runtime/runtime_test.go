@@ -1,0 +1,177 @@
+package runtime
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"protoquot/internal/core"
+	"protoquot/internal/protocols"
+	"protoquot/internal/spec"
+)
+
+func TestLinkDeliversAndDrops(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tmo := make(chan struct{}, 8)
+	l := NewLink(0, tmo, rng)
+	ctx := context.Background()
+	if !l.Send(ctx, Msg{Kind: "x", Payload: []byte("p")}) {
+		t.Fatal("send failed")
+	}
+	m := <-l.Recv()
+	if m.Kind != "x" || string(m.Payload) != "p" {
+		t.Errorf("got %+v", m)
+	}
+	// Always-lossy link: every send drops and posts a token.
+	ll := NewLink(1.0, tmo, rng)
+	if !ll.Send(ctx, Msg{Kind: "y"}) {
+		t.Fatal("lossy send should still report true")
+	}
+	select {
+	case <-tmo:
+	default:
+		t.Error("expected a timeout token after a drop")
+	}
+	sent, dropped := ll.Stats()
+	if sent != 1 || dropped != 1 {
+		t.Errorf("stats = %d,%d", sent, dropped)
+	}
+}
+
+func TestLinkSendCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := NewLink(0, nil, rng)
+	ctx, cancel := context.WithCancel(context.Background())
+	l.Send(ctx, Msg{Kind: "fill"})
+	done := make(chan bool)
+	go func() { done <- l.Send(ctx, Msg{Kind: "blocked"}) }()
+	cancel()
+	if ok := <-done; ok {
+		t.Error("send into a full link should fail after cancellation")
+	}
+}
+
+// deployedConverter derives and prunes the AB→NS converter once per test
+// binary. The derivation targets the eventually-reliable environment: under
+// the paper's fairness assumption a plain lossy channel *will* lose a
+// parked message eventually, which licenses converters whose recovery
+// relies on loss — useless on a real link, where loss cannot be relied
+// upon. The eventually-reliable channel model eliminates such paths in the
+// quotient's own progress phase.
+var deployedConverter = sync.OnceValues(func() (*spec.Spec, error) {
+	b := protocols.EventuallyReliableNSB()
+	res, err := core.Derive(protocols.Service(), b, core.Options{OmitVacuous: true})
+	if err != nil {
+		return nil, err
+	}
+	return core.Prune(protocols.Service(), b, res.Converter)
+})
+
+// deployConversion deploys the derived converter over links with the given
+// AB-side loss rate, sending n payloads. It returns the payloads delivered
+// to the NS user.
+func deployConversion(t *testing.T, n int, abLoss float64, seed int64) [][]byte {
+	t.Helper()
+	conv, err := deployedConverter()
+	if err != nil {
+		t.Fatalf("derive/prune: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rng := rand.New(rand.NewSource(seed))
+	abSide := NewDuplex(abLoss, rng)
+	nsSide := NewDuplex(0, rng)
+
+	payloads := make([][]byte, n)
+	for i := range payloads {
+		payloads[i] = []byte(fmt.Sprintf("message-%03d", i))
+	}
+
+	delivered := make(chan []byte, n+16)
+	convErr := make(chan error, 1)
+	go func() { convErr <- Converter(ctx, conv, abSide, nsSide, ABToNSPortMap(false)) }()
+	go NSReceiver(ctx, nsSide, delivered)
+
+	acked := ABSender(ctx, payloads, abSide)
+	if acked != n {
+		t.Fatalf("sender acknowledged %d of %d payloads", acked, n)
+	}
+	var got [][]byte
+	for len(got) < n {
+		select {
+		case p := <-delivered:
+			got = append(got, p)
+		case err := <-convErr:
+			t.Fatalf("converter stopped early: %v", err)
+		case <-ctx.Done():
+			t.Fatalf("timed out with %d of %d delivered", len(got), n)
+		}
+	}
+	cancel()
+	return got
+}
+
+// The flagship end-to-end test: an AB sender implementation delivers
+// payloads to an NS receiver implementation through the interpreted derived
+// converter, over a lossless link.
+func TestConversionSystemLossless(t *testing.T) {
+	got := deployConversion(t, 20, 0, 3)
+	for i, p := range got {
+		want := fmt.Sprintf("message-%03d", i)
+		if !bytes.Equal(p, []byte(want)) {
+			t.Fatalf("delivered[%d] = %q, want %q", i, p, want)
+		}
+	}
+}
+
+// With heavy loss on the AB side, every payload must still arrive exactly
+// once and in order (the converter re-acknowledges duplicates).
+func TestConversionSystemLossy(t *testing.T) {
+	got := deployConversion(t, 30, 0.35, 4)
+	if len(got) != 30 {
+		t.Fatalf("delivered %d payloads, want 30", len(got))
+	}
+	for i, p := range got {
+		want := fmt.Sprintf("message-%03d", i)
+		if !bytes.Equal(p, []byte(want)) {
+			t.Fatalf("delivered[%d] = %q, want %q (duplicate or reorder)", i, p, want)
+		}
+	}
+}
+
+func TestConversionSystemManySeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed soak")
+	}
+	for seed := int64(10); seed < 20; seed++ {
+		got := deployConversion(t, 10, 0.5, seed)
+		if len(got) != 10 {
+			t.Fatalf("seed %d: delivered %d", seed, len(got))
+		}
+	}
+}
+
+func TestABToNSPortMap(t *testing.T) {
+	pm := ABToNSPortMap(true)
+	if pm.TimeoutB != "tmo.ns" {
+		t.Error("timeout event missing")
+	}
+	if ABToNSPortMap(false).TimeoutB != "" {
+		t.Error("timeout event should be absent for reliable NS side")
+	}
+	if pm.RecvA["d0"] != "+d0" || pm.SendA["-a1"] != "a1" {
+		t.Error("port map wrong")
+	}
+}
+
+func TestInterpretErrorMessage(t *testing.T) {
+	e := &InterpretError{State: "c3", Event: "+d0"}
+	if e.Error() == "" {
+		t.Error("empty error")
+	}
+}

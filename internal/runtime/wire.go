@@ -1,0 +1,214 @@
+package runtime
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+)
+
+// Wire framing: the runtime's messages can cross real network connections,
+// so a deployed converter can front a server for genuinely remote clients
+// (the paper's Figure 18 "front man" placed across an internetwork). Each
+// frame is
+//
+//	1 byte  frame type ('D' data, 'T' timeout signal)
+//	1 byte  direction ('F' forward, 'R' reverse)
+//	1 byte  kind length n        (data frames only)
+//	n bytes kind
+//	4 bytes payload length m, big endian
+//	m bytes payload
+//
+// Loss is a property of the wire: each endpoint drops its own outgoing
+// data frames with the configured probability and then signals the
+// initiator — locally when the initiator dropped its own frame, via a 'T'
+// frame when the responder dropped an acknowledgement — preserving the
+// specification channels' "timeouts never premature" rule.
+
+const (
+	frameData    = 'D'
+	frameTimeout = 'T'
+	dirForward   = 'F'
+	dirReverse   = 'R'
+
+	// MaxWirePayload bounds frame payloads; larger sends fail loudly
+	// rather than letting a corrupted length prefix allocate unbounded
+	// memory on the peer.
+	MaxWirePayload = 1 << 20
+)
+
+// WriteFrame encodes one frame.
+func WriteFrame(w io.Writer, ftype, dir byte, m Msg) error {
+	if len(m.Kind) > 255 {
+		return fmt.Errorf("runtime: message kind too long (%d bytes)", len(m.Kind))
+	}
+	if len(m.Payload) > MaxWirePayload {
+		return fmt.Errorf("runtime: payload exceeds %d bytes", MaxWirePayload)
+	}
+	buf := make([]byte, 0, 7+len(m.Kind)+len(m.Payload))
+	buf = append(buf, ftype, dir, byte(len(m.Kind)))
+	buf = append(buf, m.Kind...)
+	var lenb [4]byte
+	binary.BigEndian.PutUint32(lenb[:], uint32(len(m.Payload)))
+	buf = append(buf, lenb[:]...)
+	buf = append(buf, m.Payload...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame decodes one frame.
+func ReadFrame(r io.Reader) (ftype, dir byte, m Msg, err error) {
+	var hdr [3]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, Msg{}, err
+	}
+	ftype, dir = hdr[0], hdr[1]
+	if ftype != frameData && ftype != frameTimeout {
+		return 0, 0, Msg{}, fmt.Errorf("runtime: bad frame type %q", ftype)
+	}
+	if dir != dirForward && dir != dirReverse {
+		return 0, 0, Msg{}, fmt.Errorf("runtime: bad frame direction %q", dir)
+	}
+	kind := make([]byte, hdr[2])
+	if _, err = io.ReadFull(r, kind); err != nil {
+		return 0, 0, Msg{}, err
+	}
+	var lenb [4]byte
+	if _, err = io.ReadFull(r, lenb[:]); err != nil {
+		return 0, 0, Msg{}, err
+	}
+	n := binary.BigEndian.Uint32(lenb[:])
+	if n > MaxWirePayload {
+		return 0, 0, Msg{}, fmt.Errorf("runtime: payload length %d exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, 0, Msg{}, err
+	}
+	m = Msg{Kind: string(kind)}
+	if n > 0 {
+		m.Payload = payload
+	}
+	return ftype, dir, m, nil
+}
+
+// WireConfig configures one endpoint of a bridged duplex.
+type WireConfig struct {
+	// Initiator marks the side that owns the timeout channel (the
+	// retransmitting protocol entity lives there).
+	Initiator bool
+	// LossRate is the probability this endpoint drops one of its own
+	// outgoing data frames.
+	LossRate float64
+	// Rng drives loss decisions; required when LossRate > 0.
+	Rng *rand.Rand
+}
+
+// RunWire bridges a local Duplex endpoint over a bidirectional stream.
+// The initiator's entity sends on local.Forward and receives on
+// local.Reverse; the responder's entity does the opposite. Both local
+// links should be loss-free (loss belongs to the wire; see WireConfig).
+// RunWire blocks until ctx is done or the stream fails; io.EOF and
+// ErrClosedPipe from an orderly shutdown return nil.
+func RunWire(ctx context.Context, local *Duplex, conn io.ReadWriter, cfg WireConfig) error {
+	outLink, inLink := local.Reverse, local.Forward
+	outDir, inDir := byte(dirReverse), byte(dirForward)
+	if cfg.Initiator {
+		outLink, inLink = local.Forward, local.Reverse
+		outDir, inDir = dirForward, dirReverse
+	}
+
+	var wmu sync.Mutex
+	write := func(ftype, dir byte, m Msg) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return WriteFrame(conn, ftype, dir, m)
+	}
+
+	errc := make(chan error, 2)
+	// Outbound pump: local entity → wire, with loss.
+	go func() {
+		for {
+			select {
+			case m := <-outLink.Recv():
+				drop := cfg.LossRate > 0 && cfg.Rng.Float64() < cfg.LossRate
+				if drop {
+					if cfg.Initiator {
+						select {
+						case local.Timeout <- struct{}{}:
+						case <-ctx.Done():
+							errc <- nil
+							return
+						}
+						continue
+					}
+					if err := write(frameTimeout, outDir, Msg{}); err != nil {
+						errc <- err
+						return
+					}
+					continue
+				}
+				if err := write(frameData, outDir, m); err != nil {
+					errc <- err
+					return
+				}
+			case <-ctx.Done():
+				errc <- nil
+				return
+			}
+		}
+	}()
+	// Inbound pump: wire → local entity.
+	go func() {
+		for {
+			ftype, dir, m, err := ReadFrame(conn)
+			if err != nil {
+				errc <- err
+				return
+			}
+			switch ftype {
+			case frameTimeout:
+				select {
+				case local.Timeout <- struct{}{}:
+				case <-ctx.Done():
+					errc <- nil
+					return
+				}
+			case frameData:
+				if dir != inDir {
+					errc <- fmt.Errorf("runtime: frame for direction %q on the %q side", dir, inDir)
+					return
+				}
+				if !inLink.inject(ctx, m) {
+					errc <- nil
+					return
+				}
+			}
+		}
+	}()
+	err := <-errc
+	if err == nil || errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return nil // shutdown race: the stream failed because we closed it
+	default:
+	}
+	return err
+}
+
+// inject delivers a message into the link without applying loss — used by
+// the wire bridge, where loss has already been decided by the sender's
+// endpoint.
+func (l *Link) inject(ctx context.Context, m Msg) bool {
+	select {
+	case l.c <- m:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

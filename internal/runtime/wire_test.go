@@ -1,0 +1,191 @@
+package runtime
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Msg{
+		{Kind: "d0", Payload: []byte("hello")},
+		{Kind: "a1"},
+		{Kind: "D", Payload: make([]byte, 4096)},
+	}
+	for _, m := range msgs {
+		buf.Reset()
+		if err := WriteFrame(&buf, frameData, dirForward, m); err != nil {
+			t.Fatal(err)
+		}
+		ft, dir, got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ft != frameData || dir != dirForward {
+			t.Errorf("frame header %q %q", ft, dir)
+		}
+		if got.Kind != m.Kind || !bytes.Equal(got.Payload, m.Payload) {
+			t.Errorf("round trip changed message: %+v vs %+v", got, m)
+		}
+	}
+}
+
+func TestFrameValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, frameData, dirForward, Msg{Kind: strings.Repeat("k", 300)}); err == nil {
+		t.Error("oversized kind should fail")
+	}
+	if err := WriteFrame(&buf, frameData, dirForward, Msg{Kind: "x", Payload: make([]byte, MaxWirePayload+1)}); err == nil {
+		t.Error("oversized payload should fail")
+	}
+	// Corrupt frames are rejected.
+	for _, raw := range [][]byte{
+		{'X', 'F', 0, 0, 0, 0, 0},
+		{'D', 'Z', 0, 0, 0, 0, 0},
+		{'D', 'F', 1, 'k', 0xFF, 0xFF, 0xFF, 0xFF},
+	} {
+		if _, _, _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
+			t.Errorf("corrupt frame %v accepted", raw)
+		}
+	}
+	// Truncated stream.
+	if _, _, _, err := ReadFrame(bytes.NewReader([]byte{'D'})); err == nil {
+		t.Error("truncated frame accepted")
+	}
+}
+
+// TestWireConversion runs the full AB→NS conversion with the AB leg
+// crossing a real (in-memory) network connection: the AB sender lives on
+// one side of a net.Pipe, the converter and NS receiver on the other. Loss
+// is injected at both wire endpoints.
+func TestWireConversion(t *testing.T) {
+	conv, err := deployedConverter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	senderConn, converterConn := net.Pipe()
+	defer senderConn.Close()
+	defer converterConn.Close()
+
+	rngS := rand.New(rand.NewSource(11))
+	rngC := rand.New(rand.NewSource(12))
+
+	// Sender side: a loss-free local duplex bridged over the wire with
+	// 30% loss on outgoing data frames.
+	senderSide := NewDuplex(0, rngS)
+	go func() {
+		if err := RunWire(ctx, senderSide, senderConn, WireConfig{
+			Initiator: true, LossRate: 0.3, Rng: rngS,
+		}); err != nil {
+			t.Errorf("sender wire: %v", err)
+		}
+	}()
+
+	// Converter side: its AB-facing duplex is the other end of the wire
+	// (acks lost with 30% probability); the NS receiver is co-located.
+	converterAB := NewDuplex(0, rngC)
+	go func() {
+		if err := RunWire(ctx, converterAB, converterConn, WireConfig{
+			Initiator: false, LossRate: 0.3, Rng: rngC,
+		}); err != nil {
+			t.Errorf("converter wire: %v", err)
+		}
+	}()
+	nsSide := NewDuplex(0, rngC)
+	delivered := make(chan []byte, 64)
+	go NSReceiver(ctx, nsSide, delivered)
+	go func() {
+		if err := Converter(ctx, conv, converterAB, nsSide, ABToNSPortMap(false)); err != nil {
+			t.Errorf("converter: %v", err)
+		}
+	}()
+
+	const n = 25
+	payloads := make([][]byte, n)
+	for i := range payloads {
+		payloads[i] = []byte(fmt.Sprintf("wire-%03d", i))
+	}
+	if acked := ABSender(ctx, payloads, senderSide); acked != n {
+		t.Fatalf("acknowledged %d of %d over the wire", acked, n)
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case p := <-delivered:
+			want := fmt.Sprintf("wire-%03d", i)
+			if string(p) != want {
+				t.Fatalf("delivered[%d] = %q, want %q", i, p, want)
+			}
+		case <-ctx.Done():
+			t.Fatalf("timed out at %d of %d", i, n)
+		}
+	}
+	cancel()
+}
+
+// TestWireTCP exercises the framing over an actual TCP loopback socket.
+func TestWireTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback TCP unavailable: %v", err)
+	}
+	defer ln.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	conv, err := deployedConverter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := make(chan []byte, 16)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		rng := rand.New(rand.NewSource(21))
+		ab := NewDuplex(0, rng)
+		ns := NewDuplex(0, rng)
+		go NSReceiver(ctx, ns, delivered)
+		go func() { _ = Converter(ctx, conv, ab, ns, ABToNSPortMap(false)) }()
+		_ = RunWire(ctx, ab, conn, WireConfig{Initiator: false, LossRate: 0.25, Rng: rng})
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rng := rand.New(rand.NewSource(22))
+	side := NewDuplex(0, rng)
+	go func() {
+		_ = RunWire(ctx, side, conn, WireConfig{Initiator: true, LossRate: 0.25, Rng: rng})
+	}()
+	const n = 10
+	payloads := make([][]byte, n)
+	for i := range payloads {
+		payloads[i] = []byte(fmt.Sprintf("tcp-%02d", i))
+	}
+	if acked := ABSender(ctx, payloads, side); acked != n {
+		t.Fatalf("acknowledged %d of %d over TCP", acked, n)
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case p := <-delivered:
+			if string(p) != fmt.Sprintf("tcp-%02d", i) {
+				t.Fatalf("delivered[%d] = %q", i, p)
+			}
+		case <-ctx.Done():
+			t.Fatal("timed out")
+		}
+	}
+}

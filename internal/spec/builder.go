@@ -1,0 +1,163 @@
+package spec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Builder incrementally assembles a Spec. States and events are created
+// implicitly on first mention; transitions added twice are silently
+// deduplicated. A Builder may be reused after Build to derive variants:
+// Build snapshots the current contents.
+type Builder struct {
+	name       string
+	stateNames []string
+	stateIndex map[string]State
+	ext        map[State]map[ExtEdge]struct{}
+	intl       map[State]map[State]struct{}
+	events     map[Event]struct{}
+	init       string
+	initSet    bool
+	err        error
+}
+
+// NewBuilder returns a Builder for a spec with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:       name,
+		stateIndex: make(map[string]State),
+		ext:        make(map[State]map[ExtEdge]struct{}),
+		intl:       make(map[State]map[State]struct{}),
+		events:     make(map[Event]struct{}),
+	}
+}
+
+// State ensures a state with the given name exists and returns the builder
+// for chaining. The first state mentioned (by State, Init, Ext or Int)
+// becomes the default initial state unless Init is called.
+func (b *Builder) State(name string) *Builder {
+	b.state(name)
+	return b
+}
+
+func (b *Builder) state(name string) State {
+	if name == "" && b.err == nil {
+		b.err = errors.New("spec: empty state name")
+	}
+	if st, ok := b.stateIndex[name]; ok {
+		return st
+	}
+	st := State(len(b.stateNames))
+	b.stateNames = append(b.stateNames, name)
+	b.stateIndex[name] = st
+	return st
+}
+
+// Init sets the initial state, creating it if necessary.
+func (b *Builder) Init(name string) *Builder {
+	b.state(name)
+	b.init = name
+	b.initSet = true
+	return b
+}
+
+// Ext adds the external transition (from, e, to) to T, creating the states
+// and registering the event as needed.
+func (b *Builder) Ext(from string, e Event, to string) *Builder {
+	if e == "" && b.err == nil {
+		b.err = fmt.Errorf("spec %s: empty event name on transition %s -> %s", b.name, from, to)
+	}
+	f, t := b.state(from), b.state(to)
+	if b.ext[f] == nil {
+		b.ext[f] = make(map[ExtEdge]struct{})
+	}
+	b.ext[f][ExtEdge{Event: e, To: t}] = struct{}{}
+	b.events[e] = struct{}{}
+	return b
+}
+
+// Int adds the internal transition (from, to) to λ, creating the states as
+// needed. Self-loop internal transitions are permitted; they are absorbed
+// by the reflexive λ*-closure and so never change any analysis.
+func (b *Builder) Int(from, to string) *Builder {
+	f, t := b.state(from), b.state(to)
+	if b.intl[f] == nil {
+		b.intl[f] = make(map[State]struct{})
+	}
+	b.intl[f][t] = struct{}{}
+	return b
+}
+
+// Event registers e in the alphabet Σ even if no transition uses it. This
+// matters for composition: events in Σ_A ∩ Σ_B synchronize (and are hidden)
+// whether or not they can ever occur.
+func (b *Builder) Event(e Event) *Builder {
+	if e == "" && b.err == nil {
+		b.err = errors.New("spec: empty event name")
+	}
+	b.events[e] = struct{}{}
+	return b
+}
+
+// Build validates and freezes the specification. It returns an error if no
+// state was defined, if an initial state was never created, or if any name
+// was empty.
+func (b *Builder) Build() (*Spec, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.stateNames) == 0 {
+		return nil, fmt.Errorf("spec %s: no states defined", b.name)
+	}
+	init := b.init
+	if !b.initSet {
+		init = b.stateNames[0]
+	}
+	s := &Spec{
+		name:       b.name,
+		stateNames: append([]string(nil), b.stateNames...),
+		stateIndex: make(map[string]State, len(b.stateNames)),
+		alphaSet:   make(map[Event]struct{}, len(b.events)),
+		ext:        make([][]ExtEdge, len(b.stateNames)),
+		intl:       make([][]State, len(b.stateNames)),
+		init:       b.stateIndex[init],
+	}
+	for name, st := range b.stateIndex {
+		s.stateIndex[name] = st
+	}
+	for e := range b.events {
+		s.alphabet = append(s.alphabet, e)
+		s.alphaSet[e] = struct{}{}
+	}
+	sortEvents(s.alphabet)
+	for st, set := range b.ext {
+		edges := make([]ExtEdge, 0, len(set))
+		for ed := range set {
+			edges = append(edges, ed)
+		}
+		sortEdges(edges)
+		s.ext[st] = edges
+		s.numExt += len(edges)
+	}
+	for st, set := range b.intl {
+		tos := make([]State, 0, len(set))
+		for t := range set {
+			tos = append(tos, t)
+		}
+		sortStates(tos)
+		s.intl[st] = tos
+		s.numIntl += len(tos)
+	}
+	s.finalize()
+	return s, nil
+}
+
+// MustBuild is Build that panics on error; intended for statically known
+// machines such as the protocol library.
+func (b *Builder) MustBuild() *Spec {
+	s, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,113 @@
+package spec
+
+// CompressTau returns an equivalent specification with "committed" internal
+// states short-circuited: a state whose only outgoing transition is a
+// single internal move to another state adds nothing — under the fairness
+// assumption the move eventually happens, the state enables no external
+// event, and its τ*, sink and acceptance structure coincide with its
+// successor's — so every edge into it can point at the successor directly.
+//
+// Compositions produce long chains of such states (each hidden rendezvous
+// leaves one behind), and the quotient algorithm's pair sets shrink
+// accordingly. The reduction preserves the trace set, acceptance sets, and
+// satisfaction in both directions; the package property tests check this
+// on random specifications, and the quotient-equivalence test in
+// internal/core checks that derivations from a compressed environment
+// yield trace-equivalent converters.
+//
+// A cycle of committed states is a silent divergence; it is collapsed to a
+// single representative with an internal self-loop, which preserves its
+// (empty) acceptance behavior.
+func (s *Spec) CompressTau() *Spec {
+	n := s.NumStates()
+	// next[st] is the committed target, or -1.
+	next := make([]int, n)
+	for st := 0; st < n; st++ {
+		next[st] = -1
+		if len(s.ext[st]) == 0 && len(s.intl[st]) == 1 {
+			next[st] = int(s.intl[st][0])
+		}
+	}
+
+	// Resolve each state to its representative: follow the committed chain
+	// to the first non-committed state, or — if the chain enters a cycle —
+	// to the cycle's minimum-index member, which stays as a divergence.
+	const unresolved = -1
+	forward := make([]int, n)
+	for i := range forward {
+		forward[i] = unresolved
+	}
+	divergent := make([]bool, n)
+	var resolve func(st int, onPath map[int]bool) int
+	resolve = func(st int, onPath map[int]bool) int {
+		if forward[st] != unresolved {
+			return forward[st]
+		}
+		if next[st] == -1 {
+			forward[st] = st
+			return st
+		}
+		if onPath[st] {
+			// Found a committed cycle: choose its minimum member by
+			// walking it once.
+			minSt := st
+			for cur := next[st]; cur != st; cur = next[cur] {
+				if cur < minSt {
+					minSt = cur
+				}
+			}
+			divergent[minSt] = true
+			for cur := st; forward[cur] == unresolved; cur = next[cur] {
+				forward[cur] = minSt
+				if next[cur] == st {
+					break
+				}
+			}
+			forward[st] = minSt
+			return minSt
+		}
+		onPath[st] = true
+		rep := resolve(next[st], onPath)
+		delete(onPath, st)
+		if forward[st] == unresolved {
+			forward[st] = rep
+		}
+		return forward[st]
+	}
+	for st := 0; st < n; st++ {
+		resolve(st, map[int]bool{})
+	}
+
+	b := NewBuilder(s.name)
+	for _, e := range s.alphabet {
+		b.Event(e)
+	}
+	b.Init(s.stateNames[forward[int(s.init)]])
+	for st := 0; st < n; st++ {
+		if forward[st] != st {
+			continue // short-circuited away
+		}
+		name := s.stateNames[st]
+		b.State(name)
+		if divergent[st] {
+			b.Int(name, name)
+			continue
+		}
+		for _, ed := range s.ext[st] {
+			b.Ext(name, ed.Event, s.stateNames[forward[int(ed.To)]])
+		}
+		for _, t := range s.intl[st] {
+			to := forward[int(t)]
+			if to == st {
+				// An internal edge that now points back at its source is
+				// semantically void unless it was a genuine self-loop in
+				// the original (which never changes anything either);
+				// dropping it keeps the output clean — except when the
+				// target chain was a divergence, handled above.
+				continue
+			}
+			b.Int(name, s.stateNames[to])
+		}
+	}
+	return b.MustBuild().Trim()
+}

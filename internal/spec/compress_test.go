@@ -1,0 +1,100 @@
+package spec
+
+import (
+	"testing"
+)
+
+func TestCompressTauChain(t *testing.T) {
+	b := NewBuilder("chain")
+	b.Init("a").Ext("a", "x", "c1")
+	b.Int("c1", "c2").Int("c2", "c3") // committed chain
+	b.Ext("c3", "y", "a")
+	s := b.MustBuild()
+	c := s.CompressTau()
+	if c.NumStates() != 2 {
+		t.Errorf("chain should compress to 2 states, got %d:\n%s", c.NumStates(), c.Format())
+	}
+	if c.NumInternalTransitions() != 0 {
+		t.Error("committed chain should vanish")
+	}
+	for _, tr := range [][]Event{{"x"}, {"x", "y"}, {"x", "y", "x"}} {
+		if !c.HasTrace(tr) {
+			t.Errorf("trace %v lost", tr)
+		}
+	}
+}
+
+func TestCompressTauKeepsBranching(t *testing.T) {
+	// A state with two internal successors is a real choice; keep it.
+	b := NewBuilder("branch")
+	b.Init("a").Int("a", "b").Int("a", "c")
+	b.Ext("b", "x", "a").Ext("c", "y", "a")
+	s := b.MustBuild()
+	c := s.CompressTau()
+	if c.NumStates() != 3 || c.NumInternalTransitions() != 2 {
+		t.Errorf("branching must be preserved:\n%s", c.Format())
+	}
+}
+
+func TestCompressTauDivergence(t *testing.T) {
+	// A committed cycle is a silent divergence: collapse to one state with
+	// a self-loop, not to nothing.
+	b := NewBuilder("div")
+	b.Init("a").Ext("a", "x", "p")
+	b.Int("p", "q").Int("q", "p")
+	s := b.MustBuild()
+	c := s.CompressTau()
+	if c.NumStates() != 2 {
+		t.Fatalf("divergence should collapse to one state:\n%s", c.Format())
+	}
+	// The representative keeps a self-loop, so it remains a sink set with
+	// an empty acceptance set — a livelock, exactly like the original.
+	rep, ok := c.LookupState("p")
+	if !ok {
+		t.Fatalf("representative p missing:\n%s", c.Format())
+	}
+	if !c.Sink(rep) || len(c.TauStar(rep)) != 0 {
+		t.Error("divergence must stay a silent sink")
+	}
+	if !c.HasInt(rep, rep) {
+		t.Error("divergence self-loop missing")
+	}
+}
+
+func TestCompressTauInitCommitted(t *testing.T) {
+	b := NewBuilder("initc")
+	b.Init("i").Int("i", "a").Ext("a", "x", "i")
+	s := b.MustBuild()
+	c := s.CompressTau()
+	if c.StateName(c.Init()) != "a" {
+		t.Errorf("init should forward to a, got %s", c.StateName(c.Init()))
+	}
+	if !c.HasTrace([]Event{"x", "x"}) {
+		t.Error("looping trace lost")
+	}
+}
+
+func TestCompressTauShrinksRendezvousChain(t *testing.T) {
+	// The shape compositions produce: each hidden rendezvous leaves a
+	// committed internal state behind.
+	b := NewBuilder("sys")
+	b.Init("s0").Ext("s0", "in", "s1").Int("s1", "s2").Int("s2", "s3").Ext("s3", "out", "s0")
+	s := b.MustBuild()
+	c := s.CompressTau()
+	if c.NumStates() != 2 {
+		t.Errorf("compression should leave 2 states, got %d:\n%s", c.NumStates(), c.Format())
+	}
+	if !c.HasTrace([]Event{"in", "out", "in"}) {
+		t.Error("behavior lost")
+	}
+}
+
+func TestCompressTauIdempotent(t *testing.T) {
+	b := NewBuilder("i")
+	b.Init("a").Ext("a", "x", "c1").Int("c1", "c2").Ext("c2", "y", "a").Int("a", "d")
+	s := b.MustBuild().CompressTau()
+	again := s.CompressTau()
+	if again.Format() != s.Format() {
+		t.Errorf("not idempotent:\n%s\nvs\n%s", s.Format(), again.Format())
+	}
+}

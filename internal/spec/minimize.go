@@ -1,0 +1,99 @@
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Minimize returns a spec strongly bisimilar to the receiver with the
+// minimum number of states, treating internal transitions as moves on a
+// reserved pseudo-label. Strong bisimilarity (with λ visible) preserves
+// every semantic notion used in this library — trace sets, sink sets,
+// acceptance sets, satisfaction in both directions, and quotient results —
+// so Minimize is safe to apply to any component before composition or
+// derivation. It does not collapse as much as weak-bisimulation or
+// trace-equivalence reduction would, but it never changes meaning.
+//
+// The algorithm is Moore-style partition refinement: O(n·m) per round with
+// at most n rounds, far below the cost of the quotient itself.
+func (s *Spec) Minimize() *Spec {
+	n := s.NumStates()
+	block := make([]int, n) // current block id per state
+
+	// Initial partition: states grouped by (τ.s, has-internal) signature,
+	// so the first refinement has something to work with.
+	sigs := make(map[string]int)
+	for st := 0; st < n; st++ {
+		parts := make([]string, 0, len(s.tau[st])+1)
+		for _, e := range s.tau[st] {
+			parts = append(parts, string(e))
+		}
+		if len(s.intl[st]) > 0 {
+			parts = append(parts, "\x00λ")
+		}
+		sig := strings.Join(parts, "\x01")
+		id, ok := sigs[sig]
+		if !ok {
+			id = len(sigs)
+			sigs[sig] = id
+		}
+		block[st] = id
+	}
+	numBlocks := len(sigs)
+
+	for {
+		// Signature of a state: set of (label, targetBlock) pairs.
+		next := make(map[string]int)
+		newBlock := make([]int, n)
+		for st := 0; st < n; st++ {
+			var parts []string
+			for _, ed := range s.ext[st] {
+				parts = append(parts, fmt.Sprintf("e%s>%d", ed.Event, block[ed.To]))
+			}
+			for _, t := range s.intl[st] {
+				parts = append(parts, fmt.Sprintf("λ>%d", block[t]))
+			}
+			sort.Strings(parts)
+			sig := fmt.Sprintf("%d|%s", block[st], strings.Join(parts, ";"))
+			id, ok := next[sig]
+			if !ok {
+				id = len(next)
+				next[sig] = id
+			}
+			newBlock[st] = id
+		}
+		if len(next) == numBlocks {
+			break
+		}
+		numBlocks = len(next)
+		block = newBlock
+	}
+
+	// Build the quotient machine. Name each block after its lowest-index
+	// member to keep output readable.
+	repr := make(map[int]State)
+	for st := n - 1; st >= 0; st-- {
+		repr[block[st]] = State(st)
+	}
+	blockName := func(id int) string { return s.stateNames[repr[id]] }
+
+	b := NewBuilder(s.name)
+	for _, e := range s.alphabet {
+		b.Event(e)
+	}
+	b.Init(blockName(block[s.init]))
+	for id, r := range repr {
+		from := blockName(id)
+		b.State(from)
+		for _, ed := range s.ext[r] {
+			b.Ext(from, ed.Event, blockName(block[ed.To]))
+		}
+		for _, t := range s.intl[r] {
+			if block[t] != id || s.HasInt(r, r) {
+				b.Int(from, blockName(block[t]))
+			}
+		}
+	}
+	return b.MustBuild().Trim()
+}

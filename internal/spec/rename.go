@@ -1,0 +1,108 @@
+package spec
+
+import "fmt"
+
+// RenameEvents returns a copy of the spec with events renamed according to
+// the mapping. Events absent from the mapping are kept unchanged. It is an
+// error for the mapping to merge two distinct events of the alphabet into
+// one, because merging can change synchronization behavior silently; use a
+// deliberate rebuild for that.
+func (s *Spec) RenameEvents(m map[Event]Event) (*Spec, error) {
+	apply := func(e Event) Event {
+		if n, ok := m[e]; ok {
+			return n
+		}
+		return e
+	}
+	seen := make(map[Event]Event, len(s.alphabet))
+	for _, e := range s.alphabet {
+		n := apply(e)
+		if prev, ok := seen[n]; ok && prev != e {
+			return nil, fmt.Errorf("spec %s: renaming merges events %q and %q into %q", s.name, prev, e, n)
+		}
+		seen[n] = e
+	}
+	b := NewBuilder(s.name)
+	for _, e := range s.alphabet {
+		b.Event(apply(e))
+	}
+	b.Init(s.stateNames[s.init])
+	for st := 0; st < s.NumStates(); st++ {
+		b.State(s.stateNames[st])
+		for _, ed := range s.ext[st] {
+			b.Ext(s.stateNames[st], apply(ed.Event), s.stateNames[ed.To])
+		}
+		for _, t := range s.intl[st] {
+			b.Int(s.stateNames[st], s.stateNames[t])
+		}
+	}
+	return b.Build()
+}
+
+// Renamed returns a copy of the spec under a new name. State and event
+// structure is shared conceptually but rebuilt, so the result is
+// independent.
+func (s *Spec) Renamed(name string) *Spec {
+	b := NewBuilder(name)
+	for _, e := range s.alphabet {
+		b.Event(e)
+	}
+	b.Init(s.stateNames[s.init])
+	for st := 0; st < s.NumStates(); st++ {
+		b.State(s.stateNames[st])
+		for _, ed := range s.ext[st] {
+			b.Ext(s.stateNames[st], ed.Event, s.stateNames[ed.To])
+		}
+		for _, t := range s.intl[st] {
+			b.Int(s.stateNames[st], s.stateNames[t])
+		}
+	}
+	return b.MustBuild()
+}
+
+// WithEvents returns a copy of the spec with the given events added to its
+// alphabet (no transitions). Declaring an event matters for composition:
+// a declared-but-never-enabled event shared with another component is
+// hidden and can then never occur — the standard way to model "this
+// component never produces that signal" (e.g. a reliable channel never
+// timing out).
+func (s *Spec) WithEvents(extra ...Event) *Spec {
+	b := NewBuilder(s.name)
+	for _, e := range s.alphabet {
+		b.Event(e)
+	}
+	for _, e := range extra {
+		b.Event(e)
+	}
+	b.Init(s.stateNames[s.init])
+	for st := 0; st < s.NumStates(); st++ {
+		b.State(s.stateNames[st])
+		for _, ed := range s.ext[st] {
+			b.Ext(s.stateNames[st], ed.Event, s.stateNames[ed.To])
+		}
+		for _, t := range s.intl[st] {
+			b.Int(s.stateNames[st], s.stateNames[t])
+		}
+	}
+	return b.MustBuild()
+}
+
+// PrefixStateNames returns a copy with every state name prefixed; useful
+// before composing a spec with itself (e.g. two identical channels).
+func (s *Spec) PrefixStateNames(prefix string) *Spec {
+	b := NewBuilder(s.name)
+	for _, e := range s.alphabet {
+		b.Event(e)
+	}
+	b.Init(prefix + s.stateNames[s.init])
+	for st := 0; st < s.NumStates(); st++ {
+		b.State(prefix + s.stateNames[st])
+		for _, ed := range s.ext[st] {
+			b.Ext(prefix+s.stateNames[st], ed.Event, prefix+s.stateNames[ed.To])
+		}
+		for _, t := range s.intl[st] {
+			b.Int(prefix+s.stateNames[st], prefix+s.stateNames[t])
+		}
+	}
+	return b.MustBuild()
+}

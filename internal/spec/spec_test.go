@@ -1,0 +1,500 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustBuild is a test helper wrapping Builder.Build.
+func mustBuild(t *testing.T, b *Builder) *Spec {
+	t.Helper()
+	s, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return s
+}
+
+// twoState returns the Figure 11 service: acc/del alternation.
+func twoState(t *testing.T) *Spec {
+	b := NewBuilder("S")
+	b.Init("v0").Ext("v0", "acc", "v1").Ext("v1", "del", "v0")
+	return mustBuild(t, b)
+}
+
+func TestBuilderBasics(t *testing.T) {
+	s := twoState(t)
+	if s.Name() != "S" {
+		t.Errorf("Name = %q, want S", s.Name())
+	}
+	if s.NumStates() != 2 {
+		t.Errorf("NumStates = %d, want 2", s.NumStates())
+	}
+	if got := s.NumExternalTransitions(); got != 2 {
+		t.Errorf("NumExternalTransitions = %d, want 2", got)
+	}
+	if got := s.NumInternalTransitions(); got != 0 {
+		t.Errorf("NumInternalTransitions = %d, want 0", got)
+	}
+	if s.StateName(s.Init()) != "v0" {
+		t.Errorf("init = %q, want v0", s.StateName(s.Init()))
+	}
+	if got := s.Alphabet(); len(got) != 2 || got[0] != "acc" || got[1] != "del" {
+		t.Errorf("Alphabet = %v, want [acc del]", got)
+	}
+	if !s.HasEvent("acc") || s.HasEvent("nak") {
+		t.Error("HasEvent wrong")
+	}
+	if _, ok := s.LookupState("v1"); !ok {
+		t.Error("LookupState(v1) failed")
+	}
+	if _, ok := s.LookupState("zz"); ok {
+		t.Error("LookupState(zz) should fail")
+	}
+}
+
+func TestBuilderDefaults(t *testing.T) {
+	b := NewBuilder("D")
+	b.Ext("a", "x", "b")
+	s := mustBuild(t, b)
+	if s.StateName(s.Init()) != "a" {
+		t.Errorf("default init = %q, want first-mentioned state a", s.StateName(s.Init()))
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := NewBuilder("empty").Build(); err == nil {
+		t.Error("Build with no states should fail")
+	}
+	if _, err := NewBuilder("e").Ext("a", "", "b").Build(); err == nil {
+		t.Error("empty event name should fail")
+	}
+	if _, err := NewBuilder("e").State("").Build(); err == nil {
+		t.Error("empty state name should fail")
+	}
+}
+
+func TestBuilderDeduplicates(t *testing.T) {
+	b := NewBuilder("dup")
+	b.Init("a").Ext("a", "x", "b").Ext("a", "x", "b").Int("a", "b").Int("a", "b")
+	s := mustBuild(t, b)
+	if s.NumExternalTransitions() != 1 {
+		t.Errorf("external transitions = %d, want 1", s.NumExternalTransitions())
+	}
+	if s.NumInternalTransitions() != 1 {
+		t.Errorf("internal transitions = %d, want 1", s.NumInternalTransitions())
+	}
+}
+
+func TestSuccessorsAndHasExt(t *testing.T) {
+	b := NewBuilder("n")
+	b.Init("a").Ext("a", "x", "b").Ext("a", "x", "c").Ext("a", "y", "b")
+	s := mustBuild(t, b)
+	bSt, _ := s.LookupState("b")
+	cSt, _ := s.LookupState("c")
+	got := s.Successors(s.Init(), "x")
+	if len(got) != 2 || got[0] != bSt || got[1] != cSt {
+		t.Errorf("Successors(a,x) = %v, want [b c]", got)
+	}
+	if !s.HasExt(s.Init(), "x", cSt) {
+		t.Error("HasExt(a,x,c) = false")
+	}
+	if s.HasExt(bSt, "x", cSt) {
+		t.Error("HasExt(b,x,c) = true")
+	}
+	if s.DeterministicExternal() {
+		t.Error("spec with duplicate-event edges reported deterministic")
+	}
+}
+
+func TestLambdaClosure(t *testing.T) {
+	b := NewBuilder("l")
+	b.Init("a").Int("a", "b").Int("b", "c").Ext("c", "x", "a").Int("d", "a")
+	s := mustBuild(t, b)
+	a, _ := s.LookupState("a")
+	c, _ := s.LookupState("c")
+	d, _ := s.LookupState("d")
+	cl := s.LambdaClosure(a)
+	if len(cl) != 3 {
+		t.Fatalf("closure(a) = %v, want 3 states", cl)
+	}
+	if !s.CanReachInternally(a, c) {
+		t.Error("a should reach c internally")
+	}
+	if s.CanReachInternally(c, a) {
+		t.Error("c should not reach a internally")
+	}
+	if s.CanReachInternally(a, d) {
+		t.Error("a should not reach d internally")
+	}
+	// Reflexivity.
+	for st := 0; st < s.NumStates(); st++ {
+		if !s.CanReachInternally(State(st), State(st)) {
+			t.Errorf("closure not reflexive at %s", s.StateName(State(st)))
+		}
+	}
+}
+
+// TestSinkSets checks the Figure 4 semantics: a two-state internal cycle
+// with no escaping internal transition is a sink set whose τ* is the union
+// of events enabled on the cycle.
+func TestSinkSets(t *testing.T) {
+	b := NewBuilder("fig4")
+	b.Init("p").Int("p", "q").Int("q", "p").Ext("p", "f", "r").Ext("q", "g", "r")
+	s := mustBuild(t, b)
+	p, _ := s.LookupState("p")
+	q, _ := s.LookupState("q")
+	r, _ := s.LookupState("r")
+	if !s.Sink(p) || !s.Sink(q) {
+		t.Error("cycle states should be in a sink set")
+	}
+	if !s.Sink(r) {
+		t.Error("state with no internal transitions is trivially a sink")
+	}
+	ts := s.TauStar(p)
+	if len(ts) != 2 || ts[0] != "f" || ts[1] != "g" {
+		t.Errorf("TauStar(p) = %v, want [f g]", ts)
+	}
+	set := s.SinkSet(p)
+	if len(set) != 2 {
+		t.Errorf("SinkSet(p) = %v, want {p,q}", set)
+	}
+}
+
+// TestSinkEscape: an internal transition leaving the cycle disqualifies it.
+func TestSinkEscape(t *testing.T) {
+	b := NewBuilder("esc")
+	b.Init("p").Int("p", "q").Int("q", "p").Int("q", "r").Ext("r", "x", "r")
+	s := mustBuild(t, b)
+	p, _ := s.LookupState("p")
+	r, _ := s.LookupState("r")
+	if s.Sink(p) {
+		t.Error("cycle with escape should not be a sink set")
+	}
+	if !s.Sink(r) {
+		t.Error("terminal state should be a sink")
+	}
+	if s.SinkSet(p) != nil {
+		t.Error("SinkSet of non-sink should be nil")
+	}
+	// τ*(p) still sees x through the escape.
+	if ts := s.TauStar(p); len(ts) != 1 || ts[0] != "x" {
+		t.Errorf("TauStar(p) = %v, want [x]", ts)
+	}
+}
+
+func TestTau(t *testing.T) {
+	b := NewBuilder("tau")
+	b.Init("a").Ext("a", "y", "b").Ext("a", "x", "b").Int("a", "c").Ext("c", "z", "a")
+	s := mustBuild(t, b)
+	a, _ := s.LookupState("a")
+	if got := s.Tau(a); len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Errorf("Tau(a) = %v, want [x y]", got)
+	}
+	if got := s.TauStar(a); len(got) != 3 {
+		t.Errorf("TauStar(a) = %v, want [x y z]", got)
+	}
+}
+
+func TestReachableAndTrim(t *testing.T) {
+	b := NewBuilder("r")
+	b.Init("a").Ext("a", "x", "b").Int("b", "c")
+	b.Ext("z1", "w", "z2") // unreachable island
+	s := mustBuild(t, b)
+	if len(s.Reachable()) != 3 {
+		t.Errorf("Reachable = %v, want 3 states", s.Reachable())
+	}
+	z1, _ := s.LookupState("z1")
+	if s.IsReachable(z1) {
+		t.Error("z1 should be unreachable")
+	}
+	tr := s.Trim()
+	if tr.NumStates() != 3 {
+		t.Errorf("Trim: %d states, want 3", tr.NumStates())
+	}
+	// The alphabet is preserved by Trim even if w is now unused.
+	if !tr.HasEvent("w") {
+		t.Error("Trim dropped event w from alphabet")
+	}
+}
+
+func TestTraces(t *testing.T) {
+	s := twoState(t)
+	cases := []struct {
+		trace []Event
+		want  bool
+	}{
+		{nil, true},
+		{[]Event{"acc"}, true},
+		{[]Event{"acc", "del"}, true},
+		{[]Event{"acc", "del", "acc"}, true},
+		{[]Event{"del"}, false},
+		{[]Event{"acc", "acc"}, false},
+	}
+	for _, c := range cases {
+		if got := s.HasTrace(c.trace); got != c.want {
+			t.Errorf("HasTrace(%v) = %v, want %v", c.trace, got, c.want)
+		}
+	}
+	if got := s.EnabledAfter([]Event{"acc"}); len(got) != 1 || got[0] != "del" {
+		t.Errorf("EnabledAfter(acc) = %v, want [del]", got)
+	}
+	if got := s.EnabledAfter([]Event{"del"}); got != nil {
+		t.Errorf("EnabledAfter(non-trace) = %v, want nil", got)
+	}
+}
+
+func TestTracesWithInternal(t *testing.T) {
+	// a --λ--> b -x-> c; a -y-> d. Both x and y possible from the start.
+	b := NewBuilder("ti")
+	b.Init("a").Int("a", "b").Ext("b", "x", "c").Ext("a", "y", "d")
+	s := mustBuild(t, b)
+	if !s.HasTrace([]Event{"x"}) {
+		t.Error("x should be a trace via the internal move")
+	}
+	if !s.HasTrace([]Event{"y"}) {
+		t.Error("y should be a trace")
+	}
+	if s.HasTrace([]Event{"x", "y"}) {
+		t.Error("xy should not be a trace")
+	}
+}
+
+func TestTracesUpTo(t *testing.T) {
+	s := twoState(t)
+	got := s.TracesUpTo(3)
+	// ε, acc, acc·del, acc·del·acc.
+	if len(got) != 4 {
+		t.Errorf("TracesUpTo(3) returned %d traces, want 4: %v", len(got), got)
+	}
+}
+
+func TestPsi(t *testing.T) {
+	// Normal-form spec with focused nondeterminism:
+	// hub h with λ to k1 and k2; k1 -e-> z, k2 -e-> z (same target), k2 -f-> w.
+	b := NewBuilder("nf")
+	b.Init("h").Int("h", "k1").Int("h", "k2")
+	b.Ext("k1", "e", "z").Ext("k2", "e", "z").Ext("k2", "f", "w")
+	s := mustBuild(t, b)
+	if err := s.IsNormalForm(); err != nil {
+		t.Fatalf("IsNormalForm: %v", err)
+	}
+	z, _ := s.LookupState("z")
+	w, _ := s.LookupState("w")
+	if got, ok := s.Psi([]Event{"e"}); !ok || got != z {
+		t.Errorf("Psi(e) = %v,%v want %v,true", got, ok, z)
+	}
+	if got, ok := s.Psi([]Event{"f"}); !ok || got != w {
+		t.Errorf("Psi(f) = %v,%v want %v,true", got, ok, w)
+	}
+	if _, ok := s.Psi([]Event{"e", "e"}); ok {
+		t.Error("Psi(ee) should fail: e not enabled from z")
+	}
+}
+
+func TestIsNormalFormViolations(t *testing.T) {
+	// (i) mixed state.
+	b := NewBuilder("m")
+	b.Init("a").Ext("a", "x", "b").Int("a", "b")
+	s := mustBuild(t, b)
+	if err := s.IsNormalForm(); err == nil || !strings.Contains(err.Error(), "both") {
+		t.Errorf("mixed state: err = %v", err)
+	}
+	// (ii) internal cycle.
+	b = NewBuilder("c")
+	b.Init("a").Int("a", "b").Int("b", "a")
+	s = mustBuild(t, b)
+	if err := s.IsNormalForm(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("cycle: err = %v", err)
+	}
+	// (ii) self-loop.
+	b = NewBuilder("sl")
+	b.Init("a").Int("a", "a")
+	s = mustBuild(t, b)
+	if err := s.IsNormalForm(); err == nil || !strings.Contains(err.Error(), "self-loop") {
+		t.Errorf("self-loop: err = %v", err)
+	}
+	// (iii) unfocused nondeterminism.
+	b = NewBuilder("u")
+	b.Init("h").Int("h", "k1").Int("h", "k2")
+	b.Ext("k1", "e", "z1").Ext("k2", "e", "z2")
+	s = mustBuild(t, b)
+	if err := s.IsNormalForm(); err == nil || !strings.Contains(err.Error(), "leads to both") {
+		t.Errorf("unfocused: err = %v", err)
+	}
+	// Deterministic spec is in normal form.
+	if err := twoState(t).IsNormalForm(); err != nil {
+		t.Errorf("deterministic spec: %v", err)
+	}
+}
+
+func TestNormalizePreservesTraces(t *testing.T) {
+	b := NewBuilder("nd")
+	b.Init("a").Int("a", "b").Int("a", "c")
+	b.Ext("b", "x", "d").Ext("c", "x", "e").Ext("c", "y", "a")
+	b.Ext("d", "z", "a")
+	s := mustBuild(t, b)
+	d := s.Normalize()
+	if d.NumInternalTransitions() != 0 {
+		t.Error("Normalize result has internal transitions")
+	}
+	if !d.Deterministic() {
+		t.Error("Normalize result not deterministic")
+	}
+	if err := d.IsNormalForm(); err != nil {
+		t.Errorf("Normalize result not normal form: %v", err)
+	}
+	for _, tr := range s.TracesUpTo(5) {
+		if !d.HasTrace(tr) {
+			t.Errorf("Normalize lost trace %v", tr)
+		}
+	}
+	for _, tr := range d.TracesUpTo(5) {
+		if !s.HasTrace(tr) {
+			t.Errorf("Normalize added trace %v", tr)
+		}
+	}
+}
+
+func TestNormalizeIdempotentName(t *testing.T) {
+	s := twoState(t)
+	d := s.Normalize()
+	if d.Name() != "S" {
+		t.Errorf("normalizing an already-normal deterministic spec renamed it to %q", d.Name())
+	}
+	if d.NumStates() != 2 {
+		t.Errorf("determinizing deterministic spec changed state count to %d", d.NumStates())
+	}
+}
+
+func TestAcceptanceSets(t *testing.T) {
+	// Hub with two stable children offering {e} and {f,g}.
+	b := NewBuilder("acc")
+	b.Init("h").Int("h", "k1").Int("h", "k2")
+	b.Ext("k1", "e", "h")
+	b.Ext("k2", "f", "h").Ext("k2", "g", "h")
+	s := mustBuild(t, b)
+	sets := s.AcceptanceSets(s.Init())
+	if len(sets) != 2 {
+		t.Fatalf("AcceptanceSets = %v, want 2 sets", sets)
+	}
+	if len(sets[0]) != 1 || sets[0][0] != "e" {
+		t.Errorf("first set = %v, want [e]", sets[0])
+	}
+	if len(sets[1]) != 2 || sets[1][0] != "f" || sets[1][1] != "g" {
+		t.Errorf("second set = %v, want [f g]", sets[1])
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	// Two bisimilar branches should collapse.
+	b := NewBuilder("min")
+	b.Init("a").Ext("a", "x", "b1").Ext("a", "x", "b2")
+	b.Ext("b1", "y", "a").Ext("b2", "y", "a")
+	s := mustBuild(t, b)
+	m := s.Minimize()
+	if m.NumStates() != 2 {
+		t.Errorf("Minimize: %d states, want 2\n%s", m.NumStates(), m.Format())
+	}
+	for _, tr := range s.TracesUpTo(4) {
+		if !m.HasTrace(tr) {
+			t.Errorf("Minimize lost trace %v", tr)
+		}
+	}
+	for _, tr := range m.TracesUpTo(4) {
+		if !s.HasTrace(tr) {
+			t.Errorf("Minimize added trace %v", tr)
+		}
+	}
+}
+
+func TestMinimizeKeepsDistinctions(t *testing.T) {
+	// b1 and b2 differ (only b2 has z): must not merge.
+	b := NewBuilder("min2")
+	b.Init("a").Ext("a", "x", "b1").Ext("a", "x", "b2")
+	b.Ext("b1", "y", "a").Ext("b2", "y", "a").Ext("b2", "z", "a")
+	s := mustBuild(t, b)
+	m := s.Minimize()
+	if m.NumStates() != 3 {
+		t.Errorf("Minimize: %d states, want 3", m.NumStates())
+	}
+}
+
+func TestMinimizePreservesSinks(t *testing.T) {
+	b := NewBuilder("msink")
+	b.Init("p").Int("p", "q").Int("q", "p").Ext("p", "f", "r").Ext("q", "g", "r")
+	s := mustBuild(t, b)
+	m := s.Minimize()
+	init := m.Init()
+	if !m.Sink(init) {
+		t.Error("minimized initial state should still be in a sink set")
+	}
+	ts := m.TauStar(init)
+	if len(ts) != 2 || ts[0] != "f" || ts[1] != "g" {
+		t.Errorf("minimized TauStar = %v, want [f g]", ts)
+	}
+}
+
+func TestRenameEvents(t *testing.T) {
+	s := twoState(t)
+	r, err := s.RenameEvents(map[Event]Event{"acc": "put"})
+	if err != nil {
+		t.Fatalf("RenameEvents: %v", err)
+	}
+	if !r.HasTrace([]Event{"put", "del"}) {
+		t.Error("renamed spec lost trace")
+	}
+	if r.HasEvent("acc") {
+		t.Error("renamed spec still has old event")
+	}
+	if _, err := s.RenameEvents(map[Event]Event{"acc": "del"}); err == nil {
+		t.Error("merging rename should fail")
+	}
+}
+
+func TestRenamedAndPrefix(t *testing.T) {
+	s := twoState(t)
+	r := s.Renamed("T")
+	if r.Name() != "T" || r.NumStates() != 2 {
+		t.Errorf("Renamed: %v", r)
+	}
+	p := s.PrefixStateNames("L.")
+	if _, ok := p.LookupState("L.v0"); !ok {
+		t.Error("PrefixStateNames did not prefix")
+	}
+	if p.StateName(p.Init()) != "L.v0" {
+		t.Error("PrefixStateNames lost init")
+	}
+}
+
+func TestFormatStable(t *testing.T) {
+	s := twoState(t)
+	f1, f2 := s.Format(), s.Format()
+	if f1 != f2 {
+		t.Error("Format not deterministic")
+	}
+	if !strings.Contains(f1, "v0 -acc-> v1") {
+		t.Errorf("Format missing transition:\n%s", f1)
+	}
+	if s.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestEventsSubset(t *testing.T) {
+	cases := []struct {
+		a, b []Event
+		want bool
+	}{
+		{nil, nil, true},
+		{nil, []Event{"x"}, true},
+		{[]Event{"x"}, nil, false},
+		{[]Event{"a", "c"}, []Event{"a", "b", "c"}, true},
+		{[]Event{"a", "d"}, []Event{"a", "b", "c"}, false},
+	}
+	for _, c := range cases {
+		if got := EventsSubset(c.a, c.b); got != c.want {
+			t.Errorf("EventsSubset(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

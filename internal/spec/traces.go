@@ -1,0 +1,159 @@
+package spec
+
+// Trace semantics (paper §3). A trace is a finite sequence of external
+// events; A.t holds iff some path from the initial state, interleaving
+// internal transitions freely, is labeled t. Trace sets are prefix-closed
+// and always contain the empty trace.
+
+// StatesAfter returns the set of states a with s0 ⟼t a: every state
+// reachable from the initial state by a path whose external labels spell t
+// (including trailing internal transitions). The result is ε-closed and
+// sorted; it is empty iff t is not a trace.
+func (s *Spec) StatesAfter(t []Event) []State {
+	cur := closeSet(s, []State{s.init})
+	for _, e := range t {
+		cur = stepSet(s, cur, e)
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+// HasTrace reports whether t is a trace of the spec.
+func (s *Spec) HasTrace(t []Event) bool { return len(s.StatesAfter(t)) > 0 }
+
+// EnabledAfter returns the union of τ.a over all a with s0 ⟼t a — the
+// external events that may occur next after trace t. Nil if t is not a
+// trace.
+func (s *Spec) EnabledAfter(t []Event) []Event {
+	sts := s.StatesAfter(t)
+	if sts == nil {
+		return nil
+	}
+	seen := make(map[Event]struct{})
+	for _, a := range sts {
+		for _, e := range s.tau[a] {
+			seen[e] = struct{}{}
+		}
+	}
+	out := make([]Event, 0, len(seen))
+	for e := range seen {
+		out = append(out, e)
+	}
+	sortEvents(out)
+	return out
+}
+
+// closeSet ε-closes a sorted-or-not state set and returns it sorted and
+// deduplicated.
+func closeSet(s *Spec, sts []State) []State {
+	seen := make(map[State]struct{})
+	var stack []State
+	for _, st := range sts {
+		if _, ok := seen[st]; !ok {
+			seen[st] = struct{}{}
+			stack = append(stack, st)
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range s.intl[u] {
+			if _, ok := seen[v]; !ok {
+				seen[v] = struct{}{}
+				stack = append(stack, v)
+			}
+		}
+	}
+	out := make([]State, 0, len(seen))
+	for st := range seen {
+		out = append(out, st)
+	}
+	sortStates(out)
+	return out
+}
+
+// stepSet takes an ε-closed set through one external event and re-closes.
+func stepSet(s *Spec, sts []State, e Event) []State {
+	var nxt []State
+	for _, st := range sts {
+		for _, ed := range s.ext[st] {
+			if ed.Event == e {
+				nxt = append(nxt, ed.To)
+			}
+		}
+	}
+	if len(nxt) == 0 {
+		return nil
+	}
+	return closeSet(s, nxt)
+}
+
+// Psi returns ψ_A.t for a normal-form spec: the unique state a such that
+// every state reachable after t is internally reachable from a. It returns
+// ok=false if t is not a trace. Behavior is undefined (but safe) if the
+// spec is not in normal form; callers should check IsNormalForm first.
+func (s *Spec) Psi(t []Event) (State, bool) {
+	a := s.init
+	for _, e := range t {
+		var ok bool
+		a, ok = s.PsiStep(a, e)
+		if !ok {
+			return 0, false
+		}
+	}
+	return a, true
+}
+
+// PsiStep advances ψ by one event: given a = ψ.q it returns ψ.(qe), the
+// unique e-target reachable from λ*(a). For a normal-form spec the target
+// is unique by condition (iii); if the spec is not in normal form the
+// lowest-numbered target is returned. ok is false if e is not enabled
+// anywhere in λ*(a).
+func (s *Spec) PsiStep(a State, e Event) (State, bool) {
+	found := false
+	var target State
+	for _, u := range s.closure[a] {
+		for _, ed := range s.ext[u] {
+			if ed.Event != e {
+				continue
+			}
+			if !found || ed.To < target {
+				target = ed.To
+				found = true
+			}
+		}
+	}
+	return target, found
+}
+
+// TracesUpTo enumerates all traces of length ≤ maxLen in shortlex order.
+// It is exponential in maxLen and intended for tests and small examples.
+func (s *Spec) TracesUpTo(maxLen int) [][]Event {
+	type node struct {
+		trace []Event
+		sts   []State
+	}
+	var out [][]Event
+	frontier := []node{{trace: nil, sts: closeSet(s, []State{s.init})}}
+	out = append(out, []Event{})
+	for depth := 0; depth < maxLen; depth++ {
+		var next []node
+		for _, nd := range frontier {
+			for _, e := range s.alphabet {
+				sts := stepSet(s, nd.sts, e)
+				if len(sts) == 0 {
+					continue
+				}
+				tr := make([]Event, len(nd.trace)+1)
+				copy(tr, nd.trace)
+				tr[len(nd.trace)] = e
+				out = append(out, tr)
+				next = append(next, node{trace: tr, sts: sts})
+			}
+		}
+		frontier = next
+	}
+	return out
+}

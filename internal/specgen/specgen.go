@@ -1,0 +1,134 @@
+// Package specgen generates pseudo-random specifications for property-based
+// testing. It is part of the library (not a _test file) so that every
+// package's tests, as well as fuzzing harnesses, can share one well-tested
+// generator.
+package specgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"protoquot/internal/spec"
+)
+
+// Config bounds the shape of generated specs.
+type Config struct {
+	MaxStates   int     // ≥ 1; number of states is 1..MaxStates
+	MaxEvents   int     // ≥ 1; alphabet size is 1..MaxEvents
+	ExtDensity  float64 // expected external edges per (state, event) pair
+	IntDensity  float64 // expected internal edges per state
+	Connected   bool    // force every state reachable from the initial state
+	EventPrefix string  // event names are EventPrefix + index (default "e")
+}
+
+// Default is a reasonable configuration for library-wide property tests.
+var Default = Config{MaxStates: 8, MaxEvents: 4, ExtDensity: 0.3, IntDensity: 0.4, Connected: true}
+
+// Random generates a random specification using rng. The result always
+// builds successfully.
+func Random(rng *rand.Rand, cfg Config) *spec.Spec {
+	if cfg.MaxStates < 1 {
+		cfg.MaxStates = 1
+	}
+	if cfg.MaxEvents < 1 {
+		cfg.MaxEvents = 1
+	}
+	prefix := cfg.EventPrefix
+	if prefix == "" {
+		prefix = "e"
+	}
+	n := 1 + rng.Intn(cfg.MaxStates)
+	k := 1 + rng.Intn(cfg.MaxEvents)
+
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("s%d", i)
+	}
+	events := make([]spec.Event, k)
+	for i := range events {
+		events[i] = spec.Event(fmt.Sprintf("%s%d", prefix, i))
+	}
+
+	b := spec.NewBuilder(fmt.Sprintf("rand%d", rng.Intn(1<<30)))
+	for _, e := range events {
+		b.Event(e)
+	}
+	b.Init(names[0])
+	for _, nm := range names {
+		b.State(nm)
+	}
+	if cfg.Connected {
+		// Spanning arborescence: each state i>0 gets an in-edge from a
+		// lower-numbered state, external or internal at random.
+		for i := 1; i < n; i++ {
+			from := names[rng.Intn(i)]
+			if rng.Float64() < 0.7 {
+				b.Ext(from, events[rng.Intn(k)], names[i])
+			} else {
+				b.Int(from, names[i])
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for _, e := range events {
+			if rng.Float64() < cfg.ExtDensity {
+				b.Ext(names[i], e, names[rng.Intn(n)])
+			}
+		}
+		if rng.Float64() < cfg.IntDensity {
+			b.Int(names[i], names[rng.Intn(n)])
+		}
+	}
+	return b.MustBuild()
+}
+
+// RandomDeterministic generates a random deterministic specification (no
+// internal transitions, at most one successor per event), which is always
+// in normal form.
+func RandomDeterministic(rng *rand.Rand, cfg Config) *spec.Spec {
+	cfg.IntDensity = 0
+	s := Random(rng, cfg)
+	// Rebuild keeping only the first edge per (state, event).
+	b := spec.NewBuilder(s.Name() + ".det")
+	for _, e := range s.Alphabet() {
+		b.Event(e)
+	}
+	b.Init(s.StateName(s.Init()))
+	for st := 0; st < s.NumStates(); st++ {
+		b.State(s.StateName(spec.State(st)))
+		seen := make(map[spec.Event]bool)
+		for _, ed := range s.ExtEdges(spec.State(st)) {
+			if seen[ed.Event] {
+				continue
+			}
+			seen[ed.Event] = true
+			b.Ext(s.StateName(spec.State(st)), ed.Event, s.StateName(ed.To))
+		}
+	}
+	return b.MustBuild()
+}
+
+// RandomTrace returns a random trace of s with length ≤ maxLen, by a random
+// walk that follows external and internal transitions. The walk is bounded
+// by a total step budget so that terminal internal cycles (states from
+// which no external event is ever reachable) cannot loop it forever.
+func RandomTrace(rng *rand.Rand, s *spec.Spec, maxLen int) []spec.Event {
+	cur := s.Init()
+	var tr []spec.Event
+	for steps := 0; len(tr) < maxLen && steps < 10*maxLen+20; steps++ {
+		ext := s.ExtEdges(cur)
+		intl := s.IntEdges(cur)
+		total := len(ext) + len(intl)
+		if total == 0 {
+			break
+		}
+		i := rng.Intn(total)
+		if i < len(ext) {
+			tr = append(tr, ext[i].Event)
+			cur = ext[i].To
+		} else {
+			cur = intl[i-len(ext)]
+		}
+	}
+	return tr
+}

@@ -1,0 +1,209 @@
+package specgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"protoquot/internal/spec"
+)
+
+func TestRandomBuildsAndConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		s := Random(rng, Default)
+		if s.NumStates() < 1 {
+			t.Fatal("empty spec")
+		}
+		if len(s.Reachable()) != s.NumStates() {
+			t.Fatalf("Connected config produced unreachable states: %s", s.Format())
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		s := RandomDeterministic(rng, Default)
+		if !s.Deterministic() {
+			t.Fatalf("not deterministic: %s", s.Format())
+		}
+		if err := s.IsNormalForm(); err != nil {
+			t.Fatalf("deterministic spec not normal form: %v", err)
+		}
+	}
+}
+
+func TestRandomTraceIsTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		s := Random(rng, Default)
+		tr := RandomTrace(rng, s, 6)
+		if !s.HasTrace(tr) {
+			t.Fatalf("RandomTrace produced non-trace %v of\n%s", tr, s.Format())
+		}
+	}
+}
+
+func TestRandomRespectsBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cfg := Config{MaxStates: 3, MaxEvents: 2, ExtDensity: 1, IntDensity: 1, Connected: true}
+	for i := 0; i < 50; i++ {
+		s := Random(rng, cfg)
+		if s.NumStates() > 3 {
+			t.Fatalf("too many states: %d", s.NumStates())
+		}
+		if len(s.Alphabet()) > 2 {
+			t.Fatalf("too many events: %v", s.Alphabet())
+		}
+	}
+}
+
+// Property: Normalize preserves trace membership on random specs and random
+// traces (both positive and negative samples).
+func TestPropNormalizePreservesTraces(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		s := Random(rng, Default)
+		d := s.Normalize()
+		for j := 0; j < 20; j++ {
+			tr := RandomTrace(rng, s, 5)
+			if !d.HasTrace(tr) {
+				t.Fatalf("Normalize lost trace %v", tr)
+			}
+		}
+		// Random event strings; membership must agree in both directions.
+		al := s.Alphabet()
+		for j := 0; j < 20; j++ {
+			tr := make([]spec.Event, rng.Intn(5))
+			for k := range tr {
+				tr[k] = al[rng.Intn(len(al))]
+			}
+			if s.HasTrace(tr) != d.HasTrace(tr) {
+				t.Fatalf("trace membership differs for %v", tr)
+			}
+		}
+	}
+}
+
+// Property: Minimize preserves trace membership and sink acceptance at the
+// initial state.
+func TestPropMinimizePreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 100; i++ {
+		s := Random(rng, Default)
+		m := s.Minimize()
+		if m.NumStates() > s.NumStates() {
+			t.Fatalf("Minimize grew the spec: %d > %d", m.NumStates(), s.NumStates())
+		}
+		al := s.Alphabet()
+		for j := 0; j < 30; j++ {
+			tr := make([]spec.Event, rng.Intn(5))
+			for k := range tr {
+				tr[k] = al[rng.Intn(len(al))]
+			}
+			if s.HasTrace(tr) != m.HasTrace(tr) {
+				t.Fatalf("Minimize changed membership of %v\noriginal:\n%s\nminimized:\n%s",
+					tr, s.Format(), m.Format())
+			}
+		}
+		// The bare Sink predicate is not bisimulation-invariant (collapsing
+		// a λ-chain into its target cycle makes the merged state stable),
+		// but the semantic notion — the family of acceptance sets — is.
+		as, am := s.AcceptanceSets(s.Init()), m.AcceptanceSets(m.Init())
+		if len(as) != len(am) {
+			t.Fatalf("Minimize changed acceptance sets: %v vs %v\noriginal:\n%s\nminimized:\n%s",
+				as, am, s.Format(), m.Format())
+		}
+		for k := range as {
+			if len(as[k]) != len(am[k]) {
+				t.Fatalf("Minimize changed acceptance set %d: %v vs %v", k, as[k], am[k])
+			}
+			for j := range as[k] {
+				if as[k][j] != am[k][j] {
+					t.Fatalf("Minimize changed acceptance set %d: %v vs %v", k, as[k], am[k])
+				}
+			}
+		}
+	}
+}
+
+// Property: CompressTau preserves trace membership and the acceptance-set
+// family at the initial state on random specs.
+func TestPropCompressTauPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 120; i++ {
+		s := Random(rng, Default)
+		c := s.CompressTau()
+		if c.NumStates() > s.NumStates() {
+			t.Fatalf("CompressTau grew the spec")
+		}
+		al := s.Alphabet()
+		for j := 0; j < 30; j++ {
+			tr := make([]spec.Event, rng.Intn(5))
+			for k := range tr {
+				tr[k] = al[rng.Intn(len(al))]
+			}
+			if s.HasTrace(tr) != c.HasTrace(tr) {
+				t.Fatalf("CompressTau changed membership of %v\noriginal:\n%s\ncompressed:\n%s",
+					tr, s.Format(), c.Format())
+			}
+		}
+		as, ac := s.AcceptanceSets(s.Init()), c.AcceptanceSets(c.Init())
+		if len(as) != len(ac) {
+			t.Fatalf("acceptance family changed: %v vs %v\noriginal:\n%s\ncompressed:\n%s",
+				as, ac, s.Format(), c.Format())
+		}
+		for k := range as {
+			if len(as[k]) != len(ac[k]) {
+				t.Fatalf("acceptance set %d changed: %v vs %v", k, as[k], ac[k])
+			}
+			for j := range as[k] {
+				if as[k][j] != ac[k][j] {
+					t.Fatalf("acceptance set %d changed: %v vs %v", k, as[k], ac[k])
+				}
+			}
+		}
+	}
+}
+
+// Property: λ*-closure is transitive on random specs.
+func TestPropClosureTransitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		s := Random(rng, Default)
+		for st := 0; st < s.NumStates(); st++ {
+			for _, u := range s.LambdaClosure(spec.State(st)) {
+				for _, v := range s.LambdaClosure(u) {
+					if !s.CanReachInternally(spec.State(st), v) {
+						t.Fatalf("closure not transitive: %d->%d->%d", st, u, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: τ* equals the union of τ over the λ*-closure.
+func TestPropTauStarIsClosureUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 100; i++ {
+		s := Random(rng, Default)
+		for st := 0; st < s.NumStates(); st++ {
+			want := make(map[spec.Event]bool)
+			for _, u := range s.LambdaClosure(spec.State(st)) {
+				for _, e := range s.Tau(u) {
+					want[e] = true
+				}
+			}
+			got := s.TauStar(spec.State(st))
+			if len(got) != len(want) {
+				t.Fatalf("TauStar mismatch at state %d: got %v", st, got)
+			}
+			for _, e := range got {
+				if !want[e] {
+					t.Fatalf("TauStar has extra event %v", e)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package svc provides combinators for building service specifications —
+// the "A" inputs of the quotient — from small pieces: event literals,
+// sequencing, choice, option, repetition, and looping. Writing services by
+// hand as state machines invites off-by-one states; the combinators keep
+// them correct by construction and, where possible, deterministic (hence
+// in normal form, as the quotient requires).
+//
+// The combinators treat a specification's terminal states — states with no
+// outgoing transitions — as its exit points: Seq glues the second spec's
+// initial state onto the first's terminals, Loop glues terminals back to
+// the initial state, and so on. Specs without terminal states are already
+// perpetual and cannot be sequenced further; Seq and Loop report that as
+// an error.
+package svc
+
+import (
+	"fmt"
+
+	"protoquot/internal/spec"
+)
+
+// Literal returns the linear service performing the given events once, in
+// order: e1 · e2 · … · en, then stop.
+func Literal(name string, events ...spec.Event) (*spec.Spec, error) {
+	if len(events) == 0 {
+		return nil, fmt.Errorf("svc: Literal needs at least one event")
+	}
+	b := spec.NewBuilder(name)
+	b.Init("q0")
+	for i, e := range events {
+		if e == "" {
+			return nil, fmt.Errorf("svc: empty event at position %d", i)
+		}
+		b.Ext(fmt.Sprintf("q%d", i), e, fmt.Sprintf("q%d", i+1))
+	}
+	return b.Build()
+}
+
+// terminals returns the states with no outgoing transitions.
+func terminals(s *spec.Spec) []spec.State {
+	var out []spec.State
+	for st := 0; st < s.NumStates(); st++ {
+		if len(s.ExtEdges(spec.State(st))) == 0 && len(s.IntEdges(spec.State(st))) == 0 {
+			out = append(out, spec.State(st))
+		}
+	}
+	return out
+}
+
+// copyInto copies src into b with each state name prefixed, remapping the
+// states in redirect to the given existing names instead.
+func copyInto(b *spec.Builder, src *spec.Spec, prefix string, redirect map[spec.State]string) {
+	name := func(st spec.State) string {
+		if to, ok := redirect[st]; ok {
+			return to
+		}
+		return prefix + src.StateName(st)
+	}
+	for _, e := range src.Alphabet() {
+		b.Event(e)
+	}
+	for st := 0; st < src.NumStates(); st++ {
+		if _, ok := redirect[spec.State(st)]; !ok {
+			b.State(name(spec.State(st)))
+		}
+		for _, ed := range src.ExtEdges(spec.State(st)) {
+			b.Ext(name(spec.State(st)), ed.Event, name(ed.To))
+		}
+		for _, t := range src.IntEdges(spec.State(st)) {
+			b.Int(name(spec.State(st)), name(t))
+		}
+	}
+}
+
+// Seq returns the service performing a to completion and then b: every
+// terminal state of a is identified with b's initial state.
+func Seq(name string, a, b *spec.Spec) (*spec.Spec, error) {
+	ta := terminals(a)
+	if len(ta) == 0 {
+		return nil, fmt.Errorf("svc: Seq: %s never terminates", a.Name())
+	}
+	bb := spec.NewBuilder(name)
+	bb.Init("a." + a.StateName(a.Init()))
+	redirectA := map[spec.State]string{}
+	for _, st := range ta {
+		redirectA[st] = "b." + b.StateName(b.Init())
+	}
+	// If a's initial state is itself terminal, the composite starts at b.
+	if _, ok := redirectA[a.Init()]; ok {
+		bb.Init("b." + b.StateName(b.Init()))
+	}
+	copyInto(bb, a, "a.", redirectA)
+	copyInto(bb, b, "b.", nil)
+	return bb.Build()
+}
+
+// Loop returns the service repeating a forever: terminals glue back to the
+// initial state.
+func Loop(name string, a *spec.Spec) (*spec.Spec, error) {
+	ta := terminals(a)
+	if len(ta) == 0 {
+		return nil, fmt.Errorf("svc: Loop: %s never terminates", a.Name())
+	}
+	b := spec.NewBuilder(name)
+	init := "l." + a.StateName(a.Init())
+	b.Init(init)
+	redirect := map[spec.State]string{}
+	for _, st := range ta {
+		if st != a.Init() {
+			redirect[st] = init
+		}
+	}
+	copyInto(b, a, "l.", redirect)
+	return b.Build()
+}
+
+// Choice returns the external choice between a and b: from the combined
+// initial state either may begin (the first event decides). If both can
+// start with the same event the result is nondeterministic; callers that
+// need a quotient input should Normalize it.
+func Choice(name string, a, b *spec.Spec) (*spec.Spec, error) {
+	bb := spec.NewBuilder(name)
+	bb.Init("q0")
+	redirectA := map[spec.State]string{a.Init(): "q0"}
+	redirectB := map[spec.State]string{b.Init(): "q0"}
+	if backToInit(a) {
+		return nil, fmt.Errorf("svc: Choice: %s returns to its initial state; wrap it in parentheses via Seq/Literal first", a.Name())
+	}
+	if backToInit(b) {
+		return nil, fmt.Errorf("svc: Choice: %s returns to its initial state; wrap it in parentheses via Seq/Literal first", b.Name())
+	}
+	copyInto(bb, a, "a.", redirectA)
+	copyInto(bb, b, "b.", redirectB)
+	return bb.Build()
+}
+
+// backToInit reports whether any transition re-enters the initial state —
+// which would make the naive initial-state merge of Choice change meaning
+// (re-entering one branch would suddenly offer the other again).
+func backToInit(s *spec.Spec) bool {
+	for st := 0; st < s.NumStates(); st++ {
+		for _, ed := range s.ExtEdges(spec.State(st)) {
+			if ed.To == s.Init() {
+				return true
+			}
+		}
+		for _, t := range s.IntEdges(spec.State(st)) {
+			if t == s.Init() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Option returns the service that may perform a or may do nothing: a's
+// initial state also becomes terminal-reachable by… nothing to do. In
+// trace terms, Option adds nothing (trace sets are prefix-closed, so "may
+// do nothing" is already included); its value is for progress: the result
+// permits stopping. It is expressed by an internal choice between a and a
+// stopped state, in normal form when a is deterministic.
+func Option(name string, a *spec.Spec) (*spec.Spec, error) {
+	if err := a.IsNormalForm(); err != nil {
+		return nil, fmt.Errorf("svc: Option requires a normal-form operand: %w", err)
+	}
+	b := spec.NewBuilder(name)
+	b.Init("opt")
+	b.Int("opt", "go."+a.StateName(a.Init()))
+	b.State("stop")
+	b.Int("opt", "stop")
+	copyInto(b, a, "go.", nil)
+	return b.Build()
+}
+
+// Repeat returns a sequenced n times (n ≥ 1).
+func Repeat(name string, a *spec.Spec, n int) (*spec.Spec, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("svc: Repeat needs n ≥ 1, got %d", n)
+	}
+	cur := a
+	var err error
+	for i := 1; i < n; i++ {
+		cur, err = Seq(fmt.Sprintf("%s.%d", name, i), cur, a)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur.Renamed(name), nil
+}

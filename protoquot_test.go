@@ -1,0 +1,150 @@
+package protoquot
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// The facade test doubles as the README quick-start: a service, a world
+// with one converter-facing event, and a derivation.
+func TestQuickStart(t *testing.T) {
+	service := NewSpec("S").
+		Init("v0").Ext("v0", "acc", "v1").Ext("v1", "del", "v0").
+		MustBuild()
+	world := NewSpec("B").
+		Init("b0").Ext("b0", "acc", "b1").
+		Ext("b1", "fwd", "b2").
+		Ext("b2", "del", "b0").
+		MustBuild()
+	res, err := Derive(service, world, Options{})
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	if !res.Exists {
+		t.Fatal("converter should exist")
+	}
+	if err := Verify(service, world, res.Converter); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	pruned, err := Prune(service, world, res.Converter)
+	if err != nil {
+		t.Fatalf("Prune: %v", err)
+	}
+	if pruned.NumStates() > res.Converter.NumStates() {
+		t.Error("pruning grew the converter")
+	}
+}
+
+func TestFacadeCodecs(t *testing.T) {
+	s := NewSpec("S").Init("v0").Ext("v0", "acc", "v1").Ext("v1", "del", "v0").MustBuild()
+	text := SpecText(s)
+	back, err := ParseSpec(text)
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if back.Format() != s.Format() {
+		t.Error("text round trip changed spec")
+	}
+	data, err := SpecJSON(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back2, err := SpecFromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back2.Format() != s.Format() {
+		t.Error("JSON round trip changed spec")
+	}
+	var sb strings.Builder
+	if err := WriteSpec(&sb, s); err != nil {
+		t.Fatal(err)
+	}
+	many, err := ParseSpecs(strings.NewReader(sb.String()))
+	if err != nil || len(many) != 1 {
+		t.Fatalf("ParseSpecs: %v %d", err, len(many))
+	}
+	if !strings.Contains(DOT(s), "digraph") {
+		t.Error("DOT output malformed")
+	}
+}
+
+func TestFacadeComposeAndSatisfies(t *testing.T) {
+	snd := NewSpec("snd").Init("s0").Ext("s0", "go", "s1").Ext("s1", "msg", "s0").MustBuild()
+	rcv := NewSpec("rcv").Init("r0").Ext("r0", "msg", "r1").Ext("r1", "done", "r0").MustBuild()
+	sys, err := Compose(snd, rcv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pipeline can run at most two gos ahead of the dones (one message
+	// in the hidden rendezvous, one pending at the receiver), so the
+	// service is a counter bounded by two.
+	svc := NewSpec("svc").Init("x0").
+		Ext("x0", "go", "x1").
+		Ext("x1", "go", "x2").Ext("x1", "done", "x0").
+		Ext("x2", "done", "x1").
+		MustBuild()
+	if err := Safety(sys, svc); err != nil {
+		t.Errorf("Safety: %v", err)
+	}
+	if err := Progress(sys, svc); err != nil {
+		t.Errorf("Progress: %v", err)
+	}
+	if err := Satisfies(sys, svc); err != nil {
+		t.Errorf("Satisfies: %v", err)
+	}
+}
+
+func TestFacadeNoQuotient(t *testing.T) {
+	service := NewSpec("S").Init("v0").Ext("v0", "acc", "v1").Ext("v1", "del", "v0").MustBuild()
+	world := NewSpec("B").
+		Init("b0").Ext("b0", "acc", "b1").Ext("b1", "fwd", "b2").
+		MustBuild() // halts: no del ever
+	w2, err := world.RenameEvents(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 = w2.WithEvents("del")
+	_, derr := Derive(service, w2, Options{})
+	var nq *NoQuotientError
+	if !errors.As(derr, &nq) {
+		t.Fatalf("expected NoQuotientError, got %v", derr)
+	}
+}
+
+func TestFacadeViolationType(t *testing.T) {
+	svc := NewSpec("S").Init("v0").Ext("v0", "acc", "v1").Ext("v1", "del", "v0").MustBuild()
+	bad := NewSpec("B").Init("b0").Ext("b0", "del", "b1").Event("acc").MustBuild()
+	err := Satisfies(bad, svc)
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("expected Violation, got %v", err)
+	}
+	if v.Kind != "safety" {
+		t.Errorf("Kind = %s", v.Kind)
+	}
+}
+
+func TestFacadeDeriveRobust(t *testing.T) {
+	service := NewSpec("S").Init("v0").Ext("v0", "acc", "v1").Ext("v1", "del", "v0").MustBuild()
+	w1 := NewSpec("B1").Init("b0").
+		Ext("b0", "acc", "b1").Ext("b1", "x", "b2").Ext("b2", "del", "b0").
+		Event("y").MustBuild()
+	// Variant where y also works.
+	w2 := NewSpec("B2").Init("b0").
+		Ext("b0", "acc", "b1").Ext("b1", "x", "b2").Ext("b1", "y", "b2").
+		Ext("b2", "del", "b0").MustBuild()
+	res, err := DeriveRobust(service, []*Spec{w1, w2}, Options{OmitVacuous: true})
+	if err != nil {
+		t.Fatalf("DeriveRobust: %v", err)
+	}
+	for _, w := range []*Spec{w1, w2} {
+		if err := Verify(service, w, res.Converter); err != nil {
+			t.Errorf("Verify %s: %v", w.Name(), err)
+		}
+	}
+	if _, err := PruneRobust(service, []*Spec{w1, w2}, res.Converter); err != nil {
+		t.Errorf("PruneRobust: %v", err)
+	}
+}
