@@ -1,0 +1,26 @@
+# Tier-1 verification gate (see ROADMAP.md). `make verify` is what CI and
+# pre-merge checks run; every target also works standalone.
+
+GO ?= go
+
+.PHONY: verify vet build test race benchsmoke
+
+verify: vet build test race benchsmoke
+	@echo "verify: OK"
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every derivation-engine benchmark: catches bit-rot in
+# the bench harness and smoke-tests the parallel engine under -benchtime=1x.
+benchsmoke:
+	$(GO) test -run '^$$' -bench Derive -benchtime 1x .

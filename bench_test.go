@@ -388,6 +388,82 @@ func BenchmarkWindowToNSQuotient(b *testing.B) {
 	b.ReportMetric(float64(states), "states")
 }
 
+// --- Derivation engine: parallel interned safety phase ---
+//
+// The BenchmarkDerive* family exercises the engine knobs that
+// Result.Stats.Metrics reports: worker scaling of the level-synchronous
+// safety phase and the pair-set interning hit rate. The derived converter
+// is bit-identical for every worker count (asserted by golden_test.go), so
+// these compare pure engine cost. Worker scaling needs hardware
+// parallelism: with GOMAXPROCS=1 all counts collapse to the sequential
+// cost (the shared recycling pool keeps multi-worker overhead near zero);
+// on a multi-core box the safety-µs metric drops as workers are added.
+
+// BenchmarkDeriveWindowWorkers derives the window-3 go-back-N to
+// one-at-a-time conversion — the widest-frontier workload in the
+// protocol library (peak frontier ≈ 60 states) — at 1, 2, and 4 workers,
+// reporting the safety-phase wall time and the interning hit rate.
+func BenchmarkDeriveWindowWorkers(b *testing.B) {
+	env, err := protocols.WindowToNSB(protocols.WindowConfig{Window: 3, Modulus: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc := protocols.WindowService(3)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var safety time.Duration
+			var m core.Metrics
+			for i := 0; i < b.N; i++ {
+				res, err := core.Derive(svc, env, core.Options{OmitVacuous: true, Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				m = res.Stats.Metrics
+				safety += m.SafetyWall
+			}
+			b.ReportMetric(float64(safety.Microseconds())/float64(b.N), "safety-µs")
+			b.ReportMetric(100*m.InternHitRate(), "intern-hit-%")
+			b.ReportMetric(float64(m.PeakFrontier), "peak-frontier")
+		})
+	}
+}
+
+// BenchmarkDeriveFigure18Workers runs the paper's largest derivation
+// (Figure 18 transport conversion) across worker counts.
+func BenchmarkDeriveFigure18Workers(b *testing.B) {
+	svc, env := protocols.CST(), protocols.TransportB18()
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var safety time.Duration
+			for i := 0; i < b.N; i++ {
+				res, err := core.Derive(svc, env, core.Options{OmitVacuous: true, Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				safety += res.Stats.Metrics.SafetyWall
+			}
+			b.ReportMetric(float64(safety.Microseconds())/float64(b.N), "safety-µs")
+		})
+	}
+}
+
+// BenchmarkDeriveCancellation measures the overhead the context plumbing
+// adds to an uncancelled derivation (checked once per frontier level).
+func BenchmarkDeriveCancellation(b *testing.B) {
+	env, err := protocols.WindowToNSB(protocols.WindowConfig{Window: 2, Modulus: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc := protocols.WindowService(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DeriveContext(ctx, svc, env, core.Options{OmitVacuous: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Satisfaction over the 31k-state lossy window system: the substrate's
 // largest verification instance.
 func BenchmarkSatSafetyLossyWindow(b *testing.B) {

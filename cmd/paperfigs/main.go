@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -19,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"protoquot"
 	"protoquot/internal/core"
 	"protoquot/internal/dsl"
 	"protoquot/internal/engine"
@@ -113,8 +115,8 @@ func generate(sum *strings.Builder, dir string, skipSlow bool) error {
 	head("NS system: %d reachable states; satisfies S: %v; satisfies W: %v",
 		ns.NumStates(), errIsNil(sat.Satisfies(ns, protocols.Service())),
 		errIsNil(sat.Satisfies(ns, protocols.AtLeastOnceService())))
-	if v := violationOf(sat.Satisfies(ns, protocols.Service())); v != nil {
-		head("NS duplicate-delivery witness: %s", sat.FormatTrace(v.Trace))
+	if v := diagnosticOf(sat.Satisfies(ns, protocols.Service())); v != nil {
+		head("NS duplicate-delivery witness: %s", sat.FormatTrace(v.Witness()))
 	}
 	head("")
 
@@ -132,7 +134,7 @@ func generate(sum *strings.Builder, dir string, skipSlow bool) error {
 			safety.Stats.SafetyStates, safety.Stats.SafetyTransitions)
 
 		full, ferr := core.Derive(protocols.Service(), bsym, core.Options{OmitVacuous: true})
-		if _, ok := ferr.(*core.NoQuotientError); ok {
+		if d := diagnosticOf(ferr); d != nil && d.Phase() == "progress" {
 			head("Section 5  full derivation: NO CONVERTER EXISTS (progress phase removed all %d states in %d iterations) — matches the paper",
 				full.Stats.SafetyStates, full.Stats.ProgressIterations)
 		} else {
@@ -187,8 +189,8 @@ func generate(sum *strings.Builder, dir string, skipSlow bool) error {
 	}
 	head("Figure 16  pass-through: satisfies concatenated service: %v; satisfies strict CST: %v",
 		errIsNil(sat.Satisfies(pt, protocols.CSTConcat())), errIsNil(sat.Satisfies(pt, protocols.CST())))
-	if v := violationOf(sat.Satisfies(pt, protocols.CST())); v != nil {
-		head("           orderly-close violation witness: %s", sat.FormatTrace(v.Trace))
+	if v := diagnosticOf(sat.Satisfies(pt, protocols.CST())); v != nil {
+		head("           orderly-close violation witness: %s", sat.FormatTrace(v.Witness()))
 	}
 	t17, err := core.Derive(protocols.CST(), protocols.TransportB17(), core.Options{OmitVacuous: true})
 	if err != nil {
@@ -241,9 +243,12 @@ func protoCompose(specs ...*spec.Spec) (*spec.Spec, error) {
 
 func errIsNil(err error) bool { return err == nil }
 
-func violationOf(err error) *sat.Violation {
-	if v, ok := err.(*sat.Violation); ok {
-		return v
+// diagnosticOf extracts the shared Diagnostic interface from a
+// satisfaction or derivation failure, or nil when the error is not one.
+func diagnosticOf(err error) protoquot.Diagnostic {
+	var d protoquot.Diagnostic
+	if errors.As(err, &d) {
+		return d
 	}
 	return nil
 }

@@ -25,7 +25,9 @@
 //	-max-states n     abort if the safety phase exceeds n states
 //	-normalize        determinize the service if it is not in normal form
 //	-verify           re-verify B‖C against A after derivation
-//	-stats            print derivation statistics to stderr
+//	-workers n        safety-phase worker goroutines (result is identical
+//	                  for every n; 0 or 1 = sequential)
+//	-stats            print derivation statistics and engine metrics to stderr
 //	-v                narrate the derivation phases to stderr
 //
 // Exit status: 0 on success, 1 on usage or I/O errors, 2 when no converter
@@ -33,16 +35,20 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
+	"protoquot"
 	"protoquot/internal/codegen"
 	"protoquot/internal/core"
 	"protoquot/internal/dsl"
 	"protoquot/internal/render"
+	"protoquot/internal/sat"
 	"protoquot/internal/spec"
 )
 
@@ -79,7 +85,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		compress    = fs.Bool("compress", false, "τ-compress each environment before deriving (semantics-preserving)")
 		normalize   = fs.Bool("normalize", false, "determinize the service if not in normal form")
 		verify      = fs.Bool("verify", false, "re-verify the result against every environment")
-		stats       = fs.Bool("stats", false, "print derivation statistics to stderr")
+		workers     = fs.Int("workers", 0, "safety-phase worker goroutines (0 or 1 = sequential; result identical for every count)")
+		stats       = fs.Bool("stats", false, "print derivation statistics and engine metrics to stderr")
 		verbose     = fs.Bool("v", false, "narrate the derivation phases to stderr")
 	)
 	fs.Var(&envPaths, "env", "environment specification file (repeatable)")
@@ -121,20 +128,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		OmitVacuous: *omitVacuous,
 		MaxStates:   *maxStates,
 		SafetyOnly:  *safetyOnly,
+		Workers:     *workers,
 	}
 	if *verbose {
 		opts.Log = stderr
 	}
 	res, derr := core.DeriveRobust(a, envs, opts)
 	if derr != nil {
-		if _, ok := derr.(*core.NoQuotientError); ok {
-			fmt.Fprintf(stderr, "quotient: %v\n", derr)
+		fmt.Fprintf(stderr, "quotient: %v\n", derr)
+		var diag protoquot.Diagnostic
+		if errors.As(derr, &diag) {
+			// No converter exists — the definitive top-down answer.
+			fmt.Fprintf(stderr, "quotient: nonexistence proved in the %s phase\n", diag.Phase())
+			if w := diag.Witness(); len(w) > 0 {
+				fmt.Fprintf(stderr, "quotient: witness trace: %s\n", sat.FormatTrace(w))
+			}
 			if *stats && res != nil {
 				printStats(stderr, res.Stats)
 			}
 			return 2
 		}
-		fmt.Fprintf(stderr, "quotient: %v\n", derr)
 		return 1
 	}
 	c := res.Converter
@@ -213,6 +226,12 @@ func printStats(w io.Writer, s core.Stats) {
 		s.ProgressIterations, s.RemovedStates)
 	fmt.Fprintf(w, "converter:      %d states, %d transitions\n",
 		s.FinalStates, s.FinalTransitions)
+	m := s.Metrics
+	fmt.Fprintf(w, "engine:         %d worker(s), safety %s (%d levels, peak frontier %d), progress %s (%d scans)\n",
+		m.Workers, m.SafetyWall.Round(time.Microsecond), m.SafetyLevels, m.PeakFrontier,
+		m.ProgressWall.Round(time.Microsecond), m.ProgressScans)
+	fmt.Fprintf(w, "interning:      %d lookups, %d hits (%.1f%% hit rate)\n",
+		m.InternLookups, m.InternHits, 100*m.InternHitRate())
 }
 
 func loadOne(path string) (*spec.Spec, error) {

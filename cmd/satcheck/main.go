@@ -21,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	"protoquot"
 	"protoquot/internal/compose"
 	"protoquot/internal/dsl"
 	"protoquot/internal/sat"
@@ -108,13 +109,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	var v *sat.Violation
-	if errors.As(err, &v) {
-		fmt.Fprintf(stdout, "%s violation\n", v.Kind)
-		fmt.Fprintf(stdout, "  witness trace: %s\n", sat.FormatTrace(v.Trace))
-		fmt.Fprintf(stdout, "  at state:      %s\n", v.BState)
-		fmt.Fprintf(stdout, "  detail:        %s\n", v.Detail)
-		if v.Kind == "safety" {
+	// Classify through the shared Diagnostic interface rather than the
+	// concrete violation type; the full detail (offending state included)
+	// is in the error text.
+	var diag protoquot.Diagnostic
+	if errors.As(err, &diag) {
+		fmt.Fprintf(stdout, "%s violation\n", diag.Phase())
+		fmt.Fprintf(stdout, "  witness trace: %s\n", sat.FormatTrace(diag.Witness()))
+		fmt.Fprintf(stdout, "  detail:        %v\n", err)
+		if diag.Phase() == "safety" {
 			return 3
 		}
 		return 4

@@ -44,14 +44,27 @@ func Pair(a, b *spec.Spec) *spec.Spec {
 		}
 	}
 
+	// The name cache doubles as the seen set: a pair has been discovered
+	// iff its composite name has been built. Naming every visited pair
+	// exactly once matters because each pair is renamed O(degree) times
+	// during edge emission, and string concatenation dominated profiles of
+	// Verify-heavy workloads (Prune re-verifies per candidate removal).
 	type pair struct{ pa, pb spec.State }
+	names := make(map[pair]string, a.NumStates()*b.NumStates())
 	nameOf := func(p pair) string {
-		return a.StateName(p.pa) + StateSep + b.StateName(p.pb)
+		if n, ok := names[p]; ok {
+			return n
+		}
+		n := a.StateName(p.pa) + StateSep + b.StateName(p.pb)
+		names[p] = n
+		return n
 	}
 	init := pair{a.Init(), b.Init()}
 	bb.Init(nameOf(init))
-	seen := map[pair]bool{init: true}
-	work := []pair{init}
+	seen := make(map[pair]bool, a.NumStates()*b.NumStates())
+	seen[init] = true
+	work := make([]pair, 0, 64)
+	work = append(work, init)
 	for len(work) > 0 {
 		p := work[len(work)-1]
 		work = work[:len(work)-1]

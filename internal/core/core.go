@@ -22,13 +22,35 @@
 //     sets are "bad" and removed; removal changes reachability, so the
 //     phase iterates to a fixpoint. If the initial state is removed, no
 //     converter exists (Theorem 2).
+//
+// # Engine architecture
+//
+// The safety phase is exponential in the worst case and the quotient
+// problem PSPACE-hard (paper §7), so the engine is built for the large
+// instances:
+//
+//   - Pair sets are interned bitsets over the V × S_A × S_B domain
+//     (intern.go): one canonical ID per distinct set, and the ID doubles as
+//     the converter state index.
+//   - Frontier expansion is level-synchronous and optionally parallel
+//     (parallel.go): Options.Workers goroutines compute φ(J, e) for the
+//     whole frontier, and a single-threaded merge interns the results in
+//     frontier order, so the derived converter — state numbering included —
+//     is bit-identical for every worker count.
+//   - The progress phase is incremental (progress.go): after a sweep
+//     removes bad states, only converter states that can reach a removed
+//     state (predecessors under T_C) can see their composite ready sets
+//     change, so only those are re-examined.
+//   - Derivations are cancellable (DeriveContext) and observable
+//     (Options.Trace, Result.Stats.Metrics).
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"sort"
-	"strings"
+	"sync"
+	"time"
 
 	"protoquot/internal/compose"
 	"protoquot/internal/sat"
@@ -55,10 +77,23 @@ type Options struct {
 	// Figure 12 artifact). The result may violate progress; Exists then
 	// means only "a safety converter exists".
 	SafetyOnly bool
+	// Workers is the number of goroutines expanding each safety-phase
+	// frontier; 0 and 1 both mean single-threaded. The expansion is
+	// level-synchronous with a deterministic merge, so the result is
+	// bit-identical (state numbering included) for every worker count.
+	Workers int
+	// Trace, when non-nil, receives structured derivation events: frontier
+	// levels during the safety phase, per-state removals and sweep
+	// summaries during the progress phase. Events carrying a non-empty
+	// Detail are the per-phase summaries; see TraceEvent.
+	Trace func(TraceEvent)
 	// Log, when non-nil, receives a line-oriented narration of the
 	// derivation: safety-phase growth and per-iteration progress-phase
-	// removals. Intended for the CLI's verbose mode and for debugging
-	// reconstructions.
+	// removals.
+	//
+	// Deprecated: use Trace. Log is kept working through LogAdapter, which
+	// formats summary TraceEvents into the original line format; setting
+	// both delivers every event to Trace and the summary lines to Log.
 	Log io.Writer
 }
 
@@ -93,6 +128,9 @@ type Stats struct {
 	// FinalStates / FinalTransitions describe the returned converter.
 	FinalStates      int
 	FinalTransitions int
+	// Metrics is the engine-level observability layer: per-phase wall
+	// times, interning hit rate, frontier shape, worker count.
+	Metrics Metrics
 }
 
 // PairSet returns the f.c pair set of a converter state (by state name) as
@@ -103,64 +141,83 @@ func (r *Result) PairSet(stateName string) [][2]string {
 }
 
 // NoQuotientError reports that no converter exists, with the reason.
+// It implements the protoquot.Diagnostic interface alongside
+// sat.Violation.
 type NoQuotientError struct {
 	Reason string
+	// FailedPhase is the phase that proved nonexistence: "safety" when
+	// ok(h.ε) already fails, "progress" when the progress phase removed
+	// the initial state.
+	FailedPhase string
+	// WitnessTrace is a witness for the failure when one is available: for
+	// a safety failure, an external event B can emit immediately that the
+	// service forbids. It may be empty — nonexistence by progress is a
+	// global property without a single witness trace.
+	WitnessTrace []spec.Event
 }
 
 func (e *NoQuotientError) Error() string {
 	return "quotient: no converter exists: " + e.Reason
 }
 
-// pair is one element of an h.r set: the tracked A-state and B-state, plus
-// the index of the environment variant the B-state belongs to (always 0 for
-// single-environment derivation; see DeriveRobust).
-type pair struct {
-	v int
-	a spec.State
-	b spec.State
+// Phase returns the phase that proved nonexistence ("safety" or
+// "progress").
+func (e *NoQuotientError) Phase() string { return e.FailedPhase }
+
+// Witness returns the witness trace, if any (see WitnessTrace).
+func (e *NoQuotientError) Witness() []spec.Event { return e.WitnessTrace }
+
+// bedge is an external transition of an environment variant with its event
+// resolved to a dense index into the Σ_B alphabet.
+type bedge struct {
+	eid int32 // index into deriver.events
+	to  int32
 }
 
-// pairSet is a sorted, deduplicated set of pairs with a canonical key.
-type pairSet []pair
-
-func (ps pairSet) key() string {
-	var sb strings.Builder
-	for i, p := range ps {
-		if i > 0 {
-			sb.WriteByte(';')
-		}
-		fmt.Fprintf(&sb, "%d:%d,%d", p.v, p.a, p.b)
-	}
-	return sb.String()
-}
-
-func canon(ps []pair) pairSet {
-	sort.Slice(ps, func(i, j int) bool {
-		if ps[i].v != ps[j].v {
-			return ps[i].v < ps[j].v
-		}
-		if ps[i].a != ps[j].a {
-			return ps[i].a < ps[j].a
-		}
-		return ps[i].b < ps[j].b
-	})
-	out := ps[:0]
-	for i, p := range ps {
-		if i == 0 || p != ps[i-1] {
-			out = append(out, p)
-		}
-	}
-	return pairSet(out)
-}
-
-// deriver carries the immutable inputs and memoized helpers of one run.
+// deriver carries the immutable inputs and the precomputed dense tables of
+// one run. Everything set up by prepare is read-only during the safety
+// phase, so expansion workers share it freely; the intern table is written
+// only on the single-threaded merge path.
 type deriver struct {
-	a    *spec.Spec
-	bs   []*spec.Spec        // environment variants; len 1 for plain Derive
-	ext  map[spec.Event]bool // Ext = Σ_A
-	intl []spec.Event        // Int = Σ_B − Ext, sorted
-	opts Options
+	ctx     context.Context
+	a       *spec.Spec
+	bs      []*spec.Spec        // environment variants; len 1 for plain Derive
+	ext     map[spec.Event]bool // Ext = Σ_A
+	intl    []spec.Event        // Int = Σ_B − Ext, sorted
+	opts    Options
+	workers int
+	trace   func(TraceEvent)
+
+	// Dense tables over Σ_B and the pair domain.
+	events    []spec.Event // Σ_B, sorted
+	isExt     []bool       // by event id: e ∈ Ext
+	intlIndex []int32      // by event id: position in intl, or -1
+	psi       []int32      // ψ-step table, numA×nev flat; -1 = not allowed
+	bext      [][][]bedge  // [variant][bState] → resolved external edges
+	offs      []int32      // pair-index offset per variant
+	numBs     []int32      // |S_B| per variant
+	numA      int
+	nev       int
+	words     int // bitset width for the pair domain
+
+	table    *internTable
+	states   []cstate
+	emptySet bitset
+	met      *Metrics
+
+	scratches []*scratch // persistent per-worker arenas
+	free      []bitset   // shared pool of merge-recycled bitsets
+	freeMu    sync.Mutex // guards free during a level's expansion
 }
+
+// cState is a converter state under construction. Its pair set is
+// table.get(its index): interned set IDs and state indices coincide because
+// the safety phase creates exactly one state per distinct pair set.
+type cstate struct {
+	succ []int32 // by intl position; -1 = no transition; nil until expanded
+}
+
+func (d *deriver) stateName(i int32) string { return fmt.Sprintf("c%d", i) }
 
 // Derive computes the quotient of A by B. A must be in normal form with
 // Σ_A ⊆ Σ_B; Int is inferred as Σ_B − Σ_A. On success the Result carries
@@ -168,7 +225,14 @@ type deriver struct {
 // the error is a *NoQuotientError. Precondition failures return ordinary
 // errors.
 func Derive(a, b *spec.Spec, opts Options) (*Result, error) {
-	return DeriveRobust(a, []*spec.Spec{b}, opts)
+	return DeriveRobustContext(context.Background(), a, []*spec.Spec{b}, opts)
+}
+
+// DeriveContext is Derive with cancellation: ctx is checked once per
+// safety-phase frontier level and once per progress-phase sweep, and a
+// canceled derivation returns an error wrapping ctx.Err().
+func DeriveContext(ctx context.Context, a, b *spec.Spec, opts Options) (*Result, error) {
+	return DeriveRobustContext(ctx, a, []*spec.Spec{b}, opts)
 }
 
 // DeriveRobust computes a converter that is simultaneously correct for
@@ -188,6 +252,11 @@ func Derive(a, b *spec.Spec, opts Options) (*Result, error) {
 // if a progress violation is possible in any variant. Maximality holds per
 // variant, so the result has the largest trace set among robust converters.
 func DeriveRobust(a *spec.Spec, bs []*spec.Spec, opts Options) (*Result, error) {
+	return DeriveRobustContext(context.Background(), a, bs, opts)
+}
+
+// DeriveRobustContext is DeriveRobust with cancellation; see DeriveContext.
+func DeriveRobustContext(ctx context.Context, a *spec.Spec, bs []*spec.Spec, opts Options) (*Result, error) {
 	if err := a.IsNormalForm(); err != nil {
 		return nil, fmt.Errorf("quotient: service spec: %w", err)
 	}
@@ -216,7 +285,21 @@ func DeriveRobust(a *spec.Spec, bs []*spec.Spec, opts Options) (*Result, error) 
 	if len(intl) == 0 {
 		return nil, fmt.Errorf("quotient: Int = Σ_B − Ext is empty; B leaves no interface for a converter")
 	}
-	d := &deriver{a: a, bs: bs, ext: ext, intl: intl, opts: opts}
+	d := &deriver{ctx: ctx, a: a, bs: bs, ext: ext, intl: intl, opts: opts}
+	d.workers = opts.Workers
+	if d.workers < 1 {
+		d.workers = 1
+	}
+	d.trace = opts.Trace
+	if opts.Log != nil {
+		logTrace := LogAdapter(opts.Log)
+		if user := d.trace; user != nil {
+			d.trace = func(ev TraceEvent) { user(ev); logTrace(ev) }
+		} else {
+			d.trace = logTrace
+		}
+	}
+	d.prepare()
 	return d.run()
 }
 
@@ -233,200 +316,135 @@ func sameAlphabet(x, y *spec.Spec) bool {
 	return true
 }
 
-// logf writes one narration line when Options.Log is set.
-func (d *deriver) logf(format string, args ...any) {
-	if d.opts.Log != nil {
-		fmt.Fprintf(d.opts.Log, format+"\n", args...)
+// emit delivers one trace event when tracing is enabled.
+func (d *deriver) emit(ev TraceEvent) {
+	if d.trace != nil {
+		d.trace(ev)
 	}
 }
 
-// closure extends a pair set to its (Ext ∪ λ)-closure: from (a, b), B may
-// take internal moves (a unchanged) or external events e ∈ Ext jointly with
-// A (a advances by ψ-step). Pairs where B enables an Ext event that A's
-// current state cannot accept anywhere in its λ*-closure are recorded via
-// the ok flag — they make the set unacceptable (predicate ok.J fails) —
-// but closure still completes so diagnostics can show the whole set.
-func (d *deriver) closure(seed []pair) (pairSet, bool) {
-	seen := make(map[pair]bool, len(seed)*2)
-	var stack []pair
-	for _, p := range seed {
-		if !seen[p] {
-			seen[p] = true
-			stack = append(stack, p)
-		}
+// prepare builds the dense lookup tables the hot loops run on: event ids
+// over Σ_B, the ψ-step table of A, per-variant edge lists with resolved
+// event ids, and the pair-domain layout.
+func (d *deriver) prepare() {
+	d.events = d.bs[0].Alphabet()
+	d.nev = len(d.events)
+	eid := make(map[spec.Event]int32, d.nev)
+	d.isExt = make([]bool, d.nev)
+	d.intlIndex = make([]int32, d.nev)
+	for i, e := range d.events {
+		eid[e] = int32(i)
+		d.isExt[i] = d.ext[e]
+		d.intlIndex[i] = -1
 	}
-	ok := true
-	for len(stack) > 0 {
-		p := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		b := d.bs[p.v]
-		for _, t := range b.IntEdges(p.b) {
-			q := pair{p.v, p.a, t}
-			if !seen[q] {
-				seen[q] = true
-				stack = append(stack, q)
-			}
-		}
-		for _, ed := range b.ExtEdges(p.b) {
-			if !d.ext[ed.Event] {
+	for i, e := range d.intl {
+		d.intlIndex[eid[e]] = int32(i)
+	}
+
+	d.numA = d.a.NumStates()
+	d.psi = make([]int32, d.numA*d.nev)
+	for a := 0; a < d.numA; a++ {
+		for ei := 0; ei < d.nev; ei++ {
+			d.psi[a*d.nev+ei] = -1
+			if !d.isExt[ei] {
 				continue
 			}
-			a2, allowed := d.a.PsiStep(p.a, ed.Event)
-			if !allowed {
-				ok = false // τ.b ∩ Ext ⊄ τ*.a — ok.J fails
-				continue
-			}
-			q := pair{p.v, a2, ed.To}
-			if !seen[q] {
-				seen[q] = true
-				stack = append(stack, q)
+			if a2, ok := d.a.PsiStep(spec.State(a), d.events[ei]); ok {
+				d.psi[a*d.nev+ei] = int32(a2)
 			}
 		}
 	}
-	out := make([]pair, 0, len(seen))
-	for p := range seen {
-		out = append(out, p)
-	}
-	return canon(out), ok
-}
 
-// phi computes φ(J, e) for e ∈ Int: step every pair's B-component through
-// one e-transition, then (Ext ∪ λ)-close.
-func (d *deriver) phi(J pairSet, e spec.Event) (pairSet, bool) {
-	var seed []pair
-	for _, p := range J {
-		for _, ed := range d.bs[p.v].ExtEdges(p.b) {
-			if ed.Event == e {
-				seed = append(seed, pair{p.v, p.a, ed.To})
+	d.offs = make([]int32, len(d.bs))
+	d.numBs = make([]int32, len(d.bs))
+	d.bext = make([][][]bedge, len(d.bs))
+	var domain int32
+	for v, b := range d.bs {
+		d.offs[v] = domain
+		nb := int32(b.NumStates())
+		d.numBs[v] = nb
+		domain += int32(d.numA) * nb
+		edges := make([][]bedge, nb)
+		for st := int32(0); st < nb; st++ {
+			src := b.ExtEdges(spec.State(st))
+			out := make([]bedge, len(src))
+			for i, ed := range src {
+				out[i] = bedge{eid: eid[ed.Event], to: int32(ed.To)}
 			}
+			edges[st] = out
 		}
+		d.bext[v] = edges
 	}
-	if len(seed) == 0 {
-		return nil, true // vacuously safe: no trace of B matches
-	}
-	return d.closure(seed)
+	d.words = (int(domain) + 63) / 64
+	d.table = newInternTable(d.words)
+	d.emptySet = newBitset(d.words)
 }
 
-// cState is a converter state under construction.
-type cState struct {
-	name  string
-	pairs pairSet
-	succ  map[spec.Event]int // by Int event, index into states
+// encode maps a (variant, a, b) triple to its pair-domain index.
+func (d *deriver) encode(v int, a, b int32) int32 {
+	return d.offs[v] + a*d.numBs[v] + b
+}
+
+// decode is the inverse of encode.
+func (d *deriver) decode(p int32) (v int, a, b int32) {
+	v = len(d.offs) - 1
+	for d.offs[v] > p {
+		v--
+	}
+	rel := p - d.offs[v]
+	return v, rel / d.numBs[v], rel % d.numBs[v]
 }
 
 func (d *deriver) run() (*Result, error) {
 	res := &Result{pairSets: make(map[string][][2]string)}
+	d.met = &res.Stats.Metrics
+	d.met.Workers = d.workers
 
 	// ---- Safety phase (paper Fig. 5) ----
-	seed := make([]pair, len(d.bs))
-	for v, b := range d.bs {
-		seed[v] = pair{v, d.a.Init(), b.Init()}
-	}
-	h0, ok0 := d.closure(seed)
-	if !ok0 {
-		return res, &NoQuotientError{Reason: fmt.Sprintf(
-			"ok(h.ε) fails: B can emit an external event the service forbids before any converter action (h.ε has %d pairs)", len(h0))}
-	}
-	var states []*cState
-	index := map[string]int{}
-	add := func(ps pairSet) int {
-		k := ps.key()
-		if i, ok := index[k]; ok {
-			return i
+	t0 := time.Now()
+	err := d.safetyPhase()
+	d.met.SafetyWall = time.Since(t0)
+	d.met.InternLookups = d.table.lookups
+	d.met.InternHits = d.table.hits
+	if err != nil {
+		if nq, ok := err.(*NoQuotientError); ok {
+			return res, nq
 		}
-		i := len(states)
-		states = append(states, &cState{
-			name:  fmt.Sprintf("c%d", i),
-			pairs: ps,
-			succ:  make(map[spec.Event]int),
-		})
-		index[k] = i
-		return i
+		return nil, err
 	}
-	add(h0)
-	for i := 0; i < len(states); i++ {
-		if d.opts.MaxStates > 0 && len(states) > d.opts.MaxStates {
-			return nil, fmt.Errorf("quotient: safety phase exceeded MaxStates=%d", d.opts.MaxStates)
-		}
-		cur := states[i]
-		for _, e := range d.intl {
-			J, ok := d.phi(cur.pairs, e)
-			if !ok {
-				continue // ok.J fails: omit the transition (and the state)
+	res.Stats.SafetyStates = len(d.states)
+	for i := range d.states {
+		for _, t := range d.states[i].succ {
+			if t >= 0 {
+				res.Stats.SafetyTransitions++
 			}
-			if len(J) == 0 && d.opts.OmitVacuous {
-				continue
-			}
-			cur.succ[e] = add(J)
 		}
+		res.Stats.PairSetTotal += d.table.get(int32(i)).count()
 	}
-	res.Stats.SafetyStates = len(states)
-	for _, st := range states {
-		res.Stats.SafetyTransitions += len(st.succ)
-		res.Stats.PairSetTotal += len(st.pairs)
-	}
-	d.logf("safety phase: %d states, %d transitions, %d tracked (a,b) pairs",
-		res.Stats.SafetyStates, res.Stats.SafetyTransitions, res.Stats.PairSetTotal)
+	d.emit(TraceEvent{
+		Phase:       "safety",
+		States:      res.Stats.SafetyStates,
+		Transitions: res.Stats.SafetyTransitions,
+		Pairs:       res.Stats.PairSetTotal,
+		Detail: fmt.Sprintf("safety phase: %d states, %d transitions, %d tracked (a,b) pairs",
+			res.Stats.SafetyStates, res.Stats.SafetyTransitions, res.Stats.PairSetTotal),
+	})
 
 	// ---- Progress phase (paper Fig. 6) ----
-	alive := make([]bool, len(states))
+	alive := make([]bool, len(d.states))
 	for i := range alive {
 		alive[i] = true
 	}
-	removedTotal := 0
-	for !d.opts.SafetyOnly {
-		res.Stats.ProgressIterations++
-		// τ*.⟨b,c⟩ for the composite B‖C under the current T_C: compute,
-		// per (b, cIndex), the Ext events enabled anywhere reachable via
-		// internal moves of the composite (B's λ, plus Int events
-		// synchronized between B and C).
-		ready := d.compositeReady(states, alive)
-
-		var removed []int
-		for ci, st := range states {
-			if !alive[ci] {
-				continue
+	if !d.opts.SafetyOnly {
+		t1 := time.Now()
+		err = d.progressPhase(res, alive)
+		d.met.ProgressWall = time.Since(t1)
+		if err != nil {
+			if nq, ok := err.(*NoQuotientError); ok {
+				return res, nq
 			}
-			bad := false
-			for _, p := range st.pairs {
-				if !sat.Prog(d.a, p.a, ready[comboKey{p.v, p.b, ci}]) {
-					bad = true
-					break
-				}
-			}
-			if bad {
-				removed = append(removed, ci)
-			}
+			return nil, err
 		}
-		if len(removed) == 0 {
-			d.logf("progress phase: iteration %d removed nothing; fixpoint", res.Stats.ProgressIterations)
-			break
-		}
-		d.logf("progress phase: iteration %d marked %d state(s) bad", res.Stats.ProgressIterations, len(removed))
-		for _, ci := range removed {
-			alive[ci] = false
-			removedTotal++
-		}
-		if !alive[0] {
-			break // initial state removed: all states unreachable
-		}
-		// Drop transitions into dead states.
-		for _, st := range states {
-			if st == nil {
-				continue
-			}
-			for e, t := range st.succ {
-				if !alive[t] {
-					delete(st.succ, e)
-				}
-			}
-		}
-	}
-	res.Stats.RemovedStates = removedTotal
-	if !alive[0] {
-		return res, &NoQuotientError{Reason: fmt.Sprintf(
-			"progress phase removed the initial state after %d iterations (%d states removed): every candidate behavior risks a progress violation of the service",
-			res.Stats.ProgressIterations, removedTotal)}
 	}
 
 	// ---- Emit the converter spec ----
@@ -434,15 +452,16 @@ func (d *deriver) run() (*Result, error) {
 	for _, e := range d.intl {
 		bld.Event(e)
 	}
-	bld.Init(states[0].name)
-	for ci, st := range states {
+	bld.Init(d.stateName(0))
+	for ci := range d.states {
 		if !alive[ci] {
 			continue
 		}
-		bld.State(st.name)
-		for e, t := range st.succ {
-			if alive[t] {
-				bld.Ext(st.name, e, states[t].name)
+		name := d.stateName(int32(ci))
+		bld.State(name)
+		for ei, t := range d.states[ci].succ {
+			if t >= 0 && alive[t] {
+				bld.Ext(name, d.intl[ei], d.stateName(t))
 			}
 		}
 	}
@@ -455,125 +474,95 @@ func (d *deriver) run() (*Result, error) {
 	res.Exists = true
 	res.Stats.FinalStates = c.NumStates()
 	res.Stats.FinalTransitions = c.NumExternalTransitions()
-	for ci, st := range states {
+	for ci := range d.states {
 		if !alive[ci] {
 			continue
 		}
-		pairs := make([][2]string, len(st.pairs))
-		for i, p := range st.pairs {
-			bName := d.bs[p.v].StateName(p.b)
+		set := d.table.get(int32(ci))
+		pairs := make([][2]string, 0, set.count())
+		set.forEach(func(p int32) {
+			v, a, b := d.decode(p)
+			bName := d.bs[v].StateName(spec.State(b))
 			if len(d.bs) > 1 {
-				bName = fmt.Sprintf("%s@%d", bName, p.v)
+				bName = fmt.Sprintf("%s@%d", bName, v)
 			}
-			pairs[i] = [2]string{d.a.StateName(p.a), bName}
-		}
-		res.pairSets[st.name] = pairs
+			pairs = append(pairs, [2]string{d.a.StateName(spec.State(a)), bName})
+		})
+		res.pairSets[d.stateName(int32(ci))] = pairs
 	}
 	return res, nil
 }
 
-// comboKey identifies a composite state ⟨b, c⟩ of B_v‖C.
-type comboKey struct {
-	v int
-	b spec.State
-	c int
-}
+// safetyPhase grows the largest safe converter C0 by level-synchronous
+// frontier expansion. Each level's φ results are computed (in parallel when
+// Options.Workers > 1) and then merged single-threaded in frontier order,
+// which reproduces exactly the state numbering of a plain worklist run.
+func (d *deriver) safetyPhase() error {
+	seeds := make([]int32, len(d.bs))
+	for v, b := range d.bs {
+		seeds[v] = d.encode(v, int32(d.a.Init()), int32(b.Init()))
+	}
+	h0, ok, offend := d.closure(d.getScratch(0), seeds)
+	if !ok {
+		return &NoQuotientError{
+			Reason: fmt.Sprintf(
+				"ok(h.ε) fails: B can emit an external event the service forbids before any converter action (h.ε has %d pairs)", h0.count()),
+			FailedPhase:  "safety",
+			WitnessTrace: []spec.Event{offend},
+		}
+	}
+	d.table.intern(h0) // ID 0 = initial state
+	d.states = append(d.states, cstate{})
 
-// compositeReady computes τ*.⟨b,c⟩ — the Ext events enabled from ⟨b,c⟩
-// after any sequence of internal moves of B‖C — for every composite state
-// that pairs a live converter state with a B-state in its pair set.
-//
-// Internal moves of B‖C are B's λ-transitions and the synchronized Int
-// events (enabled in both B and C). External events of B‖C are B's Ext
-// events (C's whole alphabet is Int, so C contributes none).
-func (d *deriver) compositeReady(states []*cState, alive []bool) map[comboKey][]spec.Event {
-	// Build the internal-successor graph over composite states lazily,
-	// then propagate enabled-Ext sets backwards by fixpoint. Composite
-	// states of interest: every (b, c) with (·,b) ∈ f.c plus everything
-	// internally reachable from those.
-	type node struct {
-		key comboKey
-	}
-	succ := make(map[comboKey][]comboKey)
-	base := make(map[comboKey][]spec.Event) // τ.b ∩ Ext at the node itself
-	var work []node
-	seen := make(map[comboKey]bool)
-	push := func(k comboKey) {
-		if !seen[k] {
-			seen[k] = true
-			work = append(work, node{k})
+	ne := len(d.intl)
+	lo, hi := 0, 1
+	for level := 0; lo < hi; level++ {
+		if err := d.ctx.Err(); err != nil {
+			return fmt.Errorf("quotient: safety phase canceled at frontier level %d (%d states): %w",
+				level, len(d.states), err)
 		}
-	}
-	for ci, st := range states {
-		if !alive[ci] {
-			continue
+		frontier := hi - lo
+		if frontier > d.met.PeakFrontier {
+			d.met.PeakFrontier = frontier
 		}
-		for _, p := range st.pairs {
-			push(comboKey{p.v, p.b, ci})
-		}
-	}
-	for i := 0; i < len(work); i++ {
-		k := work[i].key
-		bspec := d.bs[k.v]
-		var ext []spec.Event
-		for _, e := range bspec.Tau(k.b) {
-			if d.ext[e] {
-				ext = append(ext, e)
+		d.met.SafetyLevels = level + 1
+		d.emit(TraceEvent{Phase: "safety", Level: level, Frontier: frontier, States: len(d.states)})
+		results := d.expandLevel(lo, hi)
+		for si := lo; si < hi; si++ {
+			if d.opts.MaxStates > 0 && len(d.states) > d.opts.MaxStates {
+				return fmt.Errorf("quotient: safety phase exceeded MaxStates=%d", d.opts.MaxStates)
 			}
-		}
-		base[k] = ext
-		for _, t := range bspec.IntEdges(k.b) {
-			n := comboKey{k.v, t, k.c}
-			succ[k] = append(succ[k], n)
-			push(n)
-		}
-		for _, ed := range bspec.ExtEdges(k.b) {
-			if d.ext[ed.Event] {
-				continue // external to the composite
-			}
-			t, ok := states[k.c].succ[ed.Event]
-			if !ok || !alive[t] {
-				continue
-			}
-			n := comboKey{k.v, ed.To, t}
-			succ[k] = append(succ[k], n)
-			push(n)
-		}
-	}
-	// Fixpoint: ready(k) = base(k) ∪ ⋃ ready(succ(k)).
-	ready := make(map[comboKey]map[spec.Event]bool, len(work))
-	for _, nd := range work {
-		m := make(map[spec.Event]bool)
-		for _, e := range base[nd.key] {
-			m[e] = true
-		}
-		ready[nd.key] = m
-	}
-	changed := true
-	for changed {
-		changed = false
-		for _, nd := range work {
-			m := ready[nd.key]
-			for _, n := range succ[nd.key] {
-				for e := range ready[n] {
-					if !m[e] {
-						m[e] = true
-						changed = true
+			succ := make([]int32, ne)
+			for ei := 0; ei < ne; ei++ {
+				succ[ei] = -1
+				r := &results[(si-lo)*ne+ei]
+				if !r.ok {
+					if r.set != nil {
+						d.free = append(d.free, r.set)
 					}
+					continue // ok.J fails: omit the transition (and the state)
 				}
+				set, hash := r.set, r.hash
+				if set == nil { // vacuously safe: no trace of B matches
+					if d.opts.OmitVacuous {
+						continue
+					}
+					set, hash = d.emptySet, d.emptySet.hash()
+				}
+				id, hit := d.table.internHashed(set, hash)
+				if !hit {
+					d.states = append(d.states, cstate{})
+				} else if r.set != nil {
+					d.free = append(d.free, r.set) // duplicate: recycle
+				}
+				succ[ei] = id
 			}
+			d.states[si].succ = succ
+			d.met.StatesExpanded++
 		}
+		lo, hi = hi, len(d.states)
 	}
-	out := make(map[comboKey][]spec.Event, len(ready))
-	for k, m := range ready {
-		evs := make([]spec.Event, 0, len(m))
-		for e := range m {
-			evs = append(evs, e)
-		}
-		sort.Slice(evs, func(i, j int) bool { return evs[i] < evs[j] })
-		out[k] = evs
-	}
-	return out
+	return nil
 }
 
 // Verify checks end to end that B‖C satisfies A, using the composition

@@ -1,0 +1,136 @@
+// Interned bitset representation of the safety phase's h.r pair sets.
+//
+// Every converter state of the safety phase is a set of (variant, a, b)
+// triples over the finite domain V × S_A × S_B. Instead of the seed
+// implementation's sorted slices keyed by formatted strings, a pair set is
+// a fixed-width bitset over that domain, and each distinct set is stored
+// exactly once in a hash-consing table: the interned ID of a set doubles as
+// the converter state index, so set equality, state lookup, and membership
+// tests are all O(1) word operations with no string formatting on the hot
+// path.
+package core
+
+import "math/bits"
+
+// bitset is a fixed-width bit vector over the pair domain. The width (in
+// words) is a property of the deriver, not the value; all bitsets of one
+// derivation share it. The all-zero value is the empty (vacuous) pair set.
+type bitset []uint64
+
+func newBitset(words int) bitset { return make(bitset, words) }
+
+func (bs bitset) set(i int32)      { bs[i>>6] |= 1 << uint(i&63) }
+func (bs bitset) has(i int32) bool { return bs[i>>6]&(1<<uint(i&63)) != 0 }
+
+func (bs bitset) empty() bool {
+	for _, w := range bs {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (bs bitset) count() int {
+	n := 0
+	for _, w := range bs {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// forEach visits the set bits in ascending order. Ascending pair-index
+// order is ascending (variant, a, b) order, which is exactly the canonical
+// order the seed implementation's sort produced — diagnostics and emitted
+// converters are therefore bit-identical to the pre-interning engine.
+func (bs bitset) forEach(f func(i int32)) {
+	for wi, w := range bs {
+		base := int32(wi) << 6
+		for w != 0 {
+			f(base + int32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+}
+
+// forEachUntil visits the set bits in ascending order, stopping early when
+// f returns true.
+func (bs bitset) forEachUntil(f func(i int32) bool) {
+	for wi, w := range bs {
+		base := int32(wi) << 6
+		for w != 0 {
+			if f(base + int32(bits.TrailingZeros64(w))) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// hash is FNV-1a over the words; good enough for the consing table, and
+// deterministic across runs (no seed) so state numbering never depends on
+// hash randomization.
+func (bs bitset) hash() uint64 {
+	h := uint64(14695981039346656037)
+	for _, w := range bs {
+		h ^= w
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (bs bitset) equal(o bitset) bool {
+	for i, w := range bs {
+		if w != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// internTable hash-conses bitsets: one canonical ID per distinct set.
+// Interning happens only on the single-threaded merge path of the safety
+// phase (workers hand raw bitsets to the merger), so the table needs no
+// locking; worker goroutines may call get concurrently with each other but
+// never concurrently with intern.
+type internTable struct {
+	words   int
+	sets    []bitset
+	buckets map[uint64][]int32
+	lookups int
+	hits    int
+}
+
+func newInternTable(words int) *internTable {
+	return &internTable{words: words, buckets: make(map[uint64][]int32)}
+}
+
+// intern returns the canonical ID of bs, adopting bs into the table when it
+// is new (the caller must not mutate it afterwards). hit reports whether
+// the set was already present.
+func (t *internTable) intern(bs bitset) (id int32, hit bool) {
+	return t.internHashed(bs, bs.hash())
+}
+
+// internHashed is intern with the hash supplied by the caller — expansion
+// workers hash their φ results concurrently so the single-threaded merge
+// only pays for bucket probing.
+func (t *internTable) internHashed(bs bitset, h uint64) (id int32, hit bool) {
+	t.lookups++
+	for _, cand := range t.buckets[h] {
+		if t.sets[cand].equal(bs) {
+			t.hits++
+			return cand, true
+		}
+	}
+	id = int32(len(t.sets))
+	t.sets = append(t.sets, bs)
+	t.buckets[h] = append(t.buckets[h], id)
+	return id, false
+}
+
+// get returns the canonical bitset for an interned ID. The caller must not
+// mutate it.
+func (t *internTable) get(id int32) bitset { return t.sets[id] }
+
+func (t *internTable) len() int { return len(t.sets) }

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Metrics is the engine observability layer, carried in Result.Stats. Where
+// Stats describes the derived artifact (state and transition counts),
+// Metrics describes the work the engine did producing it.
+type Metrics struct {
+	// Workers is the resolved worker count the safety phase ran with
+	// (Options.Workers, floored at 1).
+	Workers int
+	// SafetyWall / ProgressWall are per-phase wall times.
+	SafetyWall   time.Duration
+	ProgressWall time.Duration
+	// StatesExpanded counts converter states whose φ successors were
+	// computed (equals SafetyStates on a completed safety phase).
+	StatesExpanded int
+	// SafetyLevels is the number of BFS frontier levels — the converter's
+	// state-graph depth plus one.
+	SafetyLevels int
+	// PeakFrontier is the widest frontier level, an upper bound on how
+	// much parallelism the expansion could exploit.
+	PeakFrontier int
+	// InternLookups / InternHits count pair-set interning operations; a
+	// hit means φ produced a set already seen, i.e. an edge to an existing
+	// state rather than a new one.
+	InternLookups int
+	InternHits    int
+	// ProgressScans counts converter states examined across all
+	// progress-phase sweeps. With the incremental phase this is usually
+	// far below SafetyStates × iterations, which is what a full rescan
+	// per sweep would cost.
+	ProgressScans int
+}
+
+// InternHitRate returns the fraction of intern lookups that found an
+// existing pair set, in [0, 1]; 0 when no lookups happened.
+func (m *Metrics) InternHitRate() float64 {
+	if m.InternLookups == 0 {
+		return 0
+	}
+	return float64(m.InternHits) / float64(m.InternLookups)
+}
+
+// TraceEvent is one structured derivation event, delivered to
+// Options.Trace. Phase is always set; the remaining fields depend on the
+// event kind:
+//
+//   - safety frontier level: Level, Frontier, States; Detail empty.
+//   - safety summary: States, Transitions, Pairs; Detail set.
+//   - progress removal (one per removed state): Iteration, State; Detail
+//     empty.
+//   - progress sweep summary: Iteration, Removed (0 on the fixpoint
+//     sweep); Detail set.
+//
+// Events with a non-empty Detail are exactly the lines the deprecated
+// Options.Log writer used to receive; LogAdapter relies on that.
+type TraceEvent struct {
+	// Phase is "safety" or "progress".
+	Phase string
+	// State is the converter state name the event concerns, when it
+	// concerns a single state.
+	State string
+	// Detail is a human-readable summary line, set only on per-phase /
+	// per-sweep summary events.
+	Detail string
+
+	// Level and Frontier describe a safety-phase BFS level: its index and
+	// the number of states expanded in it.
+	Level    int
+	Frontier int
+	// States, Transitions, Pairs carry cumulative safety-phase counts.
+	States      int
+	Transitions int
+	Pairs       int
+	// Iteration is the 1-based progress-phase sweep; Removed the number
+	// of states that sweep marked bad.
+	Iteration int
+	Removed   int
+}
+
+// LogAdapter converts a structured trace stream back into the line format
+// the deprecated Options.Log writer produced: it prints the Detail of
+// summary events and ignores everything else. Options.Log is implemented
+// as exactly this adapter; callers migrating to Options.Trace can wrap
+// their old writer with it to keep identical output.
+func LogAdapter(w io.Writer) func(TraceEvent) {
+	return func(ev TraceEvent) {
+		if ev.Detail == "" {
+			return
+		}
+		fmt.Fprintf(w, "%s\n", ev.Detail)
+	}
+}

@@ -1,0 +1,205 @@
+// Level-synchronous, optionally parallel safety-phase expansion.
+//
+// The seed engine's safety loop was a FIFO worklist: process state i,
+// append its newly discovered successors, advance. Processing states in
+// index order with append-on-discovery is exactly breadth-first search, so
+// the same construction can run level by level: all states of one BFS
+// level have their φ(J, e) results computed first (this file — the only
+// concurrent part), then a single-threaded merge interns the results in
+// (state index, Int-event index) order. Discovery order, and therefore
+// state numbering, transition structure, and every downstream artifact,
+// match the sequential worklist bit for bit regardless of worker count.
+//
+// Workers only read shared state: the spec tables are immutable, the
+// intern table is read-only during a level (merge, the sole writer, runs
+// between levels), and each worker owns a scratch arena for the closure
+// stack and φ seed buckets. Work is distributed by an atomic cursor over
+// the frontier rather than pre-chunking, since φ cost varies wildly
+// between states.
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"protoquot/internal/spec"
+)
+
+// phiResult is the outcome of one φ(J, e) computation. A nil set with
+// ok=true is the vacuous successor (no seed pairs: B cannot match any
+// trace reaching it). ok=false means ok.J failed — the transition is
+// omitted.
+type phiResult struct {
+	set  bitset
+	hash uint64 // set.hash(), precomputed on the worker
+	ok   bool
+}
+
+// scratch is the per-worker reusable arena. free holds bitsets recycled by
+// the merge — φ results that duplicated an interned set — refilled in
+// batches from the deriver's shared pool, so steady-state expansion
+// allocates almost nothing (the interning hit rate is typically well above
+// half, making most levels self-sufficient).
+type scratch struct {
+	stack []int32   // closure DFS stack
+	seeds [][]int32 // φ seed pairs, bucketed by Int-event index
+	free  []bitset  // recycled result bitsets (local cache)
+}
+
+func newScratch(d *deriver) *scratch {
+	return &scratch{seeds: make([][]int32, len(d.intl))}
+}
+
+// getScratch returns the persistent arena for worker w, creating it on
+// first use. Called only from the merge path and at worker start-up.
+func (d *deriver) getScratch(w int) *scratch {
+	for len(d.scratches) <= w {
+		d.scratches = append(d.scratches, newScratch(d))
+	}
+	return d.scratches[w]
+}
+
+// outBitset produces a zeroed result bitset: from the worker's local
+// cache, else a batch stolen from the shared recycled pool (work-stealing
+// keeps per-worker demand unpredictable, so the pool is shared rather than
+// pre-split), else a fresh allocation.
+func (sc *scratch) outBitset(d *deriver) bitset {
+	if len(sc.free) == 0 {
+		d.freeMu.Lock()
+		if n := len(d.free); n > 0 {
+			take := 16
+			if take > n {
+				take = n
+			}
+			sc.free = append(sc.free, d.free[n-take:]...)
+			d.free = d.free[:n-take]
+		}
+		d.freeMu.Unlock()
+	}
+	if n := len(sc.free); n > 0 {
+		bs := sc.free[n-1]
+		sc.free = sc.free[:n-1]
+		clear(bs)
+		return bs
+	}
+	return newBitset(d.words)
+}
+
+// closure computes the smallest pair set containing seeds that is closed
+// under B's internal moves and under joint (ψ-step) external moves — the
+// paper's "reachable without converter participation" closure shared by
+// h.ε and φ. ok reports the ok.J predicate: it is false when some reached
+// pair lets B emit an external event the service does not then allow;
+// offend is the first such event encountered (meaningful only when !ok).
+func (d *deriver) closure(sc *scratch, seeds []int32) (out bitset, ok bool, offend spec.Event) {
+	out = sc.outBitset(d)
+	stack := sc.stack[:0]
+	ok = true
+	for _, p := range seeds {
+		if !out.has(p) {
+			out.set(p)
+			stack = append(stack, p)
+		}
+	}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		v, a, b := d.decode(p)
+		base := d.offs[v] + a*d.numBs[v]
+		for _, t := range d.bs[v].IntEdges(spec.State(b)) {
+			q := base + int32(t)
+			if !out.has(q) {
+				out.set(q)
+				stack = append(stack, q)
+			}
+		}
+		arow := int(a) * d.nev
+		for _, ed := range d.bext[v][b] {
+			if !d.isExt[ed.eid] {
+				continue // Int event: needs the converter, not closure
+			}
+			a2 := d.psi[arow+int(ed.eid)]
+			if a2 < 0 {
+				if ok {
+					offend = d.events[ed.eid]
+				}
+				ok = false
+				continue
+			}
+			q := d.offs[v] + a2*d.numBs[v] + ed.to
+			if !out.has(q) {
+				out.set(q)
+				stack = append(stack, q)
+			}
+		}
+	}
+	sc.stack = stack[:0]
+	return out, ok, offend
+}
+
+// expandState computes φ(J, e) for every Int event e of one frontier
+// state, writing len(intl) results into out. J's pairs are walked once,
+// bucketing the e-labelled external B-edges into per-event seed lists;
+// each non-empty bucket then runs one closure.
+func (d *deriver) expandState(sc *scratch, si int, out []phiResult) {
+	for i := range sc.seeds {
+		sc.seeds[i] = sc.seeds[i][:0]
+	}
+	d.table.get(int32(si)).forEach(func(p int32) {
+		v, a, b := d.decode(p)
+		base := d.offs[v] + a*d.numBs[v]
+		for _, ed := range d.bext[v][b] {
+			if ii := d.intlIndex[ed.eid]; ii >= 0 {
+				sc.seeds[ii] = append(sc.seeds[ii], base+ed.to)
+			}
+		}
+	})
+	for ei := range out {
+		if len(sc.seeds[ei]) == 0 {
+			out[ei] = phiResult{set: nil, ok: true} // vacuous successor
+			continue
+		}
+		set, ok, _ := d.closure(sc, sc.seeds[ei])
+		out[ei] = phiResult{set: set, ok: ok}
+		if ok {
+			out[ei].hash = set.hash()
+		}
+	}
+}
+
+// expandLevel computes φ results for frontier states [lo, hi), returning
+// them flattened as (hi-lo)×len(intl) entries in frontier order.
+func (d *deriver) expandLevel(lo, hi int) []phiResult {
+	ne := len(d.intl)
+	n := hi - lo
+	results := make([]phiResult, n*ne)
+	workers := d.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		sc := d.getScratch(0)
+		for i := 0; i < n; i++ {
+			d.expandState(sc, lo+i, results[i*ne:(i+1)*ne])
+		}
+		return results
+	}
+	var cursor int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		sc := d.getScratch(w)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&cursor, 1)) - 1
+				if i >= n {
+					return
+				}
+				d.expandState(sc, lo+i, results[i*ne:(i+1)*ne])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,249 @@
+// Incremental progress phase (paper Fig. 6).
+//
+// A sweep removes every converter state containing a pair whose composite
+// ready sets cannot satisfy A's acceptance sets (sat.Prog); removal changes
+// reachability, so sweeps repeat to a fixpoint. The seed engine re-examined
+// every live state each sweep. This one exploits locality: the ready set
+// τ*.⟨b,c⟩ depends only on composite states ⟨b',c'⟩ with c' reachable from
+// c in T_C, so deleting state r can only change verdicts of states that
+// could reach r — predecessors of r under T_C. Each sweep after the first
+// re-examines only the predecessor closure of the states the previous
+// sweep removed, computed over the static safety-phase graph (a superset
+// of the live graph, so the closure over-approximates; re-examining an
+// unaffected state just reproduces its previous verdict).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"protoquot/internal/sat"
+	"protoquot/internal/spec"
+)
+
+// comboKey identifies a composite state ⟨b, c⟩ of B_v‖C.
+type comboKey struct {
+	v int
+	b spec.State
+	c int
+}
+
+func (d *deriver) progressPhase(res *Result, alive []bool) error {
+	n := len(d.states)
+	// Static predecessor lists over the safety-phase graph; self-loops are
+	// irrelevant to the closure and skipped.
+	preds := make([][]int32, n)
+	for ci := range d.states {
+		for _, t := range d.states[ci].succ {
+			if t >= 0 && int(t) != ci {
+				preds[t] = append(preds[t], int32(ci))
+			}
+		}
+	}
+	affected := make([]int32, n)
+	for i := range affected {
+		affected[i] = int32(i)
+	}
+	removedTotal := 0
+	for {
+		res.Stats.ProgressIterations++
+		if err := d.ctx.Err(); err != nil {
+			return fmt.Errorf("quotient: progress phase canceled at iteration %d: %w",
+				res.Stats.ProgressIterations, err)
+		}
+		ready := d.compositeReady(alive, affected)
+		var removed []int32
+		for _, ci := range affected {
+			if !alive[ci] {
+				continue
+			}
+			d.met.ProgressScans++
+			bad := false
+			d.table.get(ci).forEachUntil(func(p int32) bool {
+				v, a, b := d.decode(p)
+				if !sat.Prog(d.a, spec.State(a), ready[comboKey{v, spec.State(b), int(ci)}]) {
+					bad = true
+				}
+				return bad
+			})
+			if bad {
+				removed = append(removed, ci)
+			}
+		}
+		if len(removed) == 0 {
+			d.emit(TraceEvent{
+				Phase:     "progress",
+				Iteration: res.Stats.ProgressIterations,
+				Detail: fmt.Sprintf("progress phase: iteration %d removed nothing; fixpoint",
+					res.Stats.ProgressIterations),
+			})
+			break
+		}
+		d.emit(TraceEvent{
+			Phase:     "progress",
+			Iteration: res.Stats.ProgressIterations,
+			Removed:   len(removed),
+			Detail: fmt.Sprintf("progress phase: iteration %d marked %d state(s) bad",
+				res.Stats.ProgressIterations, len(removed)),
+		})
+		for _, ci := range removed {
+			alive[ci] = false
+			removedTotal++
+			d.emit(TraceEvent{
+				Phase:     "progress",
+				Iteration: res.Stats.ProgressIterations,
+				State:     d.stateName(ci),
+			})
+		}
+		if !alive[0] {
+			break // initial state removed: all states unreachable
+		}
+		// Drop live transitions into dead states, then re-examine only the
+		// predecessor closure of what just died.
+		for _, ci := range removed {
+			for _, p := range preds[ci] {
+				if !alive[p] {
+					continue
+				}
+				succ := d.states[p].succ
+				for ei, t := range succ {
+					if t == ci {
+						succ[ei] = -1
+					}
+				}
+			}
+		}
+		affected = predClosure(preds, removed, alive)
+	}
+	res.Stats.RemovedStates = removedTotal
+	if !alive[0] {
+		return &NoQuotientError{
+			Reason: fmt.Sprintf(
+				"progress phase removed the initial state after %d iterations (%d states removed): every candidate behavior risks a progress violation of the service",
+				res.Stats.ProgressIterations, removedTotal),
+			FailedPhase: "progress",
+		}
+	}
+	return nil
+}
+
+// predClosure returns the live states in the predecessor closure of the
+// removed set under the static graph, sorted ascending so the next sweep
+// examines states in the same order a full rescan would.
+func predClosure(preds [][]int32, removed []int32, alive []bool) []int32 {
+	visited := make(map[int32]bool, len(removed)*2)
+	queue := append([]int32(nil), removed...)
+	for _, r := range removed {
+		visited[r] = true
+	}
+	var out []int32
+	for len(queue) > 0 {
+		ci := queue[0]
+		queue = queue[1:]
+		for _, p := range preds[ci] {
+			if visited[p] {
+				continue
+			}
+			visited[p] = true
+			queue = append(queue, p)
+			if alive[p] {
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// compositeReady computes τ*.⟨b,c⟩ — the Ext events enabled from ⟨b,c⟩
+// after any sequence of internal moves of B‖C — for every composite state
+// pairing a live converter state in from with a B-state in its pair set,
+// plus everything internally reachable from those.
+//
+// Internal moves of B‖C are B's λ-transitions and the synchronized Int
+// events (enabled in both B and C). External events of B‖C are B's Ext
+// events (C's whole alphabet is Int, so C contributes none).
+func (d *deriver) compositeReady(alive []bool, from []int32) map[comboKey][]spec.Event {
+	succ := make(map[comboKey][]comboKey)
+	base := make(map[comboKey][]spec.Event) // τ.b ∩ Ext at the node itself
+	var work []comboKey
+	seen := make(map[comboKey]bool)
+	push := func(k comboKey) {
+		if !seen[k] {
+			seen[k] = true
+			work = append(work, k)
+		}
+	}
+	for _, ci := range from {
+		if !alive[ci] {
+			continue
+		}
+		d.table.get(ci).forEach(func(p int32) {
+			v, _, b := d.decode(p)
+			push(comboKey{v, spec.State(b), int(ci)})
+		})
+	}
+	for i := 0; i < len(work); i++ {
+		k := work[i]
+		bspec := d.bs[k.v]
+		var ext []spec.Event
+		for _, e := range bspec.Tau(k.b) {
+			if d.ext[e] {
+				ext = append(ext, e)
+			}
+		}
+		base[k] = ext
+		for _, t := range bspec.IntEdges(k.b) {
+			nk := comboKey{k.v, t, k.c}
+			succ[k] = append(succ[k], nk)
+			push(nk)
+		}
+		for _, ed := range d.bext[k.v][k.b] {
+			ii := d.intlIndex[ed.eid]
+			if ii < 0 {
+				continue // external to the composite
+			}
+			t := d.states[k.c].succ[ii]
+			if t < 0 || !alive[t] {
+				continue
+			}
+			nk := comboKey{k.v, spec.State(ed.to), int(t)}
+			succ[k] = append(succ[k], nk)
+			push(nk)
+		}
+	}
+	// Fixpoint: ready(k) = base(k) ∪ ⋃ ready(succ(k)).
+	ready := make(map[comboKey]map[spec.Event]bool, len(work))
+	for _, k := range work {
+		m := make(map[spec.Event]bool)
+		for _, e := range base[k] {
+			m[e] = true
+		}
+		ready[k] = m
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, k := range work {
+			m := ready[k]
+			for _, nk := range succ[k] {
+				for e := range ready[nk] {
+					if !m[e] {
+						m[e] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	out := make(map[comboKey][]spec.Event, len(ready))
+	for k, m := range ready {
+		evs := make([]spec.Event, 0, len(m))
+		for e := range m {
+			evs = append(evs, e)
+		}
+		sort.Slice(evs, func(i, j int) bool { return evs[i] < evs[j] })
+		out[k] = evs
+	}
+	return out
+}

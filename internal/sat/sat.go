@@ -43,6 +43,14 @@ func (v *Violation) Error() string {
 		v.Kind, FormatTrace(v.Trace), v.BState, v.Detail)
 }
 
+// Phase returns the property that was violated ("safety" or "progress").
+// Together with Witness it makes Violation implement the shared
+// protoquot.Diagnostic interface alongside core.NoQuotientError.
+func (v *Violation) Phase() string { return v.Kind }
+
+// Witness returns the counterexample trace (see Trace).
+func (v *Violation) Witness() []spec.Event { return v.Trace }
+
 // FormatTrace renders a trace as space-separated event names.
 func FormatTrace(t []spec.Event) string {
 	parts := make([]string, len(t))

@@ -35,6 +35,7 @@
 package protoquot
 
 import (
+	"context"
 	"io"
 
 	"protoquot/internal/codegen"
@@ -71,11 +72,44 @@ type (
 	Stats = core.Stats
 	// NoQuotientError reports that no converter exists.
 	NoQuotientError = core.NoQuotientError
+	// TraceEvent is one structured derivation event delivered to
+	// Options.Trace.
+	TraceEvent = core.TraceEvent
+	// Metrics is the engine observability layer inside Stats: per-phase
+	// wall times, interning hit rate, frontier shape, worker count.
+	Metrics = core.Metrics
 )
 
 // Violation describes a safety or progress violation found by the
 // satisfaction checker, with a witness trace.
 type Violation = sat.Violation
+
+// Diagnostic is the interface shared by every structured failure this
+// library reports about a specification system: a *NoQuotientError (no
+// converter exists) and a *Violation (a system fails satisfaction) both
+// implement it. Phase names the property that failed — "safety" or
+// "progress" — and Witness returns a counterexample trace when one exists
+// (it may be nil: nonexistence by progress is a global property without a
+// single witness). Callers that previously type-switched on the concrete
+// error types can handle both uniformly:
+//
+//	var diag protoquot.Diagnostic
+//	if errors.As(err, &diag) {
+//		log.Printf("%s failure, witness: %v", diag.Phase(), diag.Witness())
+//	}
+type Diagnostic interface {
+	error
+	// Phase names the failed property: "safety" or "progress".
+	Phase() string
+	// Witness returns a counterexample trace, or nil if none applies.
+	Witness() []Event
+}
+
+// Both diagnostic error types satisfy the shared interface.
+var (
+	_ Diagnostic = (*NoQuotientError)(nil)
+	_ Diagnostic = (*Violation)(nil)
+)
 
 // NewSpec returns a Builder for a specification with the given name.
 func NewSpec(name string) *Builder { return spec.NewBuilder(name) }
@@ -124,11 +158,23 @@ func Progress(b, a *Spec) error { return sat.Progress(b, a) }
 // (*Spec).IsNormalForm and (*Spec).Normalize).
 func Derive(a, b *Spec, opts Options) (*Result, error) { return core.Derive(a, b, opts) }
 
+// DeriveContext is Derive with cancellation: ctx is checked once per
+// safety-phase frontier level and once per progress-phase sweep, and a
+// canceled derivation returns an error wrapping ctx.Err().
+func DeriveContext(ctx context.Context, a, b *Spec, opts Options) (*Result, error) {
+	return core.DeriveContext(ctx, a, b, opts)
+}
+
 // DeriveRobust derives one converter that is simultaneously correct for
 // every environment variant in bs (all sharing one alphabet). See the
 // package documentation of internal/core for when this matters.
 func DeriveRobust(a *Spec, bs []*Spec, opts Options) (*Result, error) {
 	return core.DeriveRobust(a, bs, opts)
+}
+
+// DeriveRobustContext is DeriveRobust with cancellation; see DeriveContext.
+func DeriveRobustContext(ctx context.Context, a *Spec, bs []*Spec, opts Options) (*Result, error) {
+	return core.DeriveRobustContext(ctx, a, bs, opts)
 }
 
 // Verify independently checks that B‖C satisfies A.
