@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify vet build test race benchsmoke
+.PHONY: verify vet build test race benchsmoke fuzz-smoke
 
-verify: vet build test race benchsmoke
+verify: vet build test race benchsmoke fuzz-smoke
 	@echo "verify: OK"
 
 vet:
@@ -24,3 +24,10 @@ race:
 # the bench harness and smoke-tests the parallel engine under -benchtime=1x.
 benchsmoke:
 	$(GO) test -run '^$$' -bench Derive -benchtime 1x .
+
+# Short fuzzing bursts over the wire decoder and the DSL parser: enough to
+# catch regressions in frame bounds-checking and grammar handling without
+# slowing the gate down. Longer campaigns: raise -fuzztime manually.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime 5s ./internal/runtime
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 5s ./internal/dsl

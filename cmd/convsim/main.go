@@ -8,12 +8,19 @@
 // all user-facing), reporting per-event counts, internal activity, and any
 // deadlock encountered; and
 //
-//	convsim -scenario abns [-messages n] [-loss p] [-seed s]
+//	convsim -scenario abns [-messages n] [-soak n] [-loss p] [-seed s]
+//	        [-faults loss=0.2,dup=0.1,reorder=0.05] [-conform] [-mutate f:e:t]
 //
 // deploys the paper's AB→NS conversion as a real message-passing system:
-// the AB sender and NS receiver run as goroutines joined by lossy links,
+// the AB sender and NS receiver run as goroutines joined by faulty links,
 // with the derived (and pruned) converter interpreted between them, and
-// reports delivery statistics.
+// reports delivery and fault statistics. -faults selects a full fault model
+// (loss, dup, reorder, corrupt, delay, burst); -conform attaches an online
+// conformance monitor that checks every executed event against the derived
+// converter and the service specification; -soak n is shorthand for a long
+// -messages run; -mutate from:event:to redirects one converter transition
+// before deployment, demonstrating that the monitor catches the divergence.
+// Every run prints its seed, so any failure reproduces exactly.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"protoquot/internal/core"
@@ -48,6 +56,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		runs     = fs.Int("runs", 1, "number of walks")
 		messages = fs.Int("messages", 25, "payloads to send in scenario mode")
 		loss     = fs.Float64("loss", 0.2, "per-message loss probability in scenario mode")
+		faults   = fs.String("faults", "", `fault model, e.g. "loss=0.2,dup=0.1,reorder=0.05" (overrides -loss)`)
+		conform  = fs.Bool("conform", false, "check every executed event against the derived specs online")
+		soak     = fs.Int("soak", 0, "soak-test message count (overrides -messages, implies -conform)")
+		mutate   = fs.String("mutate", "", `deploy a mutated converter, "from:event:to" (implies -conform)`)
 		seed     = fs.Int64("seed", 1, "random seed")
 		timeout  = fs.Duration("timeout", 30*time.Second, "scenario wall-clock budget")
 	)
@@ -58,7 +70,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case *walkPath != "" && *scenario == "":
 		return runWalk(stdout, stderr, *walkPath, *steps, *runs, *seed)
 	case *scenario == "abns" && *walkPath == "":
-		return runABNS(stdout, stderr, *messages, *loss, *seed, *timeout)
+		cfg := abnsConfig{
+			messages: *messages, loss: *loss, faults: *faults, conform: *conform,
+			soak: *soak, mutate: *mutate, seed: *seed, budget: *timeout,
+		}
+		return runABNS(stdout, stderr, cfg)
 	default:
 		fmt.Fprintln(stderr, "convsim: exactly one of -walk or -scenario abns is required")
 		fs.Usage()
@@ -120,7 +136,33 @@ func runWalk(stdout, stderr io.Writer, path string, steps, runs int, seed int64)
 	return 0
 }
 
-func runABNS(stdout, stderr io.Writer, messages int, loss float64, seed int64, budget time.Duration) int {
+type abnsConfig struct {
+	messages int
+	loss     float64
+	faults   string
+	conform  bool
+	soak     int
+	mutate   string
+	seed     int64
+	budget   time.Duration
+}
+
+func runABNS(stdout, stderr io.Writer, cfg abnsConfig) int {
+	model := runtime.FaultModel{Loss: cfg.loss}
+	if cfg.faults != "" {
+		var err error
+		model, err = runtime.ParseFaults(cfg.faults)
+		if err != nil {
+			fmt.Fprintf(stderr, "convsim: %v\n", err)
+			return 1
+		}
+	}
+	messages := cfg.messages
+	if cfg.soak > 0 {
+		messages = cfg.soak
+	}
+	monitor := cfg.conform || cfg.soak > 0 || cfg.mutate != ""
+
 	fmt.Fprintf(stdout, "deriving AB→NS converter (eventually-reliable channel model)…\n")
 	b := protocols.EventuallyReliableNSB()
 	res, err := core.Derive(protocols.Service(), b, core.Options{OmitVacuous: true})
@@ -136,53 +178,65 @@ func runABNS(stdout, stderr io.Writer, messages int, loss float64, seed int64, b
 	fmt.Fprintf(stdout, "converter: %d states maximal, %d after pruning\n",
 		res.Converter.NumStates(), conv.NumStates())
 
-	ctx, cancel := context.WithTimeout(context.Background(), budget)
-	defer cancel()
-	rng := rand.New(rand.NewSource(seed))
-	ab := runtime.NewDuplex(loss, rng)
-	ns := runtime.NewDuplex(0, rng)
-	payloads := make([][]byte, messages)
-	for i := range payloads {
-		payloads[i] = []byte(fmt.Sprintf("payload-%04d", i))
+	soak := runtime.SoakConfig{
+		Converter: conv,
+		Service:   protocols.Service(),
+		Messages:  messages,
+		Faults:    model,
+		Seed:      cfg.seed,
+		Monitor:   monitor,
 	}
-	delivered := make(chan []byte, messages+16)
-	go runtime.NSReceiver(ctx, ns, delivered)
-	convDone := make(chan error, 1)
-	go func() {
-		convDone <- runtime.Converter(ctx, conv, ab, ns, runtime.ABToNSPortMap(false))
-	}()
-	start := time.Now()
-	acked := runtime.ABSender(ctx, payloads, ab)
-	elapsed := time.Since(start)
-
-	got := 0
-	ordered := true
-	for got < acked {
-		select {
-		case p := <-delivered:
-			if string(p) != fmt.Sprintf("payload-%04d", got) {
-				ordered = false
-			}
-			got++
-		case err := <-convDone:
-			fmt.Fprintf(stderr, "convsim: converter stopped: %v\n", err)
-			return 1
-		case <-ctx.Done():
-			fmt.Fprintf(stderr, "convsim: timed out with %d/%d delivered\n", got, messages)
+	if cfg.mutate != "" {
+		parts := strings.SplitN(cfg.mutate, ":", 3)
+		if len(parts) != 3 {
+			fmt.Fprintf(stderr, "convsim: -mutate wants from:event:to, got %q\n", cfg.mutate)
 			return 1
 		}
+		mut, err := runtime.RedirectEdge(conv, parts[0], spec.Event(parts[1]), parts[2])
+		if err != nil {
+			fmt.Fprintf(stderr, "convsim: %v\n", err)
+			return 1
+		}
+		soak.Converter, soak.Reference = mut, conv
+		fmt.Fprintf(stdout, "mutated converter: %s --%s→ %s (monitoring against the derived original)\n",
+			parts[0], parts[1], parts[2])
 	}
-	cancel()
-	fSent, fDrop := ab.Forward.Stats()
-	rSent, rDrop := ab.Reverse.Stats()
+	fmt.Fprintf(stdout, "seed %d, faults %s, %d messages\n", cfg.seed, model, messages)
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.budget)
+	defer cancel()
+	r, err := runtime.Soak(ctx, soak)
+	if err != nil {
+		fmt.Fprintf(stderr, "convsim: %v\n", err)
+		return 1
+	}
+
 	fmt.Fprintf(stdout, "sent %d payloads, acknowledged %d, delivered %d (in order: %v)\n",
-		messages, acked, got, ordered)
-	fmt.Fprintf(stdout, "AB link: %d data frames (%d lost), %d ack frames (%d lost)\n",
-		fSent, fDrop, rSent, rDrop)
-	fmt.Fprintf(stdout, "elapsed: %v (%.0f msgs/sec)\n", elapsed.Round(time.Millisecond),
-		float64(acked)/elapsed.Seconds())
-	if acked != messages || got != acked || !ordered {
-		fmt.Fprintln(stderr, "convsim: delivery guarantee violated")
+		messages, r.Acked, r.Delivered, r.InOrder)
+	fmt.Fprintf(stdout, "AB data link: %s\n", r.Forward)
+	fmt.Fprintf(stdout, "AB ack link: %s\n", r.Reverse)
+	if monitor {
+		fmt.Fprintf(stdout, "conformance: %d converter events, %d service events checked\n",
+			r.ConvEvents, r.SvcEvents)
+	}
+	fmt.Fprintf(stdout, "elapsed: %v (%.0f msgs/sec)\n", r.Elapsed.Round(time.Millisecond),
+		float64(r.Acked)/r.Elapsed.Seconds())
+
+	switch {
+	case r.Violation != nil:
+		fmt.Fprintf(stderr, "convsim: conformance violation (reproduce with -seed %d): %v\n",
+			cfg.seed, r.Violation)
+		return 1
+	case r.ConvErr != nil:
+		fmt.Fprintf(stderr, "convsim: converter stopped (reproduce with -seed %d): %v\n",
+			cfg.seed, r.ConvErr)
+		return 1
+	case r.Deadlock:
+		fmt.Fprintf(stderr, "convsim: deadlock with %d/%d delivered (reproduce with -seed %d)\n",
+			r.Delivered, messages, cfg.seed)
+		return 1
+	case !r.OK(messages):
+		fmt.Fprintf(stderr, "convsim: delivery guarantee violated (reproduce with -seed %d)\n", cfg.seed)
 		return 1
 	}
 	return 0

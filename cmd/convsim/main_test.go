@@ -57,6 +57,84 @@ func TestScenarioABNS(t *testing.T) {
 	}
 }
 
+// stripElapsed drops the wall-clock line, the one legitimately varying
+// part of a scenario report.
+func stripElapsed(s string) string {
+	var kept []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "elapsed:") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return strings.Join(kept, "\n")
+}
+
+// TestScenarioABNSGolden: the entire scenario report — delivery counts,
+// fault counters, conformance totals — must be byte-stable for a fixed
+// seed, which is what makes the printed seed a real reproduction handle.
+func TestScenarioABNSGolden(t *testing.T) {
+	args := []string{"-scenario", "abns", "-faults", "loss=0.2,dup=0.1,reorder=0.05",
+		"-conform", "-messages", "500", "-seed", "42"}
+	runOnce := func() string {
+		var out, errb strings.Builder
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("exit %d: %s", code, errb.String())
+		}
+		return stripElapsed(out.String())
+	}
+	first, second := runOnce(), runOnce()
+	if first != second {
+		t.Errorf("same seed produced different reports:\n--- first\n%s\n--- second\n%s", first, second)
+	}
+	for _, want := range []string{
+		"seed 42, faults loss=0.2,dup=0.1,reorder=0.05, 500 messages",
+		"acknowledged 500, delivered 500 (in order: true)",
+		"duplicated",
+		"conformance:",
+		"1000 service events checked",
+	} {
+		if !strings.Contains(first, want) {
+			t.Errorf("report missing %q:\n%s", want, first)
+		}
+	}
+}
+
+// TestScenarioABNSMutant: deploying a converter with one redirected
+// transition must exit nonzero with a conformance violation that names the
+// reproduction seed.
+func TestScenarioABNSMutant(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-scenario", "abns", "-mutate", "c12:+d0:c1",
+		"-faults", "loss=0.2,dup=0.1,reorder=0.05", "-messages", "1000",
+		"-seed", "42", "-timeout", "20s"}, &out, &errb)
+	if code == 0 {
+		t.Fatalf("mutant run exited 0:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "conformance violation") {
+		t.Errorf("violation not reported: %s", errb.String())
+	}
+	if !strings.Contains(errb.String(), "-seed 42") {
+		t.Errorf("reproduction seed not printed: %s", errb.String())
+	}
+	if !strings.Contains(out.String(), "monitoring against the derived original") {
+		t.Errorf("mutation banner missing:\n%s", out.String())
+	}
+}
+
+func TestScenarioFlagErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-scenario", "abns", "-faults", "bogus=1"}, &out, &errb); code != 1 {
+		t.Error("bad -faults should exit 1")
+	}
+	if code := run([]string{"-scenario", "abns", "-mutate", "nope"}, &out, &errb); code != 1 {
+		t.Error("malformed -mutate should exit 1")
+	}
+	if code := run([]string{"-scenario", "abns", "-mutate", "c0:+d9:c1"}, &out, &errb); code != 1 {
+		t.Error("nonexistent mutation edge should exit 1")
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run(nil, &out, &errb); code != 1 {

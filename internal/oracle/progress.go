@@ -1,0 +1,147 @@
+package oracle
+
+import "protoquot/internal/spec"
+
+// Progress reference. CheckProgress decides "B satisfies A with respect to
+// progress" (paper §3) by breadth-first enumeration of the joint
+// configurations (b, ψ_A.t), recomputing every ingredient — λ*, sinks, τ*,
+// ψ, and the prog predicate — from raw transition edges. It shares nothing
+// with internal/sat or the Spec's precomputed closures, so a bug in the
+// optimized SCC/τ* machinery or in sat.Progress shows up as a differential
+// failure here.
+//
+// Preconditions are the caller's responsibility, as in sat.Progress: A must
+// be in normal form (so ψ_A.t is a single state) and B must satisfy A with
+// respect to safety (so ψ-steps never dangle).
+
+// CheckProgress returns ok=true if B satisfies A with respect to progress,
+// or ok=false with a witness trace of B after which some reachable B-state
+// has a ready set covering no acceptance set A permits.
+func CheckProgress(b, a *spec.Spec) (witness []spec.Event, ok bool) {
+	type cfg struct {
+		b spec.State
+		a spec.State
+	}
+	type node struct {
+		parent int
+		event  spec.Event
+		silent bool
+	}
+	var cfgs []cfg
+	var nodes []node
+	seen := map[cfg]bool{}
+	push := func(c cfg, parent int, e spec.Event, silent bool) {
+		if !seen[c] {
+			seen[c] = true
+			cfgs = append(cfgs, c)
+			nodes = append(nodes, node{parent, e, silent})
+		}
+	}
+	push(cfg{b.Init(), a.Init()}, -1, "", true)
+	for i := 0; i < len(cfgs); i++ {
+		c := cfgs[i]
+		if !progRaw(a, c.a, tauStarRaw(b, c.b)) {
+			var rev []spec.Event
+			for j := i; j >= 0; j = nodes[j].parent {
+				if !nodes[j].silent {
+					rev = append(rev, nodes[j].event)
+				}
+			}
+			w := make([]spec.Event, len(rev))
+			for k := range rev {
+				w[k] = rev[len(rev)-1-k]
+			}
+			return w, false
+		}
+		for _, t := range b.IntEdges(c.b) {
+			push(cfg{t, c.a}, i, "", true)
+		}
+		for _, ed := range b.ExtEdges(c.b) {
+			a2, stepped := psiStepRaw(a, c.a, ed.Event)
+			if !stepped {
+				continue // B unsafe wrt A; not this checker's concern
+			}
+			push(cfg{ed.To, a2}, i, ed.Event, false)
+		}
+	}
+	return nil, true
+}
+
+// lambdaClosureRaw computes a λ* b by depth-first search over IntEdges.
+func lambdaClosureRaw(s *spec.Spec, st spec.State) map[spec.State]bool {
+	seen := map[spec.State]bool{st: true}
+	stack := []spec.State{st}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range s.IntEdges(u) {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}
+
+// sinkRaw transcribes the paper's sink predicate: every state internally
+// reachable from st can internally reach st back.
+func sinkRaw(s *spec.Spec, st spec.State) bool {
+	for u := range lambdaClosureRaw(s, st) {
+		if !lambdaClosureRaw(s, u)[st] {
+			return false
+		}
+	}
+	return true
+}
+
+// tauStarRaw computes τ*.st — external events enabled in any state
+// internally reachable from st.
+func tauStarRaw(s *spec.Spec, st spec.State) map[spec.Event]bool {
+	out := map[spec.Event]bool{}
+	for u := range lambdaClosureRaw(s, st) {
+		for _, ed := range s.ExtEdges(u) {
+			out[ed.Event] = true
+		}
+	}
+	return out
+}
+
+// progRaw transcribes prog.a.b ≡ ∃a' : a λ* a' ∧ sink.a' ∧ τ*.a' ⊆ readyB.
+func progRaw(a *spec.Spec, as spec.State, readyB map[spec.Event]bool) bool {
+	for a2 := range lambdaClosureRaw(a, as) {
+		if !sinkRaw(a, a2) {
+			continue
+		}
+		covered := true
+		for e := range tauStarRaw(a, a2) {
+			if !readyB[e] {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			return true
+		}
+	}
+	return false
+}
+
+// psiStepRaw advances ψ by one event from raw edges: the lowest-numbered
+// e-target reachable from λ*(as). Mirrors spec.PsiStep, independently.
+func psiStepRaw(a *spec.Spec, as spec.State, e spec.Event) (spec.State, bool) {
+	found := false
+	var target spec.State
+	for u := range lambdaClosureRaw(a, as) {
+		for _, ed := range a.ExtEdges(u) {
+			if ed.Event != e {
+				continue
+			}
+			if !found || ed.To < target {
+				target = ed.To
+				found = true
+			}
+		}
+	}
+	return target, found
+}

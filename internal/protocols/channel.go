@@ -45,6 +45,20 @@ type ChannelConfig struct {
 	// deployable on real links, where loss happens but is never
 	// guaranteed. Requires Lossy; mutually exclusive with MaxLosses.
 	EventuallyReliable bool
+	// Duplicating lets either slot deliver its occupant without releasing
+	// it: each "+msg" removal event gains a nondeterministic variant that
+	// keeps the slot full, so the same message may be received any number
+	// of times — the duplication pathology at the specification level.
+	// Duplication is not maskable the way loss is: a converter cannot be
+	// *derived* against an unbounded duplicating channel (the keep-a-copy
+	// branch can starve fresh traffic forever, so the progress phase
+	// empties), and duplicates on the delivery path reach the user
+	// unconditionally. What the model is for is *auditing*: composing a
+	// converter derived against the lossy channel with a Duplicating
+	// variant checks whether its loss-recovery structure also absorbs
+	// duplicates safely — the spec-level counterpart of the fault-injection
+	// soak in internal/runtime.
+	Duplicating bool
 }
 
 // slot occupancy markers inside state names.
@@ -123,6 +137,9 @@ func DuplexChannel(name string, cfg ChannelConfig) (*spec.Spec, error) {
 					b.Ext(cur, cfg.Timeout, st(slotEmpty, r, k))
 				default:
 					b.Ext(cur, spec.Event("+"+f), st(slotEmpty, r, k))
+					if cfg.Duplicating {
+						b.Ext(cur, spec.Event("+"+f), cur) // deliver, keep a copy
+					}
 					if canLose {
 						b.Int(cur, st(slotLost, r, next(k)))
 					}
@@ -137,6 +154,9 @@ func DuplexChannel(name string, cfg ChannelConfig) (*spec.Spec, error) {
 					b.Ext(cur, cfg.Timeout, st(f, slotEmpty, k))
 				default:
 					b.Ext(cur, spec.Event("+"+r), st(f, slotEmpty, k))
+					if cfg.Duplicating {
+						b.Ext(cur, spec.Event("+"+r), cur) // deliver, keep a copy
+					}
 					if canLose {
 						b.Int(cur, st(f, slotLost, next(k)))
 					}

@@ -1,0 +1,250 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"protoquot/internal/sat"
+	"protoquot/internal/spec"
+)
+
+// Conformance checks a live execution online against the specifications it
+// was derived from. Two independent reference automata are tracked:
+//
+//   - the derived converter specification C: every event the interpreter
+//     executes must extend a trace of C, otherwise the deployed converter
+//     (or a mutation of it) has left its own derivation;
+//   - the service specification A: every service-level event the protocol
+//     entities perform ("acc" at the sender, "del" at the receiver) must
+//     extend a trace of A — the runtime form of the paper's safety
+//     property, trace inclusion in A.
+//
+// Safety is checked per event via spec.TraceTracker, O(frontier) per step.
+// Progress is checked on demand: when the driver believes the system is
+// quiescent (no event for a watchdog interval) it calls Quiescent with the
+// events the implementation is still ready to perform, and the monitor
+// applies the paper's prog predicate — some internally reachable sink state
+// of A must have an acceptance set covered by that ready set.
+//
+// The first violation is latched: Err returns it forever after, Violated's
+// channel is closed so concurrent drivers can abort the soak, and later
+// events are ignored (after a violation the trackers no longer describe the
+// implementation, so further reports would be noise).
+//
+// All methods are safe for concurrent use and safe on a nil receiver, so
+// unmonitored deployments pass nil and pay only a pointer test.
+type Conformance struct {
+	mu        sync.Mutex
+	conv      *spec.TraceTracker // nil when no converter spec was given
+	svc       *spec.TraceTracker // nil when no service spec was given
+	svcSpec   *spec.Spec
+	convSeen  int
+	svcSeen   int
+	recent    []spec.Event // tail of the interleaved observed event sequence
+	err       *ConformanceError
+	violated  chan struct{}
+	closeOnce sync.Once
+}
+
+// conformRecentLen bounds the diagnostic tail kept per monitor.
+const conformRecentLen = 24
+
+// NewConformance builds a monitor from the derived converter specification
+// and the service specification; either may be nil to disable that level.
+func NewConformance(converter, service *spec.Spec) *Conformance {
+	c := &Conformance{violated: make(chan struct{})}
+	if converter != nil {
+		c.conv = converter.Track()
+	}
+	if service != nil {
+		c.svc = service.Track()
+		c.svcSpec = service
+	}
+	return c
+}
+
+// ConformanceError is the latched first violation of a monitored run.
+type ConformanceError struct {
+	// Level is "converter" (the derived spec C was left) or "service" (the
+	// end-to-end service spec A was left).
+	Level string
+	// Kind is "safety" (an event the reference does not enable) or
+	// "progress" (a quiescent state whose ready set covers no acceptance
+	// set of A).
+	Kind string
+	// Event is the offending event for safety violations.
+	Event spec.Event
+	// Enabled lists what the reference specification would have allowed.
+	Enabled []spec.Event
+	// Ready is the implementation's ready set, for progress violations.
+	Ready []spec.Event
+	// TraceLen is the number of events accepted at this level before the
+	// violation.
+	TraceLen int
+	// Recent is the tail of the full observed event sequence (both levels
+	// interleaved), most recent last, for diagnosis.
+	Recent []spec.Event
+}
+
+func (e *ConformanceError) Error() string {
+	switch e.Kind {
+	case "progress":
+		return fmt.Sprintf("conformance: %s progress violation after %d events: quiescent with ready set %v covering no acceptance set (recent: %s)",
+			e.Level, e.TraceLen, e.Ready, sat.FormatTrace(e.Recent))
+	default:
+		return fmt.Sprintf("conformance: %s safety violation after %d events: %q not enabled (enabled: %v; recent: %s)",
+			e.Level, e.TraceLen, e.Event, e.Enabled, sat.FormatTrace(e.Recent))
+	}
+}
+
+// Phase returns the violated property ("safety" or "progress"), making
+// ConformanceError a protoquot.Diagnostic like core.NoQuotientError and
+// sat.Violation.
+func (e *ConformanceError) Phase() string { return e.Kind }
+
+// Witness returns the recent-event tail (the observable counterexample
+// suffix; the full trace is not retained).
+func (e *ConformanceError) Witness() []spec.Event { return e.Recent }
+
+// Converter reports one event executed by the converter interpreter. It
+// returns the latched violation, if any (callers may ignore the result and
+// poll Err once at the end of the run).
+func (c *Conformance) Converter(e spec.Event) error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil || c.conv == nil {
+		return c.errLocked()
+	}
+	c.note(e)
+	if !c.conv.Step(e) {
+		c.latch(&ConformanceError{
+			Level:    "converter",
+			Kind:     "safety",
+			Event:    e,
+			Enabled:  c.conv.Enabled(),
+			TraceLen: c.convSeen,
+			Recent:   c.recentTail(),
+		})
+		return c.errLocked()
+	}
+	c.convSeen++
+	return nil
+}
+
+// Service reports one service-level event ("acc", "del") performed by a
+// protocol entity.
+func (c *Conformance) Service(e spec.Event) error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil || c.svc == nil {
+		return c.errLocked()
+	}
+	c.note(e)
+	if !c.svc.Step(e) {
+		c.latch(&ConformanceError{
+			Level:    "service",
+			Kind:     "safety",
+			Event:    e,
+			Enabled:  c.svc.Enabled(),
+			TraceLen: c.svcSeen,
+			Recent:   c.recentTail(),
+		})
+		return c.errLocked()
+	}
+	c.svcSeen++
+	return nil
+}
+
+// Quiescent checks progress at a quiescent point: ready lists the service
+// events the implementation is still willing to perform (nil means none).
+// Per the paper's prog predicate, some state of A consistent with the
+// observed trace must reach, by internal moves alone, a sink state whose
+// acceptance set is covered by ready; otherwise every environment that
+// relied on A's progress guarantee is now stuck, and a progress violation
+// is latched.
+func (c *Conformance) Quiescent(ready []spec.Event) error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil || c.svc == nil {
+		return c.errLocked()
+	}
+	for _, a := range c.svc.States() {
+		if sat.Prog(c.svcSpec, a, ready) {
+			return nil
+		}
+	}
+	c.latch(&ConformanceError{
+		Level:    "service",
+		Kind:     "progress",
+		Ready:    ready,
+		TraceLen: c.svcSeen,
+		Recent:   c.recentTail(),
+	})
+	return c.errLocked()
+}
+
+// Err returns the latched violation, or nil while the run conforms.
+func (c *Conformance) Err() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.errLocked()
+}
+
+// Violated returns a channel closed at the first violation, so soak drivers
+// can select on it and abort early. Nil monitors return a never-ready nil
+// channel.
+func (c *Conformance) Violated() <-chan struct{} {
+	if c == nil {
+		return nil
+	}
+	return c.violated
+}
+
+// Events returns how many events each level has accepted.
+func (c *Conformance) Events() (converter, service int) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.convSeen, c.svcSeen
+}
+
+// errLocked returns the latched error without the nil-interface trap.
+func (c *Conformance) errLocked() error {
+	if c.err == nil {
+		return nil
+	}
+	return c.err
+}
+
+func (c *Conformance) latch(e *ConformanceError) {
+	c.err = e
+	c.closeOnce.Do(func() { close(c.violated) })
+}
+
+func (c *Conformance) note(e spec.Event) {
+	if len(c.recent) == conformRecentLen {
+		copy(c.recent, c.recent[1:])
+		c.recent = c.recent[:conformRecentLen-1]
+	}
+	c.recent = append(c.recent, e)
+}
+
+func (c *Conformance) recentTail() []spec.Event {
+	out := make([]spec.Event, len(c.recent))
+	copy(out, c.recent)
+	return out
+}

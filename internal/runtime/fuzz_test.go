@@ -1,0 +1,66 @@
+package runtime
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeFrame hammers the wire decoder with arbitrary byte streams —
+// the receiver-side view of a channel that corrupts kind and length
+// prefixes, not just payloads. Invariants: ReadFrame never panics, never
+// allocates a payload past MaxWirePayload or a kind past 255 bytes, and
+// anything it accepts re-encodes byte-for-byte to the prefix it consumed
+// (so decode ∘ encode is the identity on the wire).
+func FuzzDecodeFrame(f *testing.F) {
+	for _, m := range []Msg{
+		{Kind: "d0", Payload: []byte("hello")},
+		{Kind: "A"},
+		{Kind: "D", Payload: bytes.Repeat([]byte{0xAB}, 1024)},
+	} {
+		for _, hdr := range [][2]byte{
+			{frameData, dirForward}, {frameData, dirReverse}, {frameTimeout, dirReverse},
+		} {
+			enc, err := EncodeFrame(hdr[0], hdr[1], m)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(enc)
+			// The same frame with a damaged checksum and a damaged length.
+			bad := append([]byte(nil), enc...)
+			bad[len(bad)-1] ^= 0xFF
+			f.Add(bad)
+			long := append([]byte(nil), enc...)
+			long[3+len(m.Kind)] = 0xFF
+			f.Add(long)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{'D'})
+	f.Add([]byte{'D', 'F', 3, 'a', 'b', 'c', 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		ftype, dir, m, err := ReadFrame(r)
+		if err != nil {
+			if errors.Is(err, ErrFrameChecksum) && ftype == 0 && dir == 0 {
+				t.Error("checksum error must return the decoded header")
+			}
+			return
+		}
+		if len(m.Payload) > MaxWirePayload {
+			t.Fatalf("payload %d bytes exceeds MaxWirePayload", len(m.Payload))
+		}
+		if len(m.Kind) > 255 {
+			t.Fatalf("kind %d bytes exceeds the 1-byte length prefix", len(m.Kind))
+		}
+		enc, err := EncodeFrame(ftype, dir, m)
+		if err != nil {
+			t.Fatalf("accepted frame fails to re-encode: %v", err)
+		}
+		consumed := len(data) - r.Len()
+		if !bytes.Equal(enc, data[:consumed]) {
+			t.Fatalf("re-encode of accepted frame differs from consumed input:\n%x\n%x",
+				enc, data[:consumed])
+		}
+	})
+}

@@ -1,0 +1,50 @@
+package runtime
+
+import (
+	"fmt"
+
+	"protoquot/internal/spec"
+)
+
+// RedirectEdge rebuilds s with the external transition (from, e) sent to a
+// different target state — the canonical single-fault mutation for
+// demonstrating the conformance monitor: the mutated converter still
+// type-checks against the runtime's port maps, but its first divergence
+// from the derived specification is an event the reference does not enable.
+// It fails if from, to, or the edge (from, e) does not exist.
+func RedirectEdge(s *spec.Spec, from string, e spec.Event, to string) (*spec.Spec, error) {
+	fromSt, ok := s.LookupState(from)
+	if !ok {
+		return nil, fmt.Errorf("runtime: no state %q in %s", from, s.Name())
+	}
+	if _, ok := s.LookupState(to); !ok {
+		return nil, fmt.Errorf("runtime: no state %q in %s", to, s.Name())
+	}
+	b := spec.NewBuilder(s.Name() + "~mut")
+	for st := spec.State(0); int(st) < s.NumStates(); st++ {
+		b.State(s.StateName(st))
+	}
+	b.Init(s.StateName(s.Init()))
+	for _, ev := range s.Alphabet() {
+		b.Event(ev)
+	}
+	redirected := false
+	for st := spec.State(0); int(st) < s.NumStates(); st++ {
+		name := s.StateName(st)
+		for _, ed := range s.ExtEdges(st) {
+			target := s.StateName(ed.To)
+			if st == fromSt && ed.Event == e && !redirected {
+				target = to
+				redirected = true
+			}
+			b.Ext(name, ed.Event, target)
+		}
+		for _, t := range s.IntEdges(st) {
+			b.Int(name, s.StateName(t))
+		}
+	}
+	if !redirected {
+		return nil, fmt.Errorf("runtime: state %q has no %q edge in %s", from, e, s.Name())
+	}
+	return b.Build()
+}

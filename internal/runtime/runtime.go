@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"protoquot/internal/spec"
 )
@@ -24,39 +25,68 @@ type Msg struct {
 	Payload []byte
 }
 
-// Link is a unidirectional, capacity-one link that may drop messages. After
-// a drop, a timeout token is posted to the configured channel — the runtime
-// counterpart of the specification channels' "timeouts never premature"
-// rule.
+// Link is a unidirectional link that may misbehave according to its
+// FaultModel. After a loss (or a corruption, which the link checksum turns
+// into a loss), a timeout token is posted to the configured channel — the
+// runtime counterpart of the specification channels' "timeouts never
+// premature" rule. The classic NewLink constructor yields a capacity-one,
+// loss-only link; NewFaultyLink buffers a few messages so duplication and
+// reordering have room to act.
+//
+// Links are single-producer: one goroutine calls Send, any number call
+// Recv. The fault schedule is drawn under the link mutex, so for a
+// stop-and-wait protocol the entire run is a deterministic function of the
+// seed.
 type Link struct {
-	c        chan Msg
-	lossRate float64
-	timeout  chan<- struct{}
+	c       chan Msg
+	timeout chan<- struct{}
 
-	mu  sync.Mutex
-	rng *rand.Rand
-
-	sent    int
-	dropped int
+	mu    sync.Mutex
+	sched schedule
+	stats FaultStats
 }
 
-// NewLink creates a link. lossRate is the probability a message is dropped;
-// timeout (may be nil when lossRate is 0) receives one token per drop.
+// NewLink creates a capacity-one link with loss as its only fault.
+// lossRate is the probability a message is dropped; timeout (may be nil
+// when lossRate is 0) receives one token per drop.
 func NewLink(lossRate float64, timeout chan<- struct{}, rng *rand.Rand) *Link {
-	return &Link{c: make(chan Msg, 1), lossRate: lossRate, timeout: timeout, rng: rng}
+	return newLink(1, FaultModel{Loss: lossRate}, timeout, rng)
 }
 
-// Send transmits m, blocking while the link is occupied. It returns false
-// if the context is done. A dropped message still counts as sent.
+// NewFaultyLink creates a link with the given fault model and an 8-message
+// buffer (duplicates and overtaking need in-flight room). timeout receives
+// one token per loss or detected corruption; rng drives the schedule and
+// must not be shared with another link.
+func NewFaultyLink(model FaultModel, timeout chan<- struct{}, rng *rand.Rand) *Link {
+	return newLink(8, model, timeout, rng)
+}
+
+func newLink(capacity int, model FaultModel, timeout chan<- struct{}, rng *rand.Rand) *Link {
+	return &Link{
+		c:       make(chan Msg, capacity),
+		timeout: timeout,
+		sched:   schedule{model: model, rng: rng},
+	}
+}
+
+// Send transmits m, blocking while the link is full. It returns false if
+// the context is done. A dropped message still counts as sent.
 func (l *Link) Send(ctx context.Context, m Msg) bool {
 	l.mu.Lock()
-	drop := l.lossRate > 0 && l.rng.Float64() < l.lossRate
-	l.sent++
-	if drop {
-		l.dropped++
+	d := l.sched.next()
+	l.stats.Sent++
+	switch {
+	case d.drop:
+		l.stats.Dropped++
+	case d.corrupt:
+		l.stats.Corrupted++
 	}
 	l.mu.Unlock()
-	if drop {
+	if d.drop || d.corrupt {
+		// Lost in flight (corruption is loss after the checksum check).
+		if l.timeout == nil {
+			return true
+		}
 		select {
 		case l.timeout <- struct{}{}:
 		case <-ctx.Done():
@@ -64,10 +94,73 @@ func (l *Link) Send(ctx context.Context, m Msg) bool {
 		}
 		return true
 	}
+	if d.delay > 0 {
+		l.mu.Lock()
+		l.stats.Delayed++
+		l.mu.Unlock()
+		t := time.NewTimer(d.delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return false
+		}
+	}
+	if d.reorder && l.overtake(m) {
+		l.mu.Lock()
+		l.stats.Reordered++
+		l.mu.Unlock()
+	} else {
+		select {
+		case l.c <- m:
+		case <-ctx.Done():
+			return false
+		}
+	}
+	if d.dup {
+		// Best-effort duplicate: never block the sender for a fault.
+		select {
+		case l.c <- m:
+			l.mu.Lock()
+			l.stats.Duplicated++
+			l.mu.Unlock()
+		default:
+		}
+	}
+	return true
+}
+
+// overtake attempts to deliver m ahead of one already-buffered message of
+// the same kind: it pops the oldest buffered message and re-enqueues
+// (m, old). Reordering applies only to buffered traffic — an empty link
+// delivers in order, so a lone in-flight message can never be held back
+// (which would deadlock a stop-and-wait peer) — and only to frames of the
+// same kind: in a stop-and-wait run distinct kinds delimit protocol phases,
+// and letting a stale retransmission copy slip behind the next phase's
+// frame would resurrect it later as a ghost message no real FIFO-ish
+// channel produces. (Protocols that window multiple distinct messages see
+// real reordering.) With a single producer the two re-enqueues cannot
+// block: after the pop at least one slot is free and only the consumer
+// touches the channel concurrently.
+func (l *Link) overtake(m Msg) bool {
+	// Only the exactly-one-buffered case can be unwound safely: popping the
+	// head when more is queued and restoring it would itself reorder, since
+	// a channel restore goes to the tail. The consumer never adds, so after
+	// a successful pop at len 1 the buffer is empty and the two pushes
+	// cannot block.
+	if cap(l.c) < 2 || len(l.c) != 1 {
+		return false
+	}
 	select {
-	case l.c <- m:
-		return true
-	case <-ctx.Done():
+	case old := <-l.c:
+		if old.Kind == m.Kind {
+			l.c <- m
+			l.c <- old
+			return true
+		}
+		l.c <- old // different phase: restore order
+		return false
+	default:
 		return false
 	}
 }
@@ -75,11 +168,19 @@ func (l *Link) Send(ctx context.Context, m Msg) bool {
 // Recv returns the link's delivery channel.
 func (l *Link) Recv() <-chan Msg { return l.c }
 
-// Stats returns (sent, dropped) counts.
+// Stats returns (sent, lost) counts, where lost includes detected
+// corruptions. See FaultStats for the full breakdown.
 func (l *Link) Stats() (sent, dropped int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.sent, l.dropped
+	return l.stats.Sent, l.stats.Lost()
+}
+
+// FaultStats returns the full fault counters.
+func (l *Link) FaultStats() FaultStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
 }
 
 // Duplex is a pair of links plus the shared timeout channel delivered to
@@ -101,21 +202,54 @@ func NewDuplex(lossRate float64, rng *rand.Rand) *Duplex {
 	}
 }
 
+// NewFaultyDuplex builds a duplex whose two directions both misbehave per
+// model. Each direction draws from its own seed-derived source, so one
+// direction's traffic volume never perturbs the other's fault schedule and
+// the pair is reproducible from (model, seed) alone.
+func NewFaultyDuplex(model FaultModel, seed int64) *Duplex {
+	tmo := make(chan struct{}, 64)
+	return &Duplex{
+		Forward: NewFaultyLink(model, tmo, splitRNG(seed, 1)),
+		Reverse: NewFaultyLink(model, tmo, splitRNG(seed, 2)),
+		Timeout: tmo,
+	}
+}
+
 // ABSender runs the alternating-bit sender over the duplex link: for each
 // payload, transmit d<bit> until the matching a<bit> returns, retransmitting
 // on each timeout token. It returns the number of payloads fully
 // acknowledged before ctx ended.
 func ABSender(ctx context.Context, payloads [][]byte, d *Duplex) int {
+	return MonitoredABSender(ctx, payloads, d, nil)
+}
+
+// MonitoredABSender is ABSender with conformance monitoring: accepting a
+// payload for transmission is the service event "acc", observed before the
+// first data frame carrying it can leave. mon may be nil.
+func MonitoredABSender(ctx context.Context, payloads [][]byte, d *Duplex, mon *Conformance) int {
 	bit := 0
 	done := 0
 	for _, p := range payloads {
 		kind := fmt.Sprintf("d%d", bit)
 		want := fmt.Sprintf("a%d", bit)
+		mon.Service(spec.Event("acc"))
 		if !d.Forward.Send(ctx, Msg{Kind: kind, Payload: p}) {
 			return done
 		}
 	awaitAck:
 		for {
+			// Drain acknowledgements before reacting to timeout tokens: when
+			// a stale token and the awaited ack are both ready, taking the
+			// token first would manufacture a spurious retransmission chosen
+			// by the scheduler, not the seed.
+			select {
+			case m := <-d.Reverse.Recv():
+				if m.Kind == want {
+					break awaitAck
+				}
+				continue // stale acknowledgement: ignore
+			default:
+			}
 			select {
 			case m := <-d.Reverse.Recv():
 				if m.Kind == want {
@@ -139,9 +273,17 @@ func ABSender(ctx context.Context, payloads [][]byte, d *Duplex) int {
 // NSReceiver runs the non-sequenced receiver: every data message D is
 // delivered (sent to out) and acknowledged with A. It stops when ctx ends.
 func NSReceiver(ctx context.Context, d *Duplex, out chan<- []byte) {
+	MonitoredNSReceiver(ctx, d, out, nil)
+}
+
+// MonitoredNSReceiver is NSReceiver with conformance monitoring: each
+// delivery is the service event "del", observed before the payload reaches
+// the user and before the acknowledgement is returned. mon may be nil.
+func MonitoredNSReceiver(ctx context.Context, d *Duplex, out chan<- []byte, mon *Conformance) {
 	for {
 		select {
 		case m := <-d.Forward.Recv():
+			mon.Service(spec.Event("del"))
 			select {
 			case out <- m.Payload:
 			case <-ctx.Done():
@@ -196,9 +338,28 @@ func (e *InterpretError) Error() string {
 // message or timeout token and follows the corresponding event. It returns
 // when ctx ends, or with an *InterpretError on a mismatch.
 func Converter(ctx context.Context, conv *spec.Spec, a, b *Duplex, pm PortMap) error {
+	return MonitoredConverter(ctx, conv, a, b, pm, nil)
+}
+
+// MonitoredConverter is Converter with conformance monitoring: every event
+// the interpreter executes — sends it chooses and receives it follows — is
+// reported to mon before it takes effect, so a run of a faulty converter
+// (or of a correct converter over channels worse than it was derived for)
+// is flagged at the first event its reference specification does not
+// enable. mon may be nil.
+func MonitoredConverter(ctx context.Context, conv *spec.Spec, a, b *Duplex, pm PortMap, mon *Conformance) error {
 	cur := conv.Init()
 	var buffered []byte
+	recvA := make(map[spec.Event]bool, len(pm.RecvA))
+	for _, e := range pm.RecvA {
+		recvA[e] = true
+	}
+	recvB := make(map[spec.Event]bool, len(pm.RecvB))
+	for _, e := range pm.RecvB {
+		recvB[e] = true
+	}
 	step := func(e spec.Event) bool {
+		mon.Converter(e)
 		for _, ed := range conv.ExtEdges(cur) {
 			if ed.Event == e {
 				cur = ed.To
@@ -208,13 +369,30 @@ func Converter(ctx context.Context, conv *spec.Spec, a, b *Duplex, pm PortMap) e
 		return false
 	}
 	for {
-		// Collect enabled send events.
+		// Classify the current state's enabled events: sends to take, and
+		// which input channels to listen on. Selective receive — polling a
+		// channel only while some event of its port is enabled — is the
+		// interpreter's scheduling freedom, and it is what lets the derived
+		// converter absorb duplicated frames: a duplicate arriving mid
+		//-exchange stays buffered until the converter reaches the state
+		// whose retransmission edges expect it, instead of being read early
+		// and rejected.
 		var sends []spec.Event
+		var aCh, bCh <-chan Msg
+		var tA, tB <-chan struct{}
 		for _, ed := range conv.ExtEdges(cur) {
-			if _, ok := pm.SendA[ed.Event]; ok {
-				sends = append(sends, ed.Event)
-			} else if _, ok := pm.SendB[ed.Event]; ok {
-				sends = append(sends, ed.Event)
+			e := ed.Event
+			switch {
+			case pm.SendA[e] != "" || pm.SendB[e] != "":
+				sends = append(sends, e)
+			case recvA[e]:
+				aCh = a.Forward.Recv()
+			case recvB[e]:
+				bCh = b.Reverse.Recv()
+			case pm.TimeoutA != "" && e == pm.TimeoutA:
+				tA = a.Timeout
+			case pm.TimeoutB != "" && e == pm.TimeoutB:
+				tB = b.Timeout
 			}
 		}
 		if len(sends) > 0 {
@@ -233,7 +411,7 @@ func Converter(ctx context.Context, conv *spec.Spec, a, b *Duplex, pm PortMap) e
 			continue
 		}
 		select {
-		case m := <-a.Forward.Recv():
+		case m := <-aCh:
 			e, ok := pm.RecvA[m.Kind]
 			if !ok || !step(e) {
 				return &InterpretError{State: conv.StateName(cur), Event: e}
@@ -241,7 +419,7 @@ func Converter(ctx context.Context, conv *spec.Spec, a, b *Duplex, pm PortMap) e
 			if m.Payload != nil {
 				buffered = m.Payload
 			}
-		case m := <-b.Reverse.Recv():
+		case m := <-bCh:
 			e, ok := pm.RecvB[m.Kind]
 			if !ok || !step(e) {
 				return &InterpretError{State: conv.StateName(cur), Event: e}
@@ -249,11 +427,11 @@ func Converter(ctx context.Context, conv *spec.Spec, a, b *Duplex, pm PortMap) e
 			if m.Payload != nil {
 				buffered = m.Payload
 			}
-		case <-timeoutChan(a, pm.TimeoutA):
+		case <-tA:
 			if !step(pm.TimeoutA) {
 				return &InterpretError{State: conv.StateName(cur), Event: pm.TimeoutA}
 			}
-		case <-timeoutChan(b, pm.TimeoutB):
+		case <-tB:
 			if !step(pm.TimeoutB) {
 				return &InterpretError{State: conv.StateName(cur), Event: pm.TimeoutB}
 			}
@@ -261,15 +439,6 @@ func Converter(ctx context.Context, conv *spec.Spec, a, b *Duplex, pm PortMap) e
 			return nil
 		}
 	}
-}
-
-// timeoutChan returns the duplex's timeout channel if the converter handles
-// that side's timeouts, and a nil (never-ready) channel otherwise.
-func timeoutChan(d *Duplex, e spec.Event) <-chan struct{} {
-	if e == "" {
-		return nil
-	}
-	return d.Timeout
 }
 
 // ABToNSPortMap returns the PortMap for the AB→NS conversion runtime, where

@@ -5,9 +5,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math/rand"
 	"sync"
+	"time"
 )
 
 // Wire framing: the runtime's messages can cross real network connections,
@@ -21,12 +23,17 @@ import (
 //	n bytes kind
 //	4 bytes payload length m, big endian
 //	m bytes payload
+//	4 bytes CRC-32 (IEEE) of everything above, big endian
 //
-// Loss is a property of the wire: each endpoint drops its own outgoing
-// data frames with the configured probability and then signals the
-// initiator — locally when the initiator dropped its own frame, via a 'T'
-// frame when the responder dropped an acknowledgement — preserving the
-// specification channels' "timeouts never premature" rule.
+// Faults are a property of the wire: each endpoint damages its own
+// outgoing data frames per its FaultModel and then makes sure the
+// initiator learns of any loss — locally when the initiator dropped its
+// own frame, via a 'T' frame when the responder dropped an
+// acknowledgement — preserving the specification channels' "timeouts never
+// premature" rule. Corruption is injected as a deliberately damaged
+// checksum with the framing bytes intact, so the receiver's ReadFrame
+// detects it (ErrFrameChecksum), stays in sync on the stream, and treats
+// the frame as lost.
 
 const (
 	frameData    = 'D'
@@ -40,31 +47,52 @@ const (
 	MaxWirePayload = 1 << 20
 )
 
-// WriteFrame encodes one frame.
-func WriteFrame(w io.Writer, ftype, dir byte, m Msg) error {
+// ErrFrameChecksum reports a frame whose CRC-32 did not match: corrupted in
+// flight, detected and discarded by the link layer. The full frame has been
+// consumed from the stream, so the caller may keep reading.
+var ErrFrameChecksum = errors.New("runtime: frame checksum mismatch")
+
+// EncodeFrame encodes one frame, including its CRC-32 trailer.
+func EncodeFrame(ftype, dir byte, m Msg) ([]byte, error) {
 	if len(m.Kind) > 255 {
-		return fmt.Errorf("runtime: message kind too long (%d bytes)", len(m.Kind))
+		return nil, fmt.Errorf("runtime: message kind too long (%d bytes)", len(m.Kind))
 	}
 	if len(m.Payload) > MaxWirePayload {
-		return fmt.Errorf("runtime: payload exceeds %d bytes", MaxWirePayload)
+		return nil, fmt.Errorf("runtime: payload exceeds %d bytes", MaxWirePayload)
 	}
-	buf := make([]byte, 0, 7+len(m.Kind)+len(m.Payload))
+	buf := make([]byte, 0, 11+len(m.Kind)+len(m.Payload))
 	buf = append(buf, ftype, dir, byte(len(m.Kind)))
 	buf = append(buf, m.Kind...)
 	var lenb [4]byte
 	binary.BigEndian.PutUint32(lenb[:], uint32(len(m.Payload)))
 	buf = append(buf, lenb[:]...)
 	buf = append(buf, m.Payload...)
-	_, err := w.Write(buf)
+	var crcb [4]byte
+	binary.BigEndian.PutUint32(crcb[:], crc32.ChecksumIEEE(buf))
+	buf = append(buf, crcb[:]...)
+	return buf, nil
+}
+
+// WriteFrame encodes one frame and writes it.
+func WriteFrame(w io.Writer, ftype, dir byte, m Msg) error {
+	buf, err := EncodeFrame(ftype, dir, m)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
 	return err
 }
 
-// ReadFrame decodes one frame.
+// ReadFrame decodes one frame. On ErrFrameChecksum the frame was
+// structurally valid but damaged; it has been fully consumed (the stream
+// remains aligned) and the decoded header is returned for diagnosis.
 func ReadFrame(r io.Reader) (ftype, dir byte, m Msg, err error) {
 	var hdr [3]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
 		return 0, 0, Msg{}, err
 	}
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:])
 	ftype, dir = hdr[0], hdr[1]
 	if ftype != frameData && ftype != frameTimeout {
 		return 0, 0, Msg{}, fmt.Errorf("runtime: bad frame type %q", ftype)
@@ -76,10 +104,12 @@ func ReadFrame(r io.Reader) (ftype, dir byte, m Msg, err error) {
 	if _, err = io.ReadFull(r, kind); err != nil {
 		return 0, 0, Msg{}, err
 	}
+	crc.Write(kind)
 	var lenb [4]byte
 	if _, err = io.ReadFull(r, lenb[:]); err != nil {
 		return 0, 0, Msg{}, err
 	}
+	crc.Write(lenb[:])
 	n := binary.BigEndian.Uint32(lenb[:])
 	if n > MaxWirePayload {
 		return 0, 0, Msg{}, fmt.Errorf("runtime: payload length %d exceeds limit", n)
@@ -87,6 +117,14 @@ func ReadFrame(r io.Reader) (ftype, dir byte, m Msg, err error) {
 	payload := make([]byte, n)
 	if _, err = io.ReadFull(r, payload); err != nil {
 		return 0, 0, Msg{}, err
+	}
+	crc.Write(payload)
+	var crcb [4]byte
+	if _, err = io.ReadFull(r, crcb[:]); err != nil {
+		return 0, 0, Msg{}, err
+	}
+	if binary.BigEndian.Uint32(crcb[:]) != crc.Sum32() {
+		return ftype, dir, Msg{}, ErrFrameChecksum
 	}
 	m = Msg{Kind: string(kind)}
 	if n > 0 {
@@ -100,17 +138,23 @@ type WireConfig struct {
 	// Initiator marks the side that owns the timeout channel (the
 	// retransmitting protocol entity lives there).
 	Initiator bool
-	// LossRate is the probability this endpoint drops one of its own
-	// outgoing data frames.
+	// Faults is the fault model this endpoint applies to its own outgoing
+	// data frames: drops and corruptions become timeouts for the
+	// initiator, duplicates are written twice, reordering opportunistically
+	// swaps a frame with the next one already waiting, and delay stalls
+	// the outbound pump (head-of-line, as on a real serial link).
+	Faults FaultModel
+	// LossRate is a shorthand for Faults = FaultModel{Loss: LossRate},
+	// honored only when Faults is zero (kept for older callers).
 	LossRate float64
-	// Rng drives loss decisions; required when LossRate > 0.
+	// Rng drives the fault schedule; required for any nonzero model.
 	Rng *rand.Rand
 }
 
 // RunWire bridges a local Duplex endpoint over a bidirectional stream.
 // The initiator's entity sends on local.Forward and receives on
 // local.Reverse; the responder's entity does the opposite. Both local
-// links should be loss-free (loss belongs to the wire; see WireConfig).
+// links should be loss-free (faults belong to the wire; see WireConfig).
 // RunWire blocks until ctx is done or the stream fails; io.EOF and
 // ErrClosedPipe from an orderly shutdown return nil.
 func RunWire(ctx context.Context, local *Duplex, conn io.ReadWriter, cfg WireConfig) error {
@@ -120,6 +164,10 @@ func RunWire(ctx context.Context, local *Duplex, conn io.ReadWriter, cfg WireCon
 		outLink, inLink = local.Forward, local.Reverse
 		outDir, inDir = dirForward, dirReverse
 	}
+	model := cfg.Faults
+	if model.Zero() && cfg.LossRate > 0 {
+		model = FaultModel{Loss: cfg.LossRate}
+	}
 
 	var wmu sync.Mutex
 	write := func(ftype, dir byte, m Msg) error {
@@ -127,33 +175,98 @@ func RunWire(ctx context.Context, local *Duplex, conn io.ReadWriter, cfg WireCon
 		defer wmu.Unlock()
 		return WriteFrame(conn, ftype, dir, m)
 	}
+	// writeCorrupt writes a structurally intact frame with a damaged
+	// checksum: the receiver consumes it, detects the mismatch, and treats
+	// it as a loss.
+	writeCorrupt := func(dir byte, m Msg) error {
+		buf, err := EncodeFrame(frameData, dir, m)
+		if err != nil {
+			return err
+		}
+		buf[len(buf)-1] ^= 0xFF
+		wmu.Lock()
+		defer wmu.Unlock()
+		_, err = conn.Write(buf)
+		return err
+	}
+	// signalLoss tells the initiator a frame vanished: locally when we are
+	// the initiator, with a 'T' frame when we are the responder.
+	signalLoss := func() error {
+		if cfg.Initiator {
+			select {
+			case local.Timeout <- struct{}{}:
+				return nil
+			case <-ctx.Done():
+				return nil
+			}
+		}
+		return write(frameTimeout, outDir, Msg{})
+	}
 
 	errc := make(chan error, 2)
-	// Outbound pump: local entity → wire, with loss.
+	// Outbound pump: local entity → wire, applying the fault schedule. The
+	// pump is the only goroutine drawing from the schedule, so the run is
+	// deterministic in (model, seed, send sequence).
 	go func() {
+		sched := schedule{model: model, rng: cfg.Rng}
 		for {
 			select {
 			case m := <-outLink.Recv():
-				drop := cfg.LossRate > 0 && cfg.Rng.Float64() < cfg.LossRate
-				if drop {
-					if cfg.Initiator {
-						select {
-						case local.Timeout <- struct{}{}:
-						case <-ctx.Done():
-							errc <- nil
-							return
-						}
-						continue
-					}
-					if err := write(frameTimeout, outDir, Msg{}); err != nil {
+				var d decision
+				if !model.Zero() {
+					d = sched.next()
+				}
+				if d.drop {
+					if err := signalLoss(); err != nil {
 						errc <- err
 						return
 					}
 					continue
 				}
-				if err := write(frameData, outDir, m); err != nil {
-					errc <- err
-					return
+				if d.delay > 0 {
+					t := time.NewTimer(d.delay)
+					select {
+					case <-t.C:
+					case <-ctx.Done():
+						t.Stop()
+						errc <- nil
+						return
+					}
+				}
+				if d.corrupt {
+					// The receiver detects the damage and signals the loss
+					// from its side; nothing more to do here.
+					if err := writeCorrupt(outDir, m); err != nil {
+						errc <- err
+						return
+					}
+					continue
+				}
+				frames := []Msg{m}
+				if d.reorder {
+					// Opportunistic overtake: if another frame of the same
+					// kind is already waiting, the newer one goes first. A
+					// lone frame is never held back, and distinct kinds keep
+					// their order (see Link.overtake for why). The overtaking
+					// frame rides along without a draw of its own.
+					select {
+					case m2 := <-outLink.Recv():
+						if m2.Kind == m.Kind {
+							frames = []Msg{m2, m}
+						} else {
+							frames = []Msg{m, m2}
+						}
+					default:
+					}
+				}
+				if d.dup {
+					frames = append(frames, m)
+				}
+				for _, fm := range frames {
+					if err := write(frameData, outDir, fm); err != nil {
+						errc <- err
+						return
+					}
 				}
 			case <-ctx.Done():
 				errc <- nil
@@ -161,10 +274,18 @@ func RunWire(ctx context.Context, local *Duplex, conn io.ReadWriter, cfg WireCon
 			}
 		}
 	}()
-	// Inbound pump: wire → local entity.
+	// Inbound pump: wire → local entity. Checksum failures count as losses
+	// of the peer's frames, so this side signals them.
 	go func() {
 		for {
 			ftype, dir, m, err := ReadFrame(conn)
+			if errors.Is(err, ErrFrameChecksum) {
+				if err := signalLoss(); err != nil {
+					errc <- err
+					return
+				}
+				continue
+			}
 			if err != nil {
 				errc <- err
 				return
@@ -201,8 +322,8 @@ func RunWire(ctx context.Context, local *Duplex, conn io.ReadWriter, cfg WireCon
 	return err
 }
 
-// inject delivers a message into the link without applying loss — used by
-// the wire bridge, where loss has already been decided by the sender's
+// inject delivers a message into the link without applying faults — used by
+// the wire bridge, where the fault schedule has already run at the sender's
 // endpoint.
 func (l *Link) inject(ctx context.Context, m Msg) bool {
 	select {

@@ -128,6 +128,69 @@ func (s *Spec) PsiStep(a State, e Event) (State, bool) {
 	return target, found
 }
 
+// TraceTracker follows a trace incrementally: it maintains the ε-closed set
+// of states the spec may occupy after the events observed so far, exactly
+// the frontier StatesAfter would compute, but advanced one event at a time
+// in O(frontier) per step. It is the substrate of online conformance
+// checking (internal/runtime.Conformance): a deployed implementation's
+// events are fed to Step, and the first event the specification does not
+// enable is a safety violation.
+//
+// A TraceTracker is not safe for concurrent use; callers serialize access.
+type TraceTracker struct {
+	s   *Spec
+	cur []State
+	n   int
+}
+
+// Track returns a tracker positioned at the empty trace.
+func (s *Spec) Track() *TraceTracker {
+	return &TraceTracker{s: s, cur: closeSet(s, []State{s.init})}
+}
+
+// Step advances the tracker by one event. It reports whether the extended
+// sequence is still a trace of the spec; on false the tracker is left
+// unchanged, so the caller can inspect Enabled() for diagnosis.
+func (t *TraceTracker) Step(e Event) bool {
+	nxt := stepSet(t.s, t.cur, e)
+	if len(nxt) == 0 {
+		return false
+	}
+	t.cur = nxt
+	t.n++
+	return true
+}
+
+// Enabled returns the external events that may occur next — the union of
+// τ.a over the current state set — sorted.
+func (t *TraceTracker) Enabled() []Event {
+	seen := make(map[Event]struct{})
+	for _, a := range t.cur {
+		for _, e := range t.s.tau[a] {
+			seen[e] = struct{}{}
+		}
+	}
+	out := make([]Event, 0, len(seen))
+	for e := range seen {
+		out = append(out, e)
+	}
+	sortEvents(out)
+	return out
+}
+
+// States returns the current ε-closed state set, sorted. The caller must
+// not modify the returned slice.
+func (t *TraceTracker) States() []State { return t.cur }
+
+// Len returns the number of events stepped so far.
+func (t *TraceTracker) Len() int { return t.n }
+
+// Reset returns the tracker to the empty trace.
+func (t *TraceTracker) Reset() {
+	t.cur = closeSet(t.s, []State{t.s.init})
+	t.n = 0
+}
+
 // TracesUpTo enumerates all traces of length ≤ maxLen in shortlex order.
 // It is exponential in maxLen and intended for tests and small examples.
 func (s *Spec) TracesUpTo(maxLen int) [][]Event {
