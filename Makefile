@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify vet build test race benchsmoke fuzz-smoke
+.PHONY: verify vet build test race benchsmoke fuzz-smoke bench
 
 verify: vet build test race benchsmoke fuzz-smoke
 	@echo "verify: OK"
@@ -24,6 +24,16 @@ race:
 # the bench harness and smoke-tests the parallel engine under -benchtime=1x.
 benchsmoke:
 	$(GO) test -run '^$$' -bench Derive -benchtime 1x .
+
+# Full engine benchmarks with allocation figures, then the quotbench JSON
+# trajectory: appends spec-vs-indexed pipeline runs over the specgen scaling
+# families to the committed BENCH_pr3.json. EXPERIMENTS.md explains how to
+# read the file.
+bench:
+	$(GO) test -run '^$$' -bench 'Derive|Compose' -benchmem .
+	$(GO) run ./cmd/quotbench -label pr3 \
+		-families 'chain(4),chain(5),chaindrop(4),chaindrop(5),ring(2),ring(3)' \
+		-engine spec,indexed -workers 1,2 -reps 3 -append -out BENCH_pr3.json
 
 # Short fuzzing bursts over the wire decoder and the DSL parser: enough to
 # catch regressions in frame bounds-checking and grammar handling without

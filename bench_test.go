@@ -22,6 +22,7 @@ import (
 	"protoquot/internal/runtime"
 	"protoquot/internal/sat"
 	"protoquot/internal/spec"
+	"protoquot/internal/specgen"
 )
 
 // --- E2/E3: protocol systems provide their services (figures 7, 8) ---
@@ -597,4 +598,78 @@ func BenchmarkAblationChannelModel(b *testing.B) {
 		}
 		b.ReportMetric(float64(states), "states")
 	})
+}
+
+// --- PR: fused index-space composition and the memoized progress phase ---
+//
+// Each specgen family runs through both pipelines: eager string-keyed
+// composition feeding Derive ("spec engine"), and the fused integer
+// index-space composition feeding DeriveEnv ("indexed engine"). The
+// quotbench command records the same comparison as committed JSON
+// (BENCH_pr3.json); these benchmarks keep it visible to `go test -bench`.
+
+func benchFamilySpecEngine(b *testing.B, f specgen.Family) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env, err := compose.Many(f.Components...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.Derive(f.Service, env, core.Options{OmitVacuous: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchFamilyIndexedEngine(b *testing.B, f specgen.Family) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env, err := compose.IndexedMany(f.Components...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.DeriveEnv(f.Service, env, core.Options{OmitVacuous: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeriveChainSpecEngine(b *testing.B)        { benchFamilySpecEngine(b, specgen.Chain(5)) }
+func BenchmarkDeriveChainIndexedEngine(b *testing.B)     { benchFamilyIndexedEngine(b, specgen.Chain(5)) }
+func BenchmarkDeriveChainDropSpecEngine(b *testing.B)    { benchFamilySpecEngine(b, specgen.ChainDrop(4)) }
+func BenchmarkDeriveChainDropIndexedEngine(b *testing.B) { benchFamilyIndexedEngine(b, specgen.ChainDrop(4)) }
+
+// Composition alone, eager fold vs fused index space. Ring components share
+// events pairwise around a cycle, the worst case for the left fold's
+// intermediate products.
+func BenchmarkComposeRingEager(b *testing.B) {
+	f := specgen.Ring(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := compose.Many(f.Components...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkComposeRingIndexed(b *testing.B) {
+	f := specgen.Ring(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := compose.IndexedMany(f.Components...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The fused composition at a size the eager fold cannot reach in reasonable
+// time (ring(5) = 30720 composite states; the fold takes minutes).
+func BenchmarkComposeRingIndexedLarge(b *testing.B) {
+	f := specgen.Ring(5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := compose.IndexedMany(f.Components...); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

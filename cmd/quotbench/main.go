@@ -1,0 +1,237 @@
+// Command quotbench measures the derivation pipeline — composition,
+// safety phase, progress phase — on the deterministic specgen scaling
+// families and emits machine-readable JSON, so perf changes to the engine
+// leave a committed trajectory (BENCH_pr3.json) instead of anecdotes.
+//
+// Usage:
+//
+//	quotbench [-label name] [-families list] [-workers list] [-reps n]
+//	          [-engine spec] [-out file] [-append]
+//
+// Families are named like "chain(5)", "chaindrop(4)", "ring(3)",
+// comma-separated. Times are the minimum over -reps repetitions (the
+// standard way to suppress scheduler noise); allocation figures come from
+// a dedicated instrumented repetition. With -append, the output file's
+// existing runs are kept and the new ones added — this is how a
+// before/after engine comparison accumulates into one file.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"protoquot/internal/compose"
+	"protoquot/internal/core"
+	"protoquot/internal/specgen"
+)
+
+// Run is one measured (family, engine, workers) configuration.
+type Run struct {
+	Label   string `json:"label"`
+	Family  string `json:"family"`
+	Engine  string `json:"engine"`
+	Workers int    `json:"workers"`
+	Reps    int    `json:"reps"`
+
+	ComposeNs  int64 `json:"compose_ns"`
+	DeriveNs   int64 `json:"derive_ns"`
+	SafetyNs   int64 `json:"safety_ns"`
+	ProgressNs int64 `json:"progress_ns"`
+	TotalNs    int64 `json:"total_ns"`
+
+	AllocBytes uint64 `json:"alloc_bytes"`
+	Allocs     uint64 `json:"allocs"`
+
+	BStates       int `json:"b_states"`
+	SafetyStates  int `json:"safety_states"`
+	FinalStates   int `json:"final_states"`
+	ProgressIters int `json:"progress_iterations"`
+	RemovedStates int `json:"removed_states"`
+
+	TauCacheHits     int `json:"tau_cache_hits,omitempty"`
+	TauInvalidated   int `json:"tau_invalidated,omitempty"`
+	ReadySetRebuilds int `json:"ready_set_rebuilds,omitempty"`
+}
+
+// Output is the committed JSON document.
+type Output struct {
+	Note string `json:"note"`
+	Runs []Run  `json:"runs"`
+}
+
+var famPattern = regexp.MustCompile(`^([a-z]+)\((\d+)\)$`)
+
+func parseFamily(name string) (specgen.Family, error) {
+	m := famPattern.FindStringSubmatch(strings.TrimSpace(name))
+	if m == nil {
+		return specgen.Family{}, fmt.Errorf("quotbench: bad family %q (want e.g. chain(4))", name)
+	}
+	n, _ := strconv.Atoi(m[2])
+	switch m[1] {
+	case "chain":
+		return specgen.Chain(n), nil
+	case "chaindrop":
+		return specgen.ChainDrop(n), nil
+	case "ring":
+		return specgen.Ring(n), nil
+	}
+	return specgen.Family{}, fmt.Errorf("quotbench: unknown family kind %q", m[1])
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// measurement is one repetition's outcome.
+type measurement struct {
+	composeNs, deriveNs, safetyNs, progressNs int64
+	bStates                                   int
+	stats                                     core.Stats
+}
+
+// runOnce executes one compose+derive repetition with the chosen engine.
+func runOnce(f specgen.Family, engine string, workers int) (measurement, error) {
+	var m measurement
+	opts := core.Options{OmitVacuous: true, Workers: workers}
+	switch engine {
+	case "spec":
+		t0 := time.Now()
+		b, err := compose.Many(f.Components...)
+		if err != nil {
+			return m, err
+		}
+		m.composeNs = time.Since(t0).Nanoseconds()
+		m.bStates = b.NumStates()
+		t0 = time.Now()
+		res, err := core.Derive(f.Service, b, opts)
+		if err != nil {
+			return m, fmt.Errorf("%s: %w", f.Name, err)
+		}
+		m.deriveNs = time.Since(t0).Nanoseconds()
+		m.stats = res.Stats
+	case "indexed":
+		t0 := time.Now()
+		b, err := compose.IndexedMany(f.Components...)
+		if err != nil {
+			return m, err
+		}
+		m.composeNs = time.Since(t0).Nanoseconds()
+		m.bStates = b.NumStates()
+		t0 = time.Now()
+		res, err := core.DeriveEnv(f.Service, b, opts)
+		if err != nil {
+			return m, fmt.Errorf("%s: %w", f.Name, err)
+		}
+		m.deriveNs = time.Since(t0).Nanoseconds()
+		m.stats = res.Stats
+	default:
+		return m, fmt.Errorf("quotbench: unknown engine %q", engine)
+	}
+	m.safetyNs = m.stats.Metrics.SafetyWall.Nanoseconds()
+	m.progressNs = m.stats.Metrics.ProgressWall.Nanoseconds()
+	return m, nil
+}
+
+func main() {
+	var (
+		label    = flag.String("label", "dev", "label identifying the engine build, e.g. pr2 or pr3")
+		families = flag.String("families", "chain(4),chain(5),chaindrop(4),ring(3)", "comma-separated family instances")
+		workers  = flag.String("workers", "1", "comma-separated worker counts")
+		reps     = flag.Int("reps", 3, "repetitions per configuration (minimum is reported)")
+		engines  = flag.String("engine", "spec", "comma-separated engines: spec (string compose + Derive), indexed (fused compose + DeriveEnv)")
+		out      = flag.String("out", "", "output JSON file (default stdout)")
+		appendTo = flag.Bool("append", false, "keep existing runs in -out and append")
+	)
+	flag.Parse()
+	if err := run(*label, *families, *workers, *engines, *reps, *out, *appendTo); err != nil {
+		fmt.Fprintf(os.Stderr, "quotbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(label, families, workers, engines string, reps int, out string, appendTo bool) error {
+	ws, err := parseInts(workers)
+	if err != nil {
+		return err
+	}
+	doc := Output{Note: "protoquot derivation-pipeline benchmarks over specgen families; times are min-of-reps nanoseconds, allocations from one instrumented rep"}
+	if appendTo && out != "" {
+		if data, err := os.ReadFile(out); err == nil {
+			if err := json.Unmarshal(data, &doc); err != nil {
+				return fmt.Errorf("existing %s: %w", out, err)
+			}
+		}
+	}
+	for _, fname := range strings.Split(families, ",") {
+		f, err := parseFamily(fname)
+		if err != nil {
+			return err
+		}
+		for _, engine := range strings.Split(engines, ",") {
+			engine = strings.TrimSpace(engine)
+			for _, w := range ws {
+				r := Run{Label: label, Family: f.Name, Engine: engine, Workers: w, Reps: reps}
+				for i := 0; i < reps; i++ {
+					m, err := runOnce(f, engine, w)
+					if err != nil {
+						return err
+					}
+					total := m.composeNs + m.deriveNs
+					if i == 0 || total < r.TotalNs {
+						r.TotalNs = total
+						r.ComposeNs, r.DeriveNs = m.composeNs, m.deriveNs
+						r.SafetyNs, r.ProgressNs = m.safetyNs, m.progressNs
+					}
+					r.BStates = m.bStates
+					r.SafetyStates = m.stats.SafetyStates
+					r.FinalStates = m.stats.FinalStates
+					r.ProgressIters = m.stats.ProgressIterations
+					r.RemovedStates = m.stats.RemovedStates
+					r.TauCacheHits = m.stats.Metrics.TauCacheHits
+					r.TauInvalidated = m.stats.Metrics.TauInvalidated
+					r.ReadySetRebuilds = m.stats.Metrics.ReadySetRebuilds
+				}
+				// One instrumented repetition for allocation figures.
+				var before, after runtime.MemStats
+				runtime.GC()
+				runtime.ReadMemStats(&before)
+				if _, err := runOnce(f, engine, w); err != nil {
+					return err
+				}
+				runtime.ReadMemStats(&after)
+				r.AllocBytes = after.TotalAlloc - before.TotalAlloc
+				r.Allocs = after.Mallocs - before.Mallocs
+				doc.Runs = append(doc.Runs, r)
+				fmt.Fprintf(os.Stderr, "%s %s engine=%s workers=%d: total=%s compose=%s derive=%s (safety=%s progress=%s) allocs=%d\n",
+					label, f.Name, engine, w,
+					time.Duration(r.TotalNs), time.Duration(r.ComposeNs), time.Duration(r.DeriveNs),
+					time.Duration(r.SafetyNs), time.Duration(r.ProgressNs), r.Allocs)
+			}
+		}
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}

@@ -29,17 +29,23 @@
 //	                  for every n; 0 or 1 = sequential)
 //	-stats            print derivation statistics and engine metrics to stderr
 //	-v                narrate the derivation phases to stderr
+//	-cpuprofile file  write a CPU profile of the run
+//	-memprofile file  write a heap profile taken after the derivation
+//	-derivetimeout d  abort the derivation after duration d (e.g. 30s)
 //
 // Exit status: 0 on success, 1 on usage or I/O errors, 2 when no converter
 // exists (the definitive top-down answer).
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -88,6 +94,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers     = fs.Int("workers", 0, "safety-phase worker goroutines (0 or 1 = sequential; result identical for every count)")
 		stats       = fs.Bool("stats", false, "print derivation statistics and engine metrics to stderr")
 		verbose     = fs.Bool("v", false, "narrate the derivation phases to stderr")
+		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile  = fs.String("memprofile", "", "write a heap profile (taken after derivation) to this file")
+		deriveTO    = fs.Duration("derivetimeout", 0, "abort the derivation after this duration (0 = no limit)")
 	)
 	fs.Var(&envPaths, "env", "environment specification file (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -97,6 +106,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "quotient: -service and at least one -env are required")
 		fs.Usage()
 		return 1
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "quotient: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "quotient: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		// Written on every exit path so a derivation killed by -derivetimeout
+		// still leaves its heap profile behind.
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(stderr, "quotient: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize accurate allocation figures
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "quotient: %v\n", err)
+			}
+		}()
 	}
 
 	a, err := loadOne(*servicePath)
@@ -133,7 +175,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *verbose {
 		opts.Log = stderr
 	}
-	res, derr := core.DeriveRobust(a, envs, opts)
+	ctx := context.Background()
+	if *deriveTO > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deriveTO)
+		defer cancel()
+	}
+	res, derr := core.DeriveRobustContext(ctx, a, envs, opts)
 	if derr != nil {
 		fmt.Fprintf(stderr, "quotient: %v\n", derr)
 		var diag protoquot.Diagnostic
@@ -232,6 +280,8 @@ func printStats(w io.Writer, s core.Stats) {
 		m.ProgressWall.Round(time.Microsecond), m.ProgressScans)
 	fmt.Fprintf(w, "interning:      %d lookups, %d hits (%.1f%% hit rate)\n",
 		m.InternLookups, m.InternHits, 100*m.InternHitRate())
+	fmt.Fprintf(w, "progress memo:  %d ready-set rebuilds, %d τ-closure cache hits, %d invalidated\n",
+		m.ReadySetRebuilds, m.TauCacheHits, m.TauInvalidated)
 }
 
 func loadOne(path string) (*spec.Spec, error) {

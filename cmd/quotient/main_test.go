@@ -233,3 +233,53 @@ func TestRunGenerateGo(t *testing.T) {
 		t.Error("generated machine API missing")
 	}
 }
+
+// TestRunProfilesAndStatsCounters exercises -cpuprofile and -memprofile and
+// checks the progress-memo counters appear in -stats output.
+func TestRunProfilesAndStatsCounters(t *testing.T) {
+	dir := t.TempDir()
+	svc := writeSpecFile(t, dir, "s.spec", serviceText)
+	env := writeSpecFile(t, dir, "b.spec", worldText)
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+
+	var out, errb strings.Builder
+	code := run([]string{"-service", svc, "-env", env, "-stats",
+		"-cpuprofile", cpu, "-memprofile", mem}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "progress memo:") {
+		t.Errorf("stats output missing progress-memo counters: %s", errb.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty: %v", p, err)
+		}
+	}
+}
+
+// TestRunDeriveTimeout pins the -derivetimeout flag: an unreasonably small
+// budget must abort the derivation with a cancellation error, and a generous
+// one must leave the result untouched.
+func TestRunDeriveTimeout(t *testing.T) {
+	dir := t.TempDir()
+	svc := writeSpecFile(t, dir, "s.spec", serviceText)
+	env := writeSpecFile(t, dir, "b.spec", worldText)
+
+	var out, errb strings.Builder
+	if code := run([]string{"-service", svc, "-env", env, "-derivetimeout", "1ns"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d with 1ns budget, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "canceled") {
+		t.Errorf("expected a cancellation message, got: %s", errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-service", svc, "-env", env, "-derivetimeout", "1m"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d with 1m budget, want 0; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "spec ") {
+		t.Error("expected a converter on stdout")
+	}
+}

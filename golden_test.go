@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"protoquot/internal/compose"
 	"protoquot/internal/core"
 	"protoquot/internal/protocols"
 )
@@ -46,6 +47,23 @@ type deriveOutcome struct {
 
 func deriveWith(a *Spec, bs []*Spec, opts Options) deriveOutcome {
 	res, err := core.DeriveRobust(a, bs, opts)
+	return outcomeOf(res, err)
+}
+
+// deriveIndexedWith derives through the fused index-space pipeline —
+// compose.IndexedMany feeding core.DeriveEnv with no *spec.Spec environment
+// in between. The engine contract is that this path is bit-identical to
+// deriveWith over the eager composition of the same components.
+func deriveIndexedWith(a *Spec, comps []*Spec, opts Options) deriveOutcome {
+	x, err := compose.IndexedMany(comps...)
+	if err != nil {
+		return deriveOutcome{err: err.Error()}
+	}
+	res, err := core.DeriveEnv(a, x, opts)
+	return outcomeOf(res, err)
+}
+
+func outcomeOf(res *core.Result, err error) deriveOutcome {
 	o := deriveOutcome{}
 	if err != nil {
 		o.err = err.Error()
@@ -95,6 +113,11 @@ func TestGoldenParallelEqualsSequentialOnSpecs(t *testing.T) {
 				t.Errorf("%s / %s: parallel run differs from sequential:\nseq: %+v\npar: %+v",
 					an, bn, abbreviate(seq), abbreviate(par))
 			}
+			idx := deriveIndexedWith(a, []*Spec{b}, Options{MaxStates: bound, Workers: 1})
+			if seq != idx {
+				t.Errorf("%s / %s: indexed pipeline differs from spec pipeline:\nspec: %+v\nidx:  %+v",
+					an, bn, abbreviate(seq), abbreviate(idx))
+			}
 			if seq.exists || strings.Contains(seq.err, "no converter exists") {
 				reached++
 			}
@@ -133,6 +156,55 @@ func TestGoldenParallelComposedSystems(t *testing.T) {
 			if seq != par {
 				t.Errorf("parallel run differs from sequential:\nseq: %+v\npar: %+v",
 					abbreviate(seq), abbreviate(par))
+			}
+			for _, o := range []Options{o1, o4} {
+				if idx := deriveIndexedWith(tc.a, []*Spec{tc.b}, o); seq != idx {
+					t.Errorf("indexed pipeline (workers=%d) differs from spec pipeline:\nspec: %+v\nidx:  %+v",
+						o.Workers, abbreviate(seq), abbreviate(idx))
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenIndexedPaperComponents derives the paper's conversion systems
+// from their raw component lists through both composition pipelines —
+// compose.Many feeding Derive against compose.IndexedMany feeding DeriveEnv
+// — and requires bit-identical outcomes. This is the multi-component
+// counterpart of the single-environment comparisons above: here the fused
+// composition actually exercises tuple interning and pairwise rendezvous.
+func TestGoldenIndexedPaperComponents(t *testing.T) {
+	winComps, err := protocols.WindowToNSBComponents(protocols.WindowConfig{Window: 2, Modulus: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		a     *Spec
+		comps []*Spec
+	}{
+		{name: "symmetric", a: protocols.Service(), comps: protocols.SymmetricBComponents()},
+		{name: "colocated", a: protocols.Service(), comps: protocols.ColocatedBComponents()},
+		{name: "figure18-transport", a: protocols.CST(), comps: protocols.TransportB18Components()},
+		{name: "window2-ns", a: protocols.WindowService(2), comps: winComps},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if testing.Short() && tc.name == "window2-ns" {
+				t.Skip("multi-second derivation")
+			}
+			b, err := Compose(tc.comps...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{1, 4} {
+				opts := Options{OmitVacuous: true, Workers: w}
+				spec := deriveWith(tc.a, []*Spec{b}, opts)
+				idx := deriveIndexedWith(tc.a, tc.comps, opts)
+				if spec != idx {
+					t.Errorf("workers=%d: indexed pipeline differs from spec pipeline:\nspec: %+v\nidx:  %+v",
+						w, abbreviate(spec), abbreviate(idx))
+				}
 			}
 		})
 	}

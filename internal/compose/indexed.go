@@ -1,0 +1,367 @@
+package compose
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"protoquot/internal/spec"
+)
+
+// Indexed is a compiled composite: the reachable product of n components,
+// built in one fused breadth-first sweep over integer state and event ids
+// and stored in flat CSR transition arrays. It implements the same
+// read-side interface as *spec.Spec (core.Environment), so the deriver can
+// consume it directly; composite state names — the string concatenations
+// that dominate profiles of the eager path — are materialized lazily, only
+// when a diagnostic, golden listing, or .dot rendering asks for one.
+//
+// Compared to the left fold Many, the fused sweep never builds intermediate
+// pairwise products. That matters on open topologies (rings, meshes): an
+// intermediate product is unconstrained until the last component closes the
+// loop, so the fold can explode exponentially while the final reachable set
+// stays small.
+type Indexed struct {
+	comps []*spec.Spec
+	name  string
+
+	events   []spec.Event // external (composite) alphabet, sorted
+	eventSet map[spec.Event]struct{}
+
+	// tuples holds each composite state's component-state ids, stride
+	// len(comps); the composite init is state 0.
+	tuples []int32
+
+	// CSR adjacency, canonical order per state (edges by (Event, To),
+	// internal targets ascending, both deduplicated).
+	extOff []int32
+	ext    []spec.ExtEdge
+	intOff []int32
+	intl   []spec.State
+
+	// Lazily materialized composite names ("a|b|c"), guarded by nameMu.
+	nameMu sync.Mutex
+	names  []string
+}
+
+// IndexedMany builds the fused reachable composition of the components.
+// Like Many it requires pairwise-disjoint interfaces (no event in three or
+// more components); events shared by exactly two components synchronize and
+// become internal, events owned by one remain external.
+func IndexedMany(components ...*spec.Spec) (*Indexed, error) {
+	if len(components) == 0 {
+		return nil, fmt.Errorf("compose: no components")
+	}
+	if err := CheckPairwiseInterfaces(components...); err != nil {
+		return nil, err
+	}
+	x := &Indexed{
+		comps:    components,
+		name:     foldName(components),
+		eventSet: make(map[spec.Event]struct{}),
+	}
+
+	// Global event interning in sorted-name order, so integer comparison of
+	// event ids agrees with the canonical (string) edge order.
+	ownersOf := make(map[spec.Event][]int32)
+	for ci, c := range components {
+		for _, e := range c.Alphabet() {
+			ownersOf[e] = append(ownersOf[e], int32(ci))
+		}
+	}
+	allEvents := make([]spec.Event, 0, len(ownersOf))
+	for e := range ownersOf {
+		allEvents = append(allEvents, e)
+	}
+	sort.Slice(allEvents, func(i, j int) bool { return allEvents[i] < allEvents[j] })
+	evID := make(map[spec.Event]int32, len(allEvents))
+	for i, e := range allEvents {
+		evID[e] = int32(i)
+		if len(ownersOf[e]) == 1 {
+			x.events = append(x.events, e)
+			x.eventSet[e] = struct{}{}
+		}
+	}
+	// partner[ci][ev] is the other owner of a shared event, or -1. Stored
+	// densely per component to keep the BFS loop map-free.
+	nev := len(allEvents)
+	partner := make([][]int32, len(components))
+	for ci := range components {
+		partner[ci] = make([]int32, nev)
+		for i := range partner[ci] {
+			partner[ci][i] = -1
+		}
+	}
+	for e, owners := range ownersOf {
+		if len(owners) == 2 {
+			partner[owners[0]][evID[e]] = owners[1]
+			partner[owners[1]][evID[e]] = owners[0]
+		}
+	}
+
+	// Per-component dense edge tables over global event ids.
+	type cedge struct{ ev, to int32 }
+	cext := make([][][]cedge, len(components))
+	cintl := make([][][]int32, len(components))
+	for ci, c := range components {
+		cext[ci] = make([][]cedge, c.NumStates())
+		cintl[ci] = make([][]int32, c.NumStates())
+		for s := 0; s < c.NumStates(); s++ {
+			for _, ed := range c.ExtEdges(spec.State(s)) {
+				cext[ci][s] = append(cext[ci][s], cedge{ev: evID[ed.Event], to: int32(ed.To)})
+			}
+			for _, t := range c.IntEdges(spec.State(s)) {
+				cintl[ci][s] = append(cintl[ci][s], int32(t))
+			}
+		}
+	}
+
+	// Tuple interning: mixed-radix uint64 when the full product fits,
+	// otherwise a string key over the raw tuple bytes.
+	k := len(components)
+	radixOK := true
+	prod := uint64(1)
+	for _, c := range components {
+		n := uint64(c.NumStates())
+		if prod > (1<<63)/n {
+			radixOK = false
+			break
+		}
+		prod *= n
+	}
+	seenU := make(map[uint64]int32)
+	var seenS map[string]int32
+	if !radixOK {
+		seenS = make(map[string]int32)
+	}
+	keyBuf := make([]byte, 4*k)
+	intern := func(tuple []int32) (int32, bool) {
+		if radixOK {
+			key := uint64(0)
+			for ci, s := range tuple {
+				key = key*uint64(components[ci].NumStates()) + uint64(s)
+			}
+			if id, ok := seenU[key]; ok {
+				return id, false
+			}
+			id := int32(len(x.tuples) / k)
+			seenU[key] = id
+			x.tuples = append(x.tuples, tuple...)
+			return id, true
+		}
+		for ci, s := range tuple {
+			keyBuf[4*ci] = byte(s)
+			keyBuf[4*ci+1] = byte(s >> 8)
+			keyBuf[4*ci+2] = byte(s >> 16)
+			keyBuf[4*ci+3] = byte(s >> 24)
+		}
+		if id, ok := seenS[string(keyBuf)]; ok {
+			return id, false
+		}
+		id := int32(len(x.tuples) / k)
+		seenS[string(keyBuf)] = id
+		x.tuples = append(x.tuples, tuple...)
+		return id, true
+	}
+
+	initTuple := make([]int32, k)
+	for ci, c := range components {
+		initTuple[ci] = int32(c.Init())
+	}
+	intern(initTuple)
+
+	succ := make([]int32, k)
+	x.extOff = append(x.extOff, 0)
+	x.intOff = append(x.intOff, 0)
+	// FIFO expansion: each composite state's edges are emitted contiguously,
+	// building the CSR arrays in discovery order.
+	for head := 0; head*k < len(x.tuples); head++ {
+		tuple := x.tuples[head*k : head*k+k]
+		extStart, intStart := len(x.ext), len(x.intl)
+		step := func(ci int, to int32) (int32, bool) {
+			copy(succ, tuple)
+			succ[ci] = to
+			return intern(succ)
+		}
+		for ci := range components {
+			for _, t := range cintl[ci][tuple[ci]] {
+				q, _ := step(ci, t)
+				x.intl = append(x.intl, spec.State(q))
+			}
+			for _, ed := range cext[ci][tuple[ci]] {
+				pj := partner[ci][ed.ev]
+				if pj < 0 {
+					q, _ := step(ci, ed.to)
+					x.ext = append(x.ext, spec.ExtEdge{Event: allEvents[ed.ev], To: spec.State(q)})
+					continue
+				}
+				if pj < int32(ci) {
+					continue // emitted when the lower-indexed owner was scanned
+				}
+				for _, bd := range cext[pj][tuple[pj]] {
+					if bd.ev != ed.ev {
+						continue
+					}
+					copy(succ, tuple)
+					succ[ci], succ[pj] = ed.to, bd.to
+					q, _ := intern(succ)
+					x.intl = append(x.intl, spec.State(q))
+				}
+			}
+		}
+		canonExt := x.ext[extStart:]
+		sort.Slice(canonExt, func(i, j int) bool {
+			if canonExt[i].Event != canonExt[j].Event {
+				return canonExt[i].Event < canonExt[j].Event
+			}
+			return canonExt[i].To < canonExt[j].To
+		})
+		x.ext = x.ext[:extStart+len(dedupeExtEdges(canonExt))]
+		canonInt := x.intl[intStart:]
+		sort.Slice(canonInt, func(i, j int) bool { return canonInt[i] < canonInt[j] })
+		x.intl = x.intl[:intStart+len(dedupeStates(canonInt))]
+		x.extOff = append(x.extOff, int32(len(x.ext)))
+		x.intOff = append(x.intOff, int32(len(x.intl)))
+	}
+	x.names = make([]string, x.NumStates())
+	return x, nil
+}
+
+// MustIndexedMany is IndexedMany that panics on error.
+func MustIndexedMany(components ...*spec.Spec) *Indexed {
+	x, err := IndexedMany(components...)
+	if err != nil {
+		panic(err)
+	}
+	return x
+}
+
+// foldName reproduces Many's nested composite name, e.g. "((A||B)||C)".
+func foldName(components []*spec.Spec) string {
+	name := components[0].Name()
+	for _, c := range components[1:] {
+		name = fmt.Sprintf("(%s||%s)", name, c.Name())
+	}
+	return name
+}
+
+func dedupeExtEdges(edges []spec.ExtEdge) []spec.ExtEdge {
+	if len(edges) == 0 {
+		return edges
+	}
+	out := edges[:1]
+	for _, ed := range edges[1:] {
+		if ed != out[len(out)-1] {
+			out = append(out, ed)
+		}
+	}
+	return out
+}
+
+func dedupeStates(sts []spec.State) []spec.State {
+	if len(sts) == 0 {
+		return sts
+	}
+	out := sts[:1]
+	for _, t := range sts[1:] {
+		if t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Name returns the composite name, matching what Many would produce.
+func (x *Indexed) Name() string { return x.name }
+
+// NumStates returns the number of reachable composite states.
+func (x *Indexed) NumStates() int { return len(x.extOff) - 1 }
+
+// Init returns the composite initial state (always 0: BFS root).
+func (x *Indexed) Init() spec.State { return 0 }
+
+// Alphabet returns the composite's external alphabet, sorted.
+func (x *Indexed) Alphabet() []spec.Event { return x.events }
+
+// HasEvent reports whether e is in the composite's external alphabet.
+func (x *Indexed) HasEvent(e spec.Event) bool {
+	_, ok := x.eventSet[e]
+	return ok
+}
+
+// ExtEdges returns st's external transitions, sorted by (Event, To). The
+// caller must not modify the returned slice.
+func (x *Indexed) ExtEdges(st spec.State) []spec.ExtEdge {
+	return x.ext[x.extOff[st]:x.extOff[st+1]]
+}
+
+// IntEdges returns st's internal successors, sorted ascending. The caller
+// must not modify the returned slice.
+func (x *Indexed) IntEdges(st spec.State) []spec.State {
+	return x.intl[x.intOff[st]:x.intOff[st+1]]
+}
+
+// NumExternalTransitions returns the composite's |T|.
+func (x *Indexed) NumExternalTransitions() int { return len(x.ext) }
+
+// NumInternalTransitions returns the composite's |λ|.
+func (x *Indexed) NumInternalTransitions() int { return len(x.intl) }
+
+// Components returns the component list the composite was built from. The
+// caller must not modify it.
+func (x *Indexed) Components() []*spec.Spec { return x.comps }
+
+// StateName materializes st's composite name ("a|b|c"), caching it. Safe
+// for concurrent use; intended for diagnostics, not hot paths.
+func (x *Indexed) StateName(st spec.State) string {
+	x.nameMu.Lock()
+	defer x.nameMu.Unlock()
+	return x.stateNameLocked(st)
+}
+
+func (x *Indexed) stateNameLocked(st spec.State) string {
+	if n := x.names[st]; n != "" {
+		return n
+	}
+	k := len(x.comps)
+	tuple := x.tuples[int(st)*k : int(st)*k+k]
+	n := 0
+	for ci, c := range x.comps {
+		n += len(c.StateName(spec.State(tuple[ci])))
+	}
+	buf := make([]byte, 0, n+k-1)
+	for ci, c := range x.comps {
+		if ci > 0 {
+			buf = append(buf, StateSep...)
+		}
+		buf = append(buf, c.StateName(spec.State(tuple[ci]))...)
+	}
+	x.names[st] = string(buf)
+	return x.names[st]
+}
+
+// Spec materializes the composite as an eager *spec.Spec — every state
+// named, all derived analyses run. This is the bridge to consumers that
+// need the full Spec surface (Format, .dot rendering, sat checks); the
+// derivation path never calls it.
+func (x *Indexed) Spec() (*spec.Spec, error) {
+	n := x.NumStates()
+	d := spec.Dense{
+		Name:       x.name,
+		StateNames: make([]string, n),
+		Init:       0,
+		Alphabet:   x.events,
+		Ext:        make([][]spec.ExtEdge, n),
+		Int:        make([][]spec.State, n),
+	}
+	x.nameMu.Lock()
+	for st := 0; st < n; st++ {
+		d.StateNames[st] = x.stateNameLocked(spec.State(st))
+	}
+	x.nameMu.Unlock()
+	for st := 0; st < n; st++ {
+		d.Ext[st] = x.ExtEdges(spec.State(st))
+		d.Int[st] = x.IntEdges(spec.State(st))
+	}
+	return spec.FromDense(d)
+}

@@ -1,0 +1,175 @@
+package compose
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"protoquot/internal/spec"
+)
+
+// namedListing renders a machine as its sorted set of named transitions
+// plus header lines — a canonical form that is invariant under state
+// renumbering, which is exactly the freedom IndexedMany has relative to
+// the left fold.
+type namedMachine interface {
+	Name() string
+	NumStates() int
+	Init() spec.State
+	Alphabet() []spec.Event
+	ExtEdges(spec.State) []spec.ExtEdge
+	IntEdges(spec.State) []spec.State
+	StateName(spec.State) string
+}
+
+func namedListing(m namedMachine) string {
+	var lines []string
+	for st := 0; st < m.NumStates(); st++ {
+		from := m.StateName(spec.State(st))
+		for _, ed := range m.ExtEdges(spec.State(st)) {
+			lines = append(lines, fmt.Sprintf("%s -%s-> %s", from, ed.Event, m.StateName(ed.To)))
+		}
+		for _, t := range m.IntEdges(spec.State(st)) {
+			lines = append(lines, fmt.Sprintf("%s --> %s", from, m.StateName(t)))
+		}
+	}
+	sort.Strings(lines)
+	evs := make([]string, len(m.Alphabet()))
+	for i, e := range m.Alphabet() {
+		evs[i] = string(e)
+	}
+	header := []string{
+		"name " + m.Name(),
+		"init " + m.StateName(m.Init()),
+		"events " + strings.Join(evs, " "),
+		fmt.Sprintf("states %d", m.NumStates()),
+	}
+	return strings.Join(append(header, lines...), "\n")
+}
+
+// assertIndexedMatchesMany asserts the fused composition is name-isomorphic
+// to the left fold: same composite name, same init name, same alphabet,
+// same state count, and the same set of named transitions.
+func assertIndexedMatchesMany(t *testing.T, comps ...*spec.Spec) *Indexed {
+	t.Helper()
+	eager, err := Many(comps...)
+	if err != nil {
+		t.Fatalf("Many: %v", err)
+	}
+	x, err := IndexedMany(comps...)
+	if err != nil {
+		t.Fatalf("IndexedMany: %v", err)
+	}
+	if got, want := namedListing(x), namedListing(eager); got != want {
+		t.Fatalf("indexed composition differs from eager fold\n--- indexed ---\n%.2000s\n--- eager ---\n%.2000s", got, want)
+	}
+	// The materialized Spec must agree with the Indexed view it came from.
+	xs, err := x.Spec()
+	if err != nil {
+		t.Fatalf("Indexed.Spec: %v", err)
+	}
+	if got, want := namedListing(xs), namedListing(x); got != want {
+		t.Fatalf("materialized Spec differs from Indexed view\n--- spec ---\n%.2000s\n--- indexed ---\n%.2000s", got, want)
+	}
+	return x
+}
+
+func chanSpec(name, send, recv string) *spec.Spec {
+	b := spec.NewBuilder(name)
+	b.Init("e").Ext("e", spec.Event(send), "f").Ext("f", spec.Event(recv), "e")
+	return b.MustBuild()
+}
+
+func TestIndexedMatchesManyBasic(t *testing.T) {
+	snd := spec.NewBuilder("snd")
+	snd.Init("s0").Ext("s0", "acc", "s1").Ext("s1", "-x", "s0")
+	rcv := spec.NewBuilder("rcv")
+	rcv.Init("r0").Ext("r0", "+y", "r1").Ext("r1", "del", "r0")
+	cases := [][]*spec.Spec{
+		{snd.MustBuild()},
+		{snd.MustBuild(), chanSpec("C", "-x", "+x")},
+		{snd.MustBuild(), chanSpec("C", "-x", "+x"), chanSpec("D", "-y", "+y"), rcv.MustBuild()},
+	}
+	for _, comps := range cases {
+		x := assertIndexedMatchesMany(t, comps...)
+		if x.Init() != 0 {
+			t.Errorf("indexed init = %d, want 0", x.Init())
+		}
+	}
+}
+
+// TestIndexedMatchesManyInternalMoves covers component-internal transitions
+// and internal self-loops surviving the product.
+func TestIndexedMatchesManyInternalMoves(t *testing.T) {
+	a := spec.NewBuilder("A")
+	a.Init("a0").Ext("a0", "go", "a1").Int("a1", "a2").Int("a2", "a2").Ext("a2", "-m", "a0")
+	b := spec.NewBuilder("B")
+	b.Init("b0").Ext("b0", "+m", "b1").Int("b1", "b0")
+	assertIndexedMatchesMany(t, a.MustBuild(), chanSpec("M", "-m", "+m"), b.MustBuild())
+}
+
+// TestIndexedMatchesManyRandom is the differential sweep: random component
+// systems wired through fresh channel alphabets, fused vs folded.
+func TestIndexedMatchesManyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		k := 2 + rng.Intn(3)
+		comps := make([]*spec.Spec, k)
+		for i := range comps {
+			b := spec.NewBuilder(fmt.Sprintf("m%d", i))
+			n := 2 + rng.Intn(3)
+			for s := 0; s < n; s++ {
+				b.State(fmt.Sprintf("q%d", s))
+			}
+			b.Init("q0")
+			// Private events.
+			for s := 0; s < n; s++ {
+				if rng.Intn(2) == 0 {
+					b.Ext(fmt.Sprintf("q%d", s), spec.Event(fmt.Sprintf("p%d.%d", i, s)), fmt.Sprintf("q%d", rng.Intn(n)))
+				}
+				if rng.Intn(3) == 0 {
+					b.Int(fmt.Sprintf("q%d", s), fmt.Sprintf("q%d", rng.Intn(n)))
+				}
+			}
+			// Shared events with the next component (pairwise-disjoint by
+			// construction: event i.j names occur only in components i, i+1).
+			if i > 0 {
+				b.Ext("q0", spec.Event(fmt.Sprintf("link%d", i)), fmt.Sprintf("q%d", rng.Intn(n)))
+			}
+			if i < k-1 {
+				b.Ext(fmt.Sprintf("q%d", rng.Intn(n)), spec.Event(fmt.Sprintf("link%d", i+1)), "q0")
+			}
+			comps[i] = b.MustBuild()
+		}
+		assertIndexedMatchesMany(t, comps...)
+	}
+}
+
+func TestIndexedManyRejectsTripleSharing(t *testing.T) {
+	mk := func(name string) *spec.Spec {
+		b := spec.NewBuilder(name)
+		b.Init("s").Ext("s", "shared", "s")
+		return b.MustBuild()
+	}
+	if _, err := IndexedMany(mk("a"), mk("b"), mk("c")); err == nil {
+		t.Fatal("expected pairwise-interface error")
+	}
+	if _, err := IndexedMany(); err == nil {
+		t.Fatal("expected error for empty component list")
+	}
+}
+
+// TestIndexedLazyNames checks names are only materialized on demand and are
+// stable across repeated queries.
+func TestIndexedLazyNames(t *testing.T) {
+	snd := spec.NewBuilder("snd")
+	snd.Init("s0").Ext("s0", "acc", "s1").Ext("s1", "-x", "s0")
+	x := MustIndexedMany(snd.MustBuild(), chanSpec("C", "-x", "+x"))
+	n1 := x.StateName(x.Init())
+	n2 := x.StateName(x.Init())
+	if n1 != n2 || n1 != "s0|e" {
+		t.Fatalf("StateName(init) = %q / %q, want stable \"s0|e\"", n1, n2)
+	}
+}

@@ -57,6 +57,27 @@ import (
 	"protoquot/internal/spec"
 )
 
+// Environment is the read-side surface the deriver needs from B. Both
+// *spec.Spec and *compose.Indexed satisfy it, so a composed environment can
+// be fed to the engine straight from the fused index-space composition,
+// without materializing composite state names: prepare copies the
+// transition structure into dense tables once, and StateName is consulted
+// only on diagnostic paths (pair-set naming, error messages).
+//
+// ExtEdges must be sorted by (Event, To) and IntEdges ascending — the
+// orders *spec.Spec guarantees — because frontier expansion and the
+// progress phase's combo enumeration inherit determinism from them.
+type Environment interface {
+	Name() string
+	NumStates() int
+	Init() spec.State
+	Alphabet() []spec.Event
+	HasEvent(e spec.Event) bool
+	ExtEdges(st spec.State) []spec.ExtEdge
+	IntEdges(st spec.State) []spec.State
+	StateName(st spec.State) string
+}
+
 // Options tune the derivation. The zero value is the recommended default.
 type Options struct {
 	// OmitVacuous drops converter states whose pair set is empty. An empty
@@ -181,7 +202,7 @@ type bedge struct {
 type deriver struct {
 	ctx     context.Context
 	a       *spec.Spec
-	bs      []*spec.Spec        // environment variants; len 1 for plain Derive
+	bs      []Environment       // environment variants; len 1 for plain Derive
 	ext     map[spec.Event]bool // Ext = Σ_A
 	intl    []spec.Event        // Int = Σ_B − Ext, sorted
 	opts    Options
@@ -194,6 +215,7 @@ type deriver struct {
 	intlIndex []int32      // by event id: position in intl, or -1
 	psi       []int32      // ψ-step table, numA×nev flat; -1 = not allowed
 	bext      [][][]bedge  // [variant][bState] → resolved external edges
+	bintl     [][][]int32  // [variant][bState] → internal successors
 	offs      []int32      // pair-index offset per variant
 	numBs     []int32      // |S_B| per variant
 	numA      int
@@ -204,6 +226,7 @@ type deriver struct {
 	states   []cstate
 	emptySet bitset
 	met      *Metrics
+	prog     *progTables // progress-phase memo tables; nil until that phase
 
 	scratches []*scratch // persistent per-worker arenas
 	free      []bitset   // shared pool of merge-recycled bitsets
@@ -257,6 +280,29 @@ func DeriveRobust(a *spec.Spec, bs []*spec.Spec, opts Options) (*Result, error) 
 
 // DeriveRobustContext is DeriveRobust with cancellation; see DeriveContext.
 func DeriveRobustContext(ctx context.Context, a *spec.Spec, bs []*spec.Spec, opts Options) (*Result, error) {
+	envs := make([]Environment, len(bs))
+	for i, b := range bs {
+		envs[i] = b
+	}
+	return DeriveEnvsContext(ctx, a, envs, opts)
+}
+
+// DeriveEnv is Derive over any Environment — most usefully a
+// *compose.Indexed, feeding the fused composition straight into the engine
+// with no *spec.Spec materialization in between.
+func DeriveEnv(a *spec.Spec, b Environment, opts Options) (*Result, error) {
+	return DeriveEnvsContext(context.Background(), a, []Environment{b}, opts)
+}
+
+// DeriveEnvContext is DeriveEnv with cancellation; see DeriveContext.
+func DeriveEnvContext(ctx context.Context, a *spec.Spec, b Environment, opts Options) (*Result, error) {
+	return DeriveEnvsContext(ctx, a, []Environment{b}, opts)
+}
+
+// DeriveEnvsContext is the most general entry point: DeriveRobust semantics
+// over arbitrary Environment variants, with cancellation. Every other
+// Derive* function funnels here.
+func DeriveEnvsContext(ctx context.Context, a *spec.Spec, bs []Environment, opts Options) (*Result, error) {
 	if err := a.IsNormalForm(); err != nil {
 		return nil, fmt.Errorf("quotient: service spec: %w", err)
 	}
@@ -303,7 +349,7 @@ func DeriveRobustContext(ctx context.Context, a *spec.Spec, bs []*spec.Spec, opt
 	return d.run()
 }
 
-func sameAlphabet(x, y *spec.Spec) bool {
+func sameAlphabet(x, y Environment) bool {
 	ax, ay := x.Alphabet(), y.Alphabet()
 	if len(ax) != len(ay) {
 		return false
@@ -358,6 +404,7 @@ func (d *deriver) prepare() {
 	d.offs = make([]int32, len(d.bs))
 	d.numBs = make([]int32, len(d.bs))
 	d.bext = make([][][]bedge, len(d.bs))
+	d.bintl = make([][][]int32, len(d.bs))
 	var domain int32
 	for v, b := range d.bs {
 		d.offs[v] = domain
@@ -365,6 +412,7 @@ func (d *deriver) prepare() {
 		d.numBs[v] = nb
 		domain += int32(d.numA) * nb
 		edges := make([][]bedge, nb)
+		ints := make([][]int32, nb)
 		for st := int32(0); st < nb; st++ {
 			src := b.ExtEdges(spec.State(st))
 			out := make([]bedge, len(src))
@@ -372,8 +420,15 @@ func (d *deriver) prepare() {
 				out[i] = bedge{eid: eid[ed.Event], to: int32(ed.To)}
 			}
 			edges[st] = out
+			tos := b.IntEdges(spec.State(st))
+			row := make([]int32, len(tos))
+			for i, t := range tos {
+				row[i] = int32(t)
+			}
+			ints[st] = row
 		}
 		d.bext[v] = edges
+		d.bintl[v] = ints
 	}
 	d.words = (int(domain) + 63) / 64
 	d.table = newInternTable(d.words)

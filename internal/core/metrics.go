@@ -35,6 +35,15 @@ type Metrics struct {
 	// far below SafetyStates × iterations, which is what a full rescan
 	// per sweep would cost.
 	ProgressScans int
+	// TauCacheHits counts composite ready sets served from the cross-sweep
+	// memo instead of being recomputed; TauInvalidated counts memo entries
+	// discarded because a removed state's predecessor closure touched them.
+	// ReadySetRebuilds counts ready sets actually computed (first time or
+	// after invalidation). Together they make the progress phase's
+	// memoization observable: hits + rebuilds = ready sets consulted.
+	TauCacheHits     int
+	TauInvalidated   int
+	ReadySetRebuilds int
 }
 
 // InternHitRate returns the fraction of intern lookups that found an

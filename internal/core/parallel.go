@@ -106,8 +106,8 @@ func (d *deriver) closure(sc *scratch, seeds []int32) (out bitset, ok bool, offe
 		stack = stack[:len(stack)-1]
 		v, a, b := d.decode(p)
 		base := d.offs[v] + a*d.numBs[v]
-		for _, t := range d.bs[v].IntEdges(spec.State(b)) {
-			q := base + int32(t)
+		for _, t := range d.bintl[v][b] {
+			q := base + t
 			if !out.has(q) {
 				out.set(q)
 				stack = append(stack, q)

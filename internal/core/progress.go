@@ -1,34 +1,167 @@
-// Incremental progress phase (paper Fig. 6).
+// Incremental, memoized, parallel progress phase (paper Fig. 6).
 //
 // A sweep removes every converter state containing a pair whose composite
-// ready sets cannot satisfy A's acceptance sets (sat.Prog); removal changes
-// reachability, so sweeps repeat to a fixpoint. The seed engine re-examined
-// every live state each sweep. This one exploits locality: the ready set
-// τ*.⟨b,c⟩ depends only on composite states ⟨b',c'⟩ with c' reachable from
-// c in T_C, so deleting state r can only change verdicts of states that
-// could reach r — predecessors of r under T_C. Each sweep after the first
-// re-examines only the predecessor closure of the states the previous
-// sweep removed, computed over the static safety-phase graph (a superset
-// of the live graph, so the closure over-approximates; re-examining an
-// unaffected state just reproduces its previous verdict).
+// ready sets cannot satisfy A's acceptance sets; removal changes
+// reachability, so sweeps repeat to a fixpoint. Three ideas keep the phase
+// cheap on large instances:
+//
+//   - Incrementality (PR 1): deleting state r only changes verdicts of
+//     converter states that could reach r, so each sweep after the first
+//     re-examines only the predecessor closure of the previous sweep's
+//     removals, over the static safety-phase graph.
+//   - Dense memoized ready sets (this PR): the composite states ⟨b,c⟩ of
+//     B‖C that matter are exactly the (v,b) projections of c's pair set
+//     (pair sets are closed under B's internal moves and synchronized Int
+//     steps land in the successor's pair set), so each converter state c
+//     owns a static sorted "combo" table and a flat array of ready masks —
+//     bitmasks over Ext laid out by sat.ReadyIndex. Masks survive sweeps;
+//     invalidation clears whole columns (every combo of an affected
+//     converter state), which is exactly the predecessor closure the
+//     incremental sweep re-examines, so a memo can never be stale. Ready
+//     computation runs Tarjan SCC condensation over the combo graph and a
+//     reverse-topological DP, with edges into still-valid columns consumed
+//     as memoized leaves (the τ-closure cache hits of core.Metrics).
+//   - Parallelism: the condensation DP processes SCCs level by level
+//     (levels are antichains, so same-level SCCs are independent) and the
+//     verdict scan fans over Options.Workers goroutines; both write
+//     disjoint slots and merge deterministically, so removal order — and
+//     therefore every downstream artifact — is bit-identical for every
+//     worker count.
+//
+// The prog verdict itself is sat.AcceptanceIndex.Prog: A's acceptance sets
+// precompiled to minimal bitmasks, one subset test per candidate.
 package core
 
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"protoquot/internal/sat"
 	"protoquot/internal/spec"
 )
 
-// comboKey identifies a composite state ⟨b, c⟩ of B_v‖C.
-type comboKey struct {
-	v int
-	b spec.State
-	c int
+// progTables is the progress phase's per-derivation state, kept on the
+// deriver so repeated sweeps share the combo tables and memoized masks.
+type progTables struct {
+	accIx   *sat.AcceptanceIndex
+	readyIx *sat.ReadyIndex
+	words   int     // mask stride in uint64 words
+	boff    []int32 // packed (v,b) id = boff[v] + b
+	totalB  int32
+
+	bready []uint64 // totalB × words: τ.b ∩ Ext as a mask, per packed b
+
+	// Per converter state ("column"): the sorted packed-b combo table, the
+	// flat ready-mask storage (len(combos)×words), the per-slot Tarjan node
+	// id scratch, and whether the column's masks are current.
+	combos   [][]int32
+	ready    [][]uint64
+	slotNode [][]int32
+	valid    []bool
+}
+
+// initProgTables builds the acceptance index, base ready masks, and empty
+// column tables. Combo tables are projected lazily per column.
+func (d *deriver) initProgTables() error {
+	readyIx, err := sat.NewReadyIndex(d.a.Alphabet())
+	if err != nil {
+		return fmt.Errorf("quotient: progress phase: %w", err)
+	}
+	accIx, err := sat.NewAcceptanceIndex(d.a, readyIx)
+	if err != nil {
+		return fmt.Errorf("quotient: progress phase: %w", err)
+	}
+	pt := &progTables{accIx: accIx, readyIx: readyIx, words: readyIx.Words()}
+	pt.boff = make([]int32, len(d.bs))
+	for v := range d.bs {
+		pt.boff[v] = pt.totalB
+		pt.totalB += d.numBs[v]
+	}
+	pt.bready = make([]uint64, int(pt.totalB)*pt.words)
+	for v := range d.bs {
+		for b := int32(0); b < d.numBs[v]; b++ {
+			row := pt.bready[int(pt.boff[v]+b)*pt.words:]
+			for _, ed := range d.bext[v][b] {
+				if !d.isExt[ed.eid] {
+					continue
+				}
+				pos, ok := readyIx.Bit(d.events[ed.eid])
+				if !ok { // Ext = Σ_A, so every external event has a bit
+					return fmt.Errorf("quotient: progress phase: event %q missing from ready universe", d.events[ed.eid])
+				}
+				row[pos>>6] |= 1 << (uint(pos) & 63)
+			}
+		}
+	}
+	n := len(d.states)
+	pt.combos = make([][]int32, n)
+	pt.ready = make([][]uint64, n)
+	pt.slotNode = make([][]int32, n)
+	pt.valid = make([]bool, n)
+	d.prog = pt
+	return nil
+}
+
+// column ensures converter state ci's combo table exists: the sorted,
+// deduplicated (v,b) projection of its pair set.
+func (pt *progTables) column(d *deriver, ci int32) []int32 {
+	if pt.combos[ci] != nil {
+		return pt.combos[ci]
+	}
+	var pbs []int32
+	d.table.get(ci).forEach(func(p int32) {
+		v, _, b := d.decode(p)
+		pbs = append(pbs, pt.boff[v]+b)
+	})
+	sort.Slice(pbs, func(i, j int) bool { return pbs[i] < pbs[j] })
+	out := pbs[:0]
+	for i, pb := range pbs {
+		if i == 0 || pb != out[len(out)-1] {
+			out = append(out, pb)
+		}
+	}
+	if len(out) == 0 { // vacuous state: no combos, no verdicts
+		out = make([]int32, 0)
+	}
+	pt.combos[ci] = out
+	pt.ready[ci] = make([]uint64, len(out)*pt.words)
+	pt.slotNode[ci] = make([]int32, len(out))
+	return out
+}
+
+// slotOf locates packed-b id pb in ci's combo table; -1 if absent.
+func (pt *progTables) slotOf(ci int32, pb int32) int32 {
+	combos := pt.combos[ci]
+	lo, hi := 0, len(combos)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if combos[mid] < pb {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(combos) && combos[lo] == pb {
+		return int32(lo)
+	}
+	return -1
+}
+
+// variantOf recovers the variant index from a packed-b id.
+func (pt *progTables) variantOf(pb int32) int {
+	v := len(pt.boff) - 1
+	for pt.boff[v] > pb {
+		v--
+	}
+	return v
 }
 
 func (d *deriver) progressPhase(res *Result, alive []bool) error {
+	if err := d.initProgTables(); err != nil {
+		return err
+	}
 	n := len(d.states)
 	// Static predecessor lists over the safety-phase graph; self-loops are
 	// irrelevant to the closure and skipped.
@@ -51,25 +184,8 @@ func (d *deriver) progressPhase(res *Result, alive []bool) error {
 			return fmt.Errorf("quotient: progress phase canceled at iteration %d: %w",
 				res.Stats.ProgressIterations, err)
 		}
-		ready := d.compositeReady(alive, affected)
-		var removed []int32
-		for _, ci := range affected {
-			if !alive[ci] {
-				continue
-			}
-			d.met.ProgressScans++
-			bad := false
-			d.table.get(ci).forEachUntil(func(p int32) bool {
-				v, a, b := d.decode(p)
-				if !sat.Prog(d.a, spec.State(a), ready[comboKey{v, spec.State(b), int(ci)}]) {
-					bad = true
-				}
-				return bad
-			})
-			if bad {
-				removed = append(removed, ci)
-			}
-		}
+		d.refreshReady(alive, affected)
+		removed := d.verdictScan(alive, affected)
 		if len(removed) == 0 {
 			d.emit(TraceEvent{
 				Phase:     "progress",
@@ -155,95 +271,345 @@ func predClosure(preds [][]int32, removed []int32, alive []bool) []int32 {
 	return out
 }
 
-// compositeReady computes τ*.⟨b,c⟩ — the Ext events enabled from ⟨b,c⟩
-// after any sequence of internal moves of B‖C — for every composite state
-// pairing a live converter state in from with a B-state in its pair set,
-// plus everything internally reachable from those.
-//
-// Internal moves of B‖C are B's λ-transitions and the synchronized Int
-// events (enabled in both B and C). External events of B‖C are B's Ext
-// events (C's whole alphabet is Int, so C contributes none).
-func (d *deriver) compositeReady(alive []bool, from []int32) map[comboKey][]spec.Event {
-	succ := make(map[comboKey][]comboKey)
-	base := make(map[comboKey][]spec.Event) // τ.b ∩ Ext at the node itself
-	var work []comboKey
-	seen := make(map[comboKey]bool)
-	push := func(k comboKey) {
-		if !seen[k] {
-			seen[k] = true
-			work = append(work, k)
-		}
-	}
-	for _, ci := range from {
+// tnode is one Tarjan node: a (column, slot) composite state scheduled for
+// ready-mask recomputation this sweep.
+type tnode struct {
+	ci   int32
+	slot int32
+}
+
+// refreshReady brings the ready masks of every affected live column up to
+// date. It first invalidates the affected columns (the memo-soundness
+// obligation: these are exactly the states whose composite reachability
+// changed), then runs an iterative Tarjan SCC pass over the invalid combo
+// graph — edges into valid columns are consumed as memoized leaves — and a
+// level-parallel reverse-topological DP over the condensation.
+func (d *deriver) refreshReady(alive []bool, affected []int32) {
+	pt := d.prog
+	for _, ci := range affected {
 		if !alive[ci] {
 			continue
 		}
-		d.table.get(ci).forEach(func(p int32) {
-			v, _, b := d.decode(p)
-			push(comboKey{v, spec.State(b), int(ci)})
-		})
+		combos := pt.column(d, ci)
+		if pt.valid[ci] {
+			pt.valid[ci] = false
+			d.met.TauInvalidated += len(combos)
+		}
+		sn := pt.slotNode[ci]
+		for i := range sn {
+			sn[i] = -1
+		}
 	}
-	for i := 0; i < len(work); i++ {
-		k := work[i]
-		bspec := d.bs[k.v]
-		var ext []spec.Event
-		for _, e := range bspec.Tau(k.b) {
-			if d.ext[e] {
-				ext = append(ext, e)
+
+	// Iterative Tarjan over the invalid-column combo graph.
+	var (
+		nodes   []tnode
+		low     []int32
+		onStack []bool
+		sccOf   []int32
+		stack   []int32 // Tarjan stack (node ids)
+		sccs    [][]int32
+	)
+	type frame struct {
+		node int32
+		ei   int // resume position in the successor enumeration
+	}
+	var callStack []frame
+
+	addNode := func(ci, slot int32) int32 {
+		id := int32(len(nodes))
+		nodes = append(nodes, tnode{ci: ci, slot: slot})
+		low = append(low, id)
+		onStack = append(onStack, true)
+		sccOf = append(sccOf, -1)
+		pt.slotNode[ci][slot] = id
+		stack = append(stack, id)
+		return id
+	}
+
+	// successor enumeration: for node (ci, slot) return the ei-th successor
+	// as (kind, target). kind: 0 = node edge to an invalid column (recurse),
+	// 1 = memo leaf (valid column), 2 = exhausted. The enumeration is
+	// deterministic: internal B-moves first (ascending), then synchronized
+	// Int events in bext order.
+	type succRes struct {
+		kind     int
+		ci, slot int32
+	}
+	succAt := func(nd tnode, ei int) succRes {
+		pb := pt.combos[nd.ci][nd.slot]
+		v := pt.variantOf(pb)
+		b := pb - pt.boff[v]
+		ints := d.bintl[v][b]
+		if ei < len(ints) {
+			slot := pt.slotOf(nd.ci, pt.boff[v]+ints[ei])
+			if slot < 0 {
+				return succRes{kind: 3} // skip (cannot happen: closure property)
 			}
+			return succRes{kind: 0, ci: nd.ci, slot: slot}
 		}
-		base[k] = ext
-		for _, t := range bspec.IntEdges(k.b) {
-			nk := comboKey{k.v, t, k.c}
-			succ[k] = append(succ[k], nk)
-			push(nk)
-		}
-		for _, ed := range d.bext[k.v][k.b] {
+		ei -= len(ints)
+		edges := d.bext[v][b]
+		for ; ei < len(edges); ei++ {
+			ed := edges[ei]
 			ii := d.intlIndex[ed.eid]
 			if ii < 0 {
 				continue // external to the composite
 			}
-			t := d.states[k.c].succ[ii]
+			t := d.states[nd.ci].succ[ii]
 			if t < 0 || !alive[t] {
 				continue
 			}
-			nk := comboKey{k.v, spec.State(ed.to), int(t)}
-			succ[k] = append(succ[k], nk)
-			push(nk)
+			slot := pt.slotOf(t, pt.boff[v]+ed.to)
+			if slot < 0 {
+				continue // closure property; defensive
+			}
+			if pt.valid[t] {
+				return succRes{kind: 1, ci: t, slot: slot}
+			}
+			return succRes{kind: 0, ci: t, slot: slot}
 		}
+		return succRes{kind: 2}
 	}
-	// Fixpoint: ready(k) = base(k) ∪ ⋃ ready(succ(k)).
-	ready := make(map[comboKey]map[spec.Event]bool, len(work))
-	for _, k := range work {
-		m := make(map[spec.Event]bool)
-		for _, e := range base[k] {
-			m[e] = true
+	// succIndex converts the flat resume cursor back: we re-enumerate from
+	// the cursor each resume; kind 3 and skipped entries advance the cursor
+	// by one like any other, so the walk terminates.
+	visit := func(rootCi, rootSlot int32) {
+		if pt.slotNode[rootCi][rootSlot] >= 0 {
+			return
 		}
-		ready[k] = m
-	}
-	changed := true
-	for changed {
-		changed = false
-		for _, k := range work {
-			m := ready[k]
-			for _, nk := range succ[k] {
-				for e := range ready[nk] {
-					if !m[e] {
-						m[e] = true
-						changed = true
+		callStack = callStack[:0]
+		id := addNode(rootCi, rootSlot)
+		callStack = append(callStack, frame{node: id})
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			nd := nodes[f.node]
+			r := succAt(nd, f.ei)
+			f.ei++
+			switch r.kind {
+			case 2: // exhausted: maybe emit an SCC, then return to caller
+				if low[f.node] == f.node {
+					var members []int32
+					for {
+						m := stack[len(stack)-1]
+						stack = stack[:len(stack)-1]
+						onStack[m] = false
+						sccOf[m] = int32(len(sccs))
+						members = append(members, m)
+						if m == f.node {
+							break
+						}
+					}
+					sccs = append(sccs, members)
+				}
+				callStack = callStack[:len(callStack)-1]
+				if len(callStack) > 0 {
+					parent := &callStack[len(callStack)-1]
+					if low[f.node] < low[parent.node] {
+						low[parent.node] = low[f.node]
 					}
 				}
+			case 0:
+				tid := pt.slotNode[r.ci][r.slot]
+				if tid < 0 {
+					tid = addNode(r.ci, r.slot)
+					callStack = append(callStack, frame{node: tid})
+				} else if onStack[tid] {
+					if tid < low[f.node] {
+						low[f.node] = tid
+					}
+				}
+			default: // memo leaf (1) or skip (3): nothing to do for SCC structure
 			}
 		}
 	}
-	out := make(map[comboKey][]spec.Event, len(ready))
-	for k, m := range ready {
-		evs := make([]spec.Event, 0, len(m))
-		for e := range m {
-			evs = append(evs, e)
+	for _, ci := range affected {
+		if !alive[ci] {
+			continue
 		}
-		sort.Slice(evs, func(i, j int) bool { return evs[i] < evs[j] })
-		out[k] = evs
+		for slot := range pt.combos[ci] {
+			visit(ci, int32(slot))
+		}
 	}
-	return out
+	d.met.ReadySetRebuilds += len(nodes)
+
+	// Condensation levels: Tarjan emits SCCs successors-first, so each
+	// SCC's cross-edges point at already-levelled SCCs. Same-level SCCs
+	// have no edges between them (an edge forces a level gap), so each
+	// level is processed in parallel; every SCC writes only its members'
+	// slots, and reads only lower-level slots or valid memos, making the
+	// result independent of scheduling.
+	w := pt.words
+	var hits int64
+	level := make([]int32, len(sccs))
+	maxLevel := int32(0)
+	for si, members := range sccs {
+		lvl := int32(0)
+		for _, m := range members {
+			nd := nodes[m]
+			for ei := 0; ; ei++ {
+				r := succAt(nd, ei)
+				if r.kind == 2 {
+					break
+				}
+				if r.kind != 0 {
+					continue
+				}
+				ts := sccOf[pt.slotNode[r.ci][r.slot]]
+				if int(ts) != si && level[ts]+1 > lvl {
+					lvl = level[ts] + 1
+				}
+			}
+		}
+		level[si] = lvl
+		if lvl > maxLevel {
+			maxLevel = lvl
+		}
+	}
+	buckets := make([][]int32, maxLevel+1)
+	for si := range sccs {
+		buckets[level[si]] = append(buckets[level[si]], int32(si))
+	}
+	computeSCC := func(si int32, mask []uint64) {
+		for i := range mask {
+			mask[i] = 0
+		}
+		localHits := int64(0)
+		for _, m := range sccs[si] {
+			nd := nodes[m]
+			pb := pt.combos[nd.ci][nd.slot]
+			base := pt.bready[int(pb)*w : int(pb)*w+w]
+			for i := range mask {
+				mask[i] |= base[i]
+			}
+			for ei := 0; ; ei++ {
+				r := succAt(nd, ei)
+				if r.kind == 2 {
+					break
+				}
+				if r.kind == 3 {
+					continue
+				}
+				if r.kind == 0 && sccOf[pt.slotNode[r.ci][r.slot]] == si {
+					continue // intra-SCC edge: same mask by definition
+				}
+				if r.kind == 1 {
+					localHits++
+				}
+				tm := pt.ready[r.ci][int(r.slot)*w : int(r.slot)*w+w]
+				for i := range mask {
+					mask[i] |= tm[i]
+				}
+			}
+		}
+		for _, m := range sccs[si] {
+			nd := nodes[m]
+			copy(pt.ready[nd.ci][int(nd.slot)*w:int(nd.slot)*w+w], mask)
+		}
+		atomic.AddInt64(&hits, localHits)
+	}
+	workers := d.workers
+	for _, bucket := range buckets {
+		if workers <= 1 || len(bucket) < 2*workers {
+			mask := make([]uint64, w)
+			for _, si := range bucket {
+				computeSCC(si, mask)
+			}
+			continue
+		}
+		var cursor int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for wk := 0; wk < workers; wk++ {
+			go func() {
+				defer wg.Done()
+				mask := make([]uint64, w)
+				for {
+					i := int(atomic.AddInt64(&cursor, 1)) - 1
+					if i >= len(bucket) {
+						return
+					}
+					computeSCC(bucket[i], mask)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	d.met.TauCacheHits += int(hits)
+
+	for _, ci := range affected {
+		if alive[ci] {
+			pt.valid[ci] = true
+		}
+	}
+}
+
+// verdictScan evaluates prog for every pair of every affected live state,
+// fanning across workers; the removal list is assembled from per-state
+// flags in affected order, so it is identical for every worker count.
+func (d *deriver) verdictScan(alive []bool, affected []int32) []int32 {
+	pt := d.prog
+	w := pt.words
+	bad := make([]bool, len(affected))
+	scan := func(i int) {
+		ci := affected[i]
+		if !alive[ci] {
+			return
+		}
+		isBad := false
+		d.table.get(ci).forEachUntil(func(p int32) bool {
+			v, a, b := d.decode(p)
+			slot := pt.slotOf(ci, pt.boff[v]+b)
+			if slot < 0 {
+				isBad = true // cannot happen: combos are the pair-set projection
+				return true
+			}
+			mask := pt.ready[ci][int(slot)*w : int(slot)*w+w]
+			if !pt.accIx.Prog(spec.State(a), mask) {
+				isBad = true
+			}
+			return isBad
+		})
+		bad[i] = isBad
+	}
+	workers := d.workers
+	scanned := 0
+	if workers > 1 && len(affected) >= 2*workers {
+		var cursor int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for wk := 0; wk < workers; wk++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&cursor, 1)) - 1
+					if i >= len(affected) {
+						return
+					}
+					scan(i)
+				}
+			}()
+		}
+		wg.Wait()
+		for _, ci := range affected {
+			if alive[ci] {
+				scanned++
+			}
+		}
+	} else {
+		for i, ci := range affected {
+			if alive[ci] {
+				scanned++
+			}
+			scan(i)
+		}
+	}
+	d.met.ProgressScans += scanned
+	var removed []int32
+	for i, ci := range affected {
+		if bad[i] && alive[ci] {
+			removed = append(removed, ci)
+		}
+	}
+	return removed
 }

@@ -15,6 +15,43 @@ import (
 	"protoquot/internal/spec"
 )
 
+// System is the read-only stepping surface the engine needs: initial
+// state, outgoing edges, and names for reporting. Both *spec.Spec and
+// *compose.Indexed satisfy it, so large composed environments can be
+// simulated straight from the fused index-space composition without ever
+// materializing a string-keyed *spec.Spec. ExtEdges and IntEdges must
+// return stable orders (the sorted orders both implementations guarantee);
+// Enabled and the fairness scheduler inherit reproducibility from them.
+type System interface {
+	Name() string
+	NumStates() int
+	Init() spec.State
+	Alphabet() []spec.Event
+	ExtEdges(st spec.State) []spec.ExtEdge
+	IntEdges(st spec.State) []spec.State
+	StateName(st spec.State) string
+}
+
+// hasInt reports whether (from, to) is an internal transition of s.
+func hasInt(s System, from, to spec.State) bool {
+	for _, t := range s.IntEdges(from) {
+		if t == to {
+			return true
+		}
+	}
+	return false
+}
+
+// hasExt reports whether (from, e, to) is an external transition of s.
+func hasExt(s System, from spec.State, e spec.Event, to spec.State) bool {
+	for _, ed := range s.ExtEdges(from) {
+		if ed.Event == e && ed.To == to {
+			return true
+		}
+	}
+	return false
+}
+
 // Move is one enabled step of the system: either an external event or an
 // internal transition.
 type Move struct {
@@ -27,9 +64,9 @@ type Move struct {
 // Internal reports whether the move is an internal transition.
 func (m Move) Internal() bool { return m.Event == "" }
 
-// Runner executes one specification (usually a composition).
+// Runner executes one System (usually a composition).
 type Runner struct {
-	s   *spec.Spec
+	s   System
 	cur spec.State
 	rng *rand.Rand
 
@@ -40,9 +77,9 @@ type Runner struct {
 	age map[Move]int
 }
 
-// New returns a Runner at the specification's initial state. The rng may
+// New returns a Runner at the system's initial state. The rng may
 // be shared only by one Runner.
-func New(s *spec.Spec, rng *rand.Rand) *Runner {
+func New(s System, rng *rand.Rand) *Runner {
 	return &Runner{s: s, cur: s.Init(), rng: rng, age: make(map[Move]int)}
 }
 
@@ -71,11 +108,11 @@ func (r *Runner) Deadlocked() bool { return len(r.Enabled()) == 0 }
 // Step applies one move, which must currently be enabled.
 func (r *Runner) Step(m Move) error {
 	if m.Internal() {
-		if !r.s.HasInt(r.cur, m.To) {
+		if !hasInt(r.s, r.cur, m.To) {
 			return fmt.Errorf("engine: internal move to %s not enabled in %s",
 				r.s.StateName(m.To), r.StateName())
 		}
-	} else if !r.s.HasExt(r.cur, m.Event, m.To) {
+	} else if !hasExt(r.s, r.cur, m.Event, m.To) {
 		return fmt.Errorf("engine: move %s to %s not enabled in %s",
 			m.Event, r.s.StateName(m.To), r.StateName())
 	}
@@ -170,7 +207,7 @@ func (r *Runner) Reset() {
 // outgoing moves and returns a shortest witness trace to it, or ok=false
 // if the system is deadlock-free. Unlike sat.Progress this ignores any
 // service; it answers the bare question "can the closed system get stuck?"
-func FindDeadlock(s *spec.Spec) (trace []spec.Event, state string, ok bool) {
+func FindDeadlock(s System) (trace []spec.Event, state string, ok bool) {
 	type nd struct {
 		st     spec.State
 		parent int
@@ -218,7 +255,7 @@ func FindDeadlock(s *spec.Spec) (trace []spec.Event, state string, ok bool) {
 // with a shortest witness trace. It is the library's bounded
 // model-checking helper for ad-hoc state properties (the satisfaction
 // checker covers trace/progress properties against a service spec).
-func CheckInvariant(s *spec.Spec, inv func(*spec.Spec, spec.State) bool) (trace []spec.Event, state string, violated bool) {
+func CheckInvariant(s System, inv func(System, spec.State) bool) (trace []spec.Event, state string, violated bool) {
 	type nd struct {
 		st     spec.State
 		parent int

@@ -145,14 +145,14 @@ func TestCheckInvariant(t *testing.T) {
 	sys := protocols.ABSystem()
 	// Invariant that holds: every state has some enabled move (no
 	// deadlock), phrased as an invariant.
-	if tr, state, bad := CheckInvariant(sys, func(s *spec.Spec, st spec.State) bool {
+	if tr, state, bad := CheckInvariant(sys, func(s System, st spec.State) bool {
 		return len(s.ExtEdges(st)) > 0 || len(s.IntEdges(st)) > 0
 	}); bad {
 		t.Errorf("unexpected violation at %s via %v", state, tr)
 	}
 	// Invariant that fails with a shortest witness: "the AB sender never
 	// leaves its initial state" is false after one acc.
-	tr, state, bad := CheckInvariant(sys, func(s *spec.Spec, st spec.State) bool {
+	tr, state, bad := CheckInvariant(sys, func(s System, st spec.State) bool {
 		name := s.StateName(st)
 		return name[:2] == "s0"
 	})
@@ -183,5 +183,35 @@ func TestWalkDerivedConverterSystem(t *testing.T) {
 	}
 	if w.EventCount["del"] > w.EventCount["acc"] {
 		t.Error("delivered more than accepted — exactly-once broken")
+	}
+}
+
+// TestRunnerOverIndexedComposition drives the engine from a fused
+// index-space composition without materializing a *spec.Spec: the System
+// interface is the contract that makes that possible. Walk traces are not
+// required to match the eager composition move for move (edge sort orders
+// use each representation's own state numbering), so the assertions are
+// representation-independent: liveness of the walk, exactly-once semantics,
+// and agreement on deadlock freedom.
+func TestRunnerOverIndexedComposition(t *testing.T) {
+	x := compose.MustIndexedMany(protocols.ABSender(), protocols.ABChannel(), protocols.ABReceiver())
+	r := New(x, rand.New(rand.NewSource(1989)))
+	w := r.Walk(20000)
+	if w.Deadlocked {
+		t.Fatalf("indexed AB system deadlocked at %s", w.FinalState)
+	}
+	if w.EventCount["acc"] < 5 || w.EventCount["del"] < 5 {
+		t.Errorf("indexed AB system made too little progress: %v", w.EventCount)
+	}
+	if w.EventCount["del"] > w.EventCount["acc"] {
+		t.Error("delivered more than accepted — exactly-once broken")
+	}
+	if _, st, found := FindDeadlock(x); found {
+		t.Errorf("FindDeadlock over indexed composition found %s; eager system is deadlock-free", st)
+	}
+	if tr, st, bad := CheckInvariant(x, func(s System, st spec.State) bool {
+		return len(s.ExtEdges(st))+len(s.IntEdges(st)) > 0
+	}); bad {
+		t.Errorf("invariant violated at %s via %v", st, tr)
 	}
 }

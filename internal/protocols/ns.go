@@ -69,8 +69,15 @@ func NSSystem() *spec.Spec {
 // safety but not progress: after a loss on the NS side the converter cannot
 // tell whether the data or the acknowledgement was lost.
 func SymmetricB() *spec.Spec {
-	s := compose.MustMany(ABSender(), ABChannel(), NSChannel(), NSReceiver())
+	s := compose.MustMany(SymmetricBComponents()...)
 	return s.Renamed("B.sym")
+}
+
+// SymmetricBComponents returns the machines SymmetricB composes, in
+// composition order, for callers that feed the system to the fused
+// index-space composition (compose.IndexedMany) instead of the eager fold.
+func SymmetricBComponents() []*spec.Spec {
+	return []*spec.Spec{ABSender(), ABChannel(), NSChannel(), NSReceiver()}
 }
 
 // ReliableNSB returns B for the runtime deployment configuration: like the
@@ -155,6 +162,12 @@ func EventuallyReliableNSB() *spec.Spec {
 // and without loss. Int is {+d0, +d1, -a0, -a1, +D, -A}; Ext is {acc, del}.
 // The quotient exists (Figure 14).
 func ColocatedB() *spec.Spec {
-	s := compose.MustMany(ABSender(), ABChannel(), NSReceiver())
+	s := compose.MustMany(ColocatedBComponents()...)
 	return s.Renamed("B.coloc")
+}
+
+// ColocatedBComponents returns the machines ColocatedB composes, in
+// composition order; see SymmetricBComponents.
+func ColocatedBComponents() []*spec.Spec {
+	return []*spec.Spec{ABSender(), ABChannel(), NSReceiver()}
 }

@@ -150,8 +150,14 @@ func TransportB17() *spec.Spec {
 //
 //	B = TA0 ‖ NetA(lossy) ‖ NetB ‖ TB1
 func TransportB18() *spec.Spec {
-	s := compose.MustMany(TransportA(), NetA(true), NetB(), TransportB())
+	s := compose.MustMany(TransportB18Components()...)
 	return s.Renamed("B.t18")
+}
+
+// TransportB18Components returns the machines TransportB18 composes, in
+// composition order; see SymmetricBComponents.
+func TransportB18Components() []*spec.Spec {
+	return []*spec.Spec{TransportA(), NetA(true), NetB(), TransportB()}
 }
 
 // PassThrough returns the Figure 16 pass-through entity: a simple relay

@@ -294,6 +294,23 @@ func WindowToNSB(cfg WindowConfig) (*spec.Spec, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
+	comps, err := WindowToNSBComponents(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := compose.Many(comps...)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Renamed(fmt.Sprintf("B.win%d-ns", cfg.Window)), nil
+}
+
+// WindowToNSBComponents returns the machines WindowToNSB composes, in
+// composition order; see SymmetricBComponents.
+func WindowToNSBComponents(cfg WindowConfig) ([]*spec.Spec, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
 	snd, err := WindowSender(cfg)
 	if err != nil {
 		return nil, err
@@ -312,11 +329,7 @@ func WindowToNSB(cfg WindowConfig) (*spec.Spec, error) {
 		return nil, err
 	}
 	dch = dch.WithEvents(cfg.Timeout) // hide the sender's dead timeout edges
-	sys, err := compose.Many(snd, dch, ach, NSReceiver())
-	if err != nil {
-		return nil, err
-	}
-	return sys.Renamed(fmt.Sprintf("B.win%d-ns", cfg.Window)), nil
+	return []*spec.Spec{snd, dch, ach, NSReceiver()}, nil
 }
 
 // duplicateEventEdges returns a copy of s in which every transition labeled

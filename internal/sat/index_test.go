@@ -1,0 +1,128 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"protoquot/internal/spec"
+	"protoquot/internal/specgen"
+)
+
+func universeOf(specs ...*spec.Spec) []spec.Event {
+	seen := map[spec.Event]bool{}
+	var out []spec.Event
+	for _, s := range specs {
+		for _, e := range s.Alphabet() {
+			if !seen[e] {
+				seen[e] = true
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+func TestReadyIndexRoundTrip(t *testing.T) {
+	evs := []spec.Event{"a", "b", "c", "d", "e"}
+	ix, err := NewReadyIndex(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask, err := ix.MaskOf([]spec.Event{"b", "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ix.EventsOf(mask)
+	if len(got) != 2 || got[0] != "b" || got[1] != "d" {
+		t.Fatalf("round trip = %v, want [b d]", got)
+	}
+	if _, err := ix.MaskOf([]spec.Event{"zz"}); err == nil {
+		t.Fatal("expected error for event outside universe")
+	}
+	if _, err := NewReadyIndex([]spec.Event{"a", "a"}); err == nil {
+		t.Fatal("expected error for duplicate event")
+	}
+}
+
+// TestAcceptanceIndexMatchesProg is the differential oracle: over random
+// normal-form services and random ready subsets of the universe, the
+// mask-based Prog must agree with the reference sat.Prog at every state.
+func TestAcceptanceIndexMatchesProg(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		a := specgen.Random(rng, specgen.Config{
+			MaxStates: 3 + rng.Intn(6), MaxEvents: 3 + rng.Intn(4),
+			ExtDensity: 0.35, IntDensity: 0.4, Connected: true,
+		})
+		if a.IsNormalForm() != nil {
+			continue
+		}
+		universe := universeOf(a)
+		// Pad the universe with events A never uses, as the engine's
+		// universe (B's interface) is usually wider than τ* of any A-state.
+		universe = append(universe, "pad1", "pad2")
+		ready, err := NewReadyIndex(universe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix, err := NewAcceptanceIndex(a, ready)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < a.NumStates(); s++ {
+			for sub := 0; sub < 20; sub++ {
+				var evs []spec.Event
+				for _, e := range universe {
+					if rng.Intn(2) == 0 {
+						evs = append(evs, e)
+					}
+				}
+				mask, err := ready.MaskOf(evs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := Prog(a, spec.State(s), evs)
+				got := ix.Prog(spec.State(s), mask)
+				if got != want {
+					t.Fatalf("trial %d state %s ready %v: indexed Prog = %v, reference = %v",
+						trial, a.StateName(spec.State(s)), evs, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestAcceptanceIndexMinimization checks that redundant superset acceptance
+// masks are dropped without changing the predicate, on a spec built to have
+// nested acceptance sets λ-reachable from one state.
+func TestAcceptanceIndexMinimization(t *testing.T) {
+	b := spec.NewBuilder("nested")
+	// s0 λ-reaches sinks s1 (τ* = {x}) and s2 (τ* = {x, y}): {x,y} is
+	// redundant given {x}. Both x edges target the same state t so the
+	// spec stays in normal form (deterministic over the λ-closure).
+	b.Init("s0").Int("s0", "s1").Int("s0", "s2")
+	b.Ext("s1", "x", "t")
+	b.Ext("s2", "x", "t").Ext("s2", "y", "t")
+	b.Ext("t", "x", "t")
+	a := b.MustBuild()
+	ready, err := NewReadyIndex(a.Alphabet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := NewAcceptanceIndex(a, ready)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := spec.State(0)
+	if n := ix.NumCandidates(s0); n != 1 {
+		t.Fatalf("s0 has %d candidate masks, want 1 ({x} subsumes {x,y})", n)
+	}
+	onlyX, _ := ready.MaskOf([]spec.Event{"x"})
+	onlyY, _ := ready.MaskOf([]spec.Event{"y"})
+	if !ix.Prog(s0, onlyX) {
+		t.Error("Prog(s0, {x}) should hold")
+	}
+	if ix.Prog(s0, onlyY) {
+		t.Error("Prog(s0, {y}) should not hold")
+	}
+}

@@ -1,0 +1,184 @@
+// Deterministic sized specification families for scaling benchmarks.
+//
+// Random specs (specgen.Random) give property tests breadth, but scaling
+// measurements need reproducible large instances whose size is a function
+// of a single parameter. The two families here are protocol-conversion
+// problems by construction — each pairs a service with a list of component
+// machines whose composition is the quotient's environment B, with the
+// converter bridging two mismatched channel alphabets — so the full
+// pipeline (compose + safety + progress) is exercised, not just the safety
+// phase:
+//
+//   - Chain(n) is a store-and-forward pipeline: a sender feeds message
+//     frames through n capacity-1 hop channels (joined by forwarders) to
+//     the converter, which must re-frame them onto a differently named
+//     delivery channel. The reachable environment grows like 2^(2n) (every
+//     fill pattern of the 2n+1 slots), while the converter interface stays
+//     two events wide — a deep, narrow instance dominated by pair-set
+//     closure work.
+//   - Ring(n) is a round-robin token ring: n stations take turns (enforced
+//     by a circulating token) submitting a request frame the converter must
+//     answer on a per-station response channel. The environment grows
+//     polynomially but the converter interface is 2n events wide — a
+//     shallow, wide instance dominated by frontier fan-out and the
+//     progress phase's composite ready sets.
+//
+// Both families are fully deterministic: no randomness, and the component
+// lists are emitted in a fixed order, so state counts, derivation
+// statistics, and the derived converters are stable across runs and
+// machines.
+package specgen
+
+import (
+	"fmt"
+
+	"protoquot/internal/spec"
+)
+
+// Family is one sized instance: a service specification and the component
+// machines whose composition forms the quotient's environment B.
+type Family struct {
+	// Name identifies the instance, e.g. "chain(4)".
+	Name string
+	// Service is the quotient's service input A, in normal form.
+	Service *spec.Spec
+	// Components compose (pairwise-disjoint interfaces) into B.
+	Components []*spec.Spec
+}
+
+// Chain returns the store-and-forward pipeline family with n ≥ 1 hop
+// channels on the sending side.
+//
+// Topology:
+//
+//	sender ─C1─ fwd1 ─C2─ … ─Cn─ [converter] ─D─ receiver
+//
+// The sender accepts a message (acc) and pushes a frame -x1 into hop
+// channel C1; forwarder i relays +xi → -x(i+1); the converter takes +xn
+// and must emit -y on the mismatched delivery channel D, from which the
+// receiver delivers (del). Every link has capacity one, so up to 2n+3
+// messages are in flight at once (sender slot, n channels, n−1 forwarders,
+// converter, delivery channel, receiver slot) and the service is the
+// window-(2n+3) counter over acc/del.
+func Chain(n int) Family { return chain(n, false) }
+
+// ChainDrop is Chain with one extra converter-facing event: the delivery
+// channel also accepts a -ydrop frame that wedges it permanently. Dropping
+// is always safe (the service never observes it) but never live — after a
+// drop no message can ever be delivered again, so the progress phase must
+// discover and remove the entire post-drop region and re-examine its
+// predecessor closure. The family therefore exercises multi-sweep removal,
+// invalidation, and ready-set memoization, which the pure Chain (whose
+// progress phase is a single clean sweep) does not.
+func ChainDrop(n int) Family { return chain(n, true) }
+
+func chain(n int, drop bool) Family {
+	if n < 1 {
+		panic("specgen: Chain needs n >= 1")
+	}
+	window := 2*n + 3
+	sb := spec.NewBuilder(fmt.Sprintf("ChainService(%d)", n))
+	sb.Init("w0")
+	for i := 0; i < window; i++ {
+		sb.Ext(fmt.Sprintf("w%d", i), "acc", fmt.Sprintf("w%d", i+1))
+		sb.Ext(fmt.Sprintf("w%d", i+1), "del", fmt.Sprintf("w%d", i))
+	}
+	service := sb.MustBuild()
+
+	xSend := func(i int) spec.Event { return spec.Event(fmt.Sprintf("-x%d", i)) }
+	xRecv := func(i int) spec.Event { return spec.Event(fmt.Sprintf("+x%d", i)) }
+
+	var comps []*spec.Spec
+	snd := spec.NewBuilder("snd")
+	snd.Init("s0").Ext("s0", "acc", "s1").Ext("s1", xSend(1), "s0")
+	comps = append(comps, snd.MustBuild())
+	for i := 1; i <= n; i++ {
+		ch := spec.NewBuilder(fmt.Sprintf("C%d", i))
+		ch.Init("e").Ext("e", xSend(i), "f").Ext("f", xRecv(i), "e")
+		comps = append(comps, ch.MustBuild())
+		if i < n {
+			fw := spec.NewBuilder(fmt.Sprintf("fwd%d", i))
+			fw.Init("g0").Ext("g0", xRecv(i), "g1").Ext("g1", xSend(i+1), "g0")
+			comps = append(comps, fw.MustBuild())
+		}
+	}
+	del := spec.NewBuilder("D")
+	del.Init("e").Ext("e", "-y", "f").Ext("f", "+y", "e")
+	if drop {
+		// -ydrop wedges the channel: a dead state with no exits. Dropping
+		// is safe (the service never observes it) but strands every
+		// undelivered message, so the progress phase must remove the whole
+		// post-drop region. A plain lossy arc (drop and recover) would not
+		// do: the maximal converter could compensate by conjuring a fresh
+		// -y frame, and no state would ever be bad.
+		del.Ext("e", "-ydrop", "g")
+	}
+	comps = append(comps, del.MustBuild())
+	rcv := spec.NewBuilder("rcv")
+	rcv.Init("r0").Ext("r0", "+y", "r1").Ext("r1", "del", "r0")
+	comps = append(comps, rcv.MustBuild())
+
+	name := fmt.Sprintf("chain(%d)", n)
+	if drop {
+		name = fmt.Sprintf("chaindrop(%d)", n)
+	}
+	return Family{Name: name, Service: service, Components: comps}
+}
+
+// Ring returns the round-robin token-ring family with n ≥ 1 stations.
+//
+// A single token circulates through capacity-1 token channels T0…T(n−1)
+// (T0 starts full). Station i, on receiving the token, accepts a user
+// request (acc.i), sends frame -u.i toward the converter, waits for the
+// converter's answer frame +v.i on the mismatched response channel,
+// delivers (del.i), and passes the token on. The service is the length-2n
+// cycle acc.0 del.0 acc.1 del.1 … — stations proceed strictly round-robin.
+// The converter interface is {+u.i, -v.i : i < n}.
+func Ring(n int) Family {
+	if n < 1 {
+		panic("specgen: Ring needs n >= 1")
+	}
+	ev := func(kind string, i int) spec.Event { return spec.Event(fmt.Sprintf("%s.%d", kind, i)) }
+
+	sb := spec.NewBuilder(fmt.Sprintf("RingService(%d)", n))
+	sb.Init("a0.0")
+	for i := 0; i < n; i++ {
+		next := fmt.Sprintf("a%d.0", (i+1)%n)
+		sb.Ext(fmt.Sprintf("a%d.0", i), ev("acc", i), fmt.Sprintf("a%d.1", i))
+		sb.Ext(fmt.Sprintf("a%d.1", i), ev("del", i), next)
+	}
+	service := sb.MustBuild()
+
+	var comps []*spec.Spec
+	for i := 0; i < n; i++ {
+		st := spec.NewBuilder(fmt.Sprintf("station%d", i))
+		s := func(j int) string { return fmt.Sprintf("k%d.%d", i, j) }
+		st.Init(s(0))
+		st.Ext(s(0), ev("+t", i), s(1))
+		st.Ext(s(1), ev("acc", i), s(2))
+		st.Ext(s(2), ev("-u", i), s(3))
+		st.Ext(s(3), ev("+v", i), s(4))
+		st.Ext(s(4), ev("del", i), s(5))
+		st.Ext(s(5), ev("-t", (i+1)%n), s(0))
+		comps = append(comps, st.MustBuild())
+
+		tk := spec.NewBuilder(fmt.Sprintf("token%d", i))
+		if i == 0 {
+			// T0 starts full: the token begins at station 0's doorstep.
+			tk.Init("full").Ext("full", ev("+t", i), "empty").Ext("empty", ev("-t", i), "full")
+		} else {
+			tk.Init("empty").Ext("empty", ev("-t", i), "full").Ext("full", ev("+t", i), "empty")
+		}
+		comps = append(comps, tk.MustBuild())
+
+		uch := spec.NewBuilder(fmt.Sprintf("U%d", i))
+		uch.Init("e").Ext("e", ev("-u", i), "f").Ext("f", ev("+u", i), "e")
+		comps = append(comps, uch.MustBuild())
+
+		vch := spec.NewBuilder(fmt.Sprintf("V%d", i))
+		vch.Init("e").Ext("e", ev("-v", i), "f").Ext("f", ev("+v", i), "e")
+		comps = append(comps, vch.MustBuild())
+	}
+
+	return Family{Name: fmt.Sprintf("ring(%d)", n), Service: service, Components: comps}
+}
