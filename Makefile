@@ -3,10 +3,15 @@
 
 GO ?= go
 
-.PHONY: verify vet build test race benchsmoke fuzz-smoke bench
+.PHONY: verify fmt vet build test race benchsmoke fuzz-smoke bench
 
-verify: vet build test race benchsmoke fuzz-smoke
+verify: fmt vet build test race benchsmoke fuzz-smoke
 	@echo "verify: OK"
+
+# gofmt compliance; fails listing the offending files.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt: the following files need formatting:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -26,14 +31,22 @@ benchsmoke:
 	$(GO) test -run '^$$' -bench Derive -benchtime 1x .
 
 # Full engine benchmarks with allocation figures, then the quotbench JSON
-# trajectory: appends spec-vs-indexed pipeline runs over the specgen scaling
-# families to the committed BENCH_pr3.json. EXPERIMENTS.md explains how to
-# read the file.
+# trajectory into BENCH_pr4.json: all three pipelines over the families the
+# eager engines can still finish, then the big instances (chain(7), ring(5),
+# chaindrop(6)) under the engines that survive them, with a per-derivation
+# cap so a regression shows up as timed_out=true instead of a hung build.
+# BENCH_pr3.json is the frozen PR3 baseline — never appended to.
+# EXPERIMENTS.md explains how to read both files.
 bench:
 	$(GO) test -run '^$$' -bench 'Derive|Compose' -benchmem .
-	$(GO) run ./cmd/quotbench -label pr3 \
-		-families 'chain(4),chain(5),chaindrop(4),chaindrop(5),ring(2),ring(3)' \
-		-engine spec,indexed -workers 1,2 -reps 3 -append -out BENCH_pr3.json
+	$(GO) run ./cmd/quotbench -label pr4 \
+		-families 'chain(4),chain(5),chain(6),chaindrop(4),chaindrop(5),ring(2),ring(3)' \
+		-engine spec,indexed,lazy -workers 1,2 -reps 6 -derivetimeout 60s \
+		-out BENCH_pr4.json
+	$(GO) run ./cmd/quotbench -label pr4 \
+		-families 'chain(7),chaindrop(6),ring(4),ring(5)' \
+		-engine indexed,lazy -workers 1,2 -reps 6 -derivetimeout 30s \
+		-append -out BENCH_pr4.json
 
 # Short fuzzing bursts over the wire decoder and the DSL parser: enough to
 # catch regressions in frame bounds-checking and grammar handling without

@@ -602,11 +602,13 @@ func BenchmarkAblationChannelModel(b *testing.B) {
 
 // --- PR: fused index-space composition and the memoized progress phase ---
 //
-// Each specgen family runs through both pipelines: eager string-keyed
-// composition feeding Derive ("spec engine"), and the fused integer
-// index-space composition feeding DeriveEnv ("indexed engine"). The
+// Each specgen family runs through the three pipelines: eager string-keyed
+// composition feeding Derive ("spec engine"), the fused integer index-space
+// composition feeding DeriveEnv ("indexed engine"), and the demand-driven
+// composition whose exploration the safety phase drives ("lazy engine"). The
 // quotbench command records the same comparison as committed JSON
-// (BENCH_pr3.json); these benchmarks keep it visible to `go test -bench`.
+// (BENCH_pr3.json, BENCH_pr4.json); these benchmarks keep it visible to
+// `go test -bench`.
 
 func benchFamilySpecEngine(b *testing.B, f specgen.Family) {
 	b.ReportAllocs()
@@ -634,10 +636,27 @@ func benchFamilyIndexedEngine(b *testing.B, f specgen.Family) {
 	}
 }
 
-func BenchmarkDeriveChainSpecEngine(b *testing.B)        { benchFamilySpecEngine(b, specgen.Chain(5)) }
-func BenchmarkDeriveChainIndexedEngine(b *testing.B)     { benchFamilyIndexedEngine(b, specgen.Chain(5)) }
-func BenchmarkDeriveChainDropSpecEngine(b *testing.B)    { benchFamilySpecEngine(b, specgen.ChainDrop(4)) }
-func BenchmarkDeriveChainDropIndexedEngine(b *testing.B) { benchFamilyIndexedEngine(b, specgen.ChainDrop(4)) }
+func benchFamilyLazyEngine(b *testing.B, f specgen.Family) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env, err := compose.LazyMany(f.Components...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.DeriveEnv(f.Service, env, core.Options{OmitVacuous: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeriveChainSpecEngine(b *testing.B)     { benchFamilySpecEngine(b, specgen.Chain(5)) }
+func BenchmarkDeriveChainIndexedEngine(b *testing.B)  { benchFamilyIndexedEngine(b, specgen.Chain(5)) }
+func BenchmarkDeriveChainLazyEngine(b *testing.B)     { benchFamilyLazyEngine(b, specgen.Chain(5)) }
+func BenchmarkDeriveChainDropSpecEngine(b *testing.B) { benchFamilySpecEngine(b, specgen.ChainDrop(4)) }
+func BenchmarkDeriveChainDropIndexedEngine(b *testing.B) {
+	benchFamilyIndexedEngine(b, specgen.ChainDrop(4))
+}
+func BenchmarkDeriveChainDropLazyEngine(b *testing.B) { benchFamilyLazyEngine(b, specgen.ChainDrop(4)) }
 
 // Composition alone, eager fold vs fused index space. Ring components share
 // events pairwise around a cycle, the worst case for the left fold's

@@ -17,12 +17,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"regexp"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -58,31 +60,23 @@ type Run struct {
 	TauCacheHits     int `json:"tau_cache_hits,omitempty"`
 	TauInvalidated   int `json:"tau_invalidated,omitempty"`
 	ReadySetRebuilds int `json:"ready_set_rebuilds,omitempty"`
+
+	// Environment-exploration accounting (see core.Metrics). For the lazy
+	// engine ExpandedStates « BStates is the reachable-slice win; for eager
+	// engines both equal BStates.
+	EnvStatesExpanded int   `json:"env_states_expanded,omitempty"`
+	EnvStatesTotal    int   `json:"env_states_total,omitempty"`
+	EnvExpansionNs    int64 `json:"env_expansion_ns,omitempty"`
+
+	// TimedOut marks a run whose derivation hit -derivetimeout; its times
+	// cover only the work done before cancellation.
+	TimedOut bool `json:"timed_out,omitempty"`
 }
 
 // Output is the committed JSON document.
 type Output struct {
 	Note string `json:"note"`
 	Runs []Run  `json:"runs"`
-}
-
-var famPattern = regexp.MustCompile(`^([a-z]+)\((\d+)\)$`)
-
-func parseFamily(name string) (specgen.Family, error) {
-	m := famPattern.FindStringSubmatch(strings.TrimSpace(name))
-	if m == nil {
-		return specgen.Family{}, fmt.Errorf("quotbench: bad family %q (want e.g. chain(4))", name)
-	}
-	n, _ := strconv.Atoi(m[2])
-	switch m[1] {
-	case "chain":
-		return specgen.Chain(n), nil
-	case "chaindrop":
-		return specgen.ChainDrop(n), nil
-	case "ring":
-		return specgen.Ring(n), nil
-	}
-	return specgen.Family{}, fmt.Errorf("quotbench: unknown family kind %q", m[1])
 }
 
 func parseInts(s string) ([]int, error) {
@@ -102,12 +96,36 @@ type measurement struct {
 	composeNs, deriveNs, safetyNs, progressNs int64
 	bStates                                   int
 	stats                                     core.Stats
+	timedOut                                  bool
 }
 
 // runOnce executes one compose+derive repetition with the chosen engine.
-func runOnce(f specgen.Family, engine string, workers int) (measurement, error) {
+// A derivation that exceeds timeout (0 = unlimited) is reported with
+// timedOut set and whatever time it burned; the caller decides whether to
+// keep going.
+func runOnce(f specgen.Family, engine string, workers int, timeout time.Duration) (measurement, error) {
 	var m measurement
 	opts := core.Options{OmitVacuous: true, Workers: workers}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	derive := func(b core.Environment) error {
+		t0 := time.Now()
+		res, err := core.DeriveEnvContext(ctx, f.Service, b, opts)
+		m.deriveNs = time.Since(t0).Nanoseconds()
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				m.timedOut = true
+				return nil
+			}
+			return fmt.Errorf("%s: %w", f.Name, err)
+		}
+		m.stats = res.Stats
+		return nil
+	}
 	switch engine {
 	case "spec":
 		t0 := time.Now()
@@ -117,13 +135,9 @@ func runOnce(f specgen.Family, engine string, workers int) (measurement, error) 
 		}
 		m.composeNs = time.Since(t0).Nanoseconds()
 		m.bStates = b.NumStates()
-		t0 = time.Now()
-		res, err := core.Derive(f.Service, b, opts)
-		if err != nil {
-			return m, fmt.Errorf("%s: %w", f.Name, err)
+		if err := derive(b); err != nil {
+			return m, err
 		}
-		m.deriveNs = time.Since(t0).Nanoseconds()
-		m.stats = res.Stats
 	case "indexed":
 		t0 := time.Now()
 		b, err := compose.IndexedMany(f.Components...)
@@ -132,13 +146,20 @@ func runOnce(f specgen.Family, engine string, workers int) (measurement, error) 
 		}
 		m.composeNs = time.Since(t0).Nanoseconds()
 		m.bStates = b.NumStates()
-		t0 = time.Now()
-		res, err := core.DeriveEnv(f.Service, b, opts)
-		if err != nil {
-			return m, fmt.Errorf("%s: %w", f.Name, err)
+		if err := derive(b); err != nil {
+			return m, err
 		}
-		m.deriveNs = time.Since(t0).Nanoseconds()
-		m.stats = res.Stats
+	case "lazy":
+		t0 := time.Now()
+		b, err := compose.LazyMany(f.Components...)
+		if err != nil {
+			return m, err
+		}
+		m.composeNs = time.Since(t0).Nanoseconds() // table compilation only
+		if err := derive(b); err != nil {
+			return m, err
+		}
+		m.bStates = b.NumStates() // states discovered by the derivation
 	default:
 		return m, fmt.Errorf("quotbench: unknown engine %q", engine)
 	}
@@ -149,22 +170,36 @@ func runOnce(f specgen.Family, engine string, workers int) (measurement, error) 
 
 func main() {
 	var (
-		label    = flag.String("label", "dev", "label identifying the engine build, e.g. pr2 or pr3")
-		families = flag.String("families", "chain(4),chain(5),chaindrop(4),ring(3)", "comma-separated family instances")
+		label    = flag.String("label", "dev", "label identifying the engine build, e.g. pr3 or pr4")
+		families = flag.String("families", "chain(4),chain(5),chaindrop(4),ring(3)", "comma-separated family instances (see specgen.BenchFamilies)")
 		workers  = flag.String("workers", "1", "comma-separated worker counts")
 		reps     = flag.Int("reps", 3, "repetitions per configuration (minimum is reported)")
-		engines  = flag.String("engine", "spec", "comma-separated engines: spec (string compose + Derive), indexed (fused compose + DeriveEnv)")
+		engines  = flag.String("engine", "spec", "comma-separated engines: spec (string compose + Derive), indexed (fused compose + DeriveEnv), lazy (demand-driven compose fused into the safety phase)")
+		timeout  = flag.Duration("derivetimeout", 0, "per-derivation wall-clock cap (0 = unlimited); a capped run is recorded with timed_out=true")
 		out      = flag.String("out", "", "output JSON file (default stdout)")
 		appendTo = flag.Bool("append", false, "keep existing runs in -out and append")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile covering every measured repetition")
 	)
 	flag.Parse()
-	if err := run(*label, *families, *workers, *engines, *reps, *out, *appendTo); err != nil {
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quotbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "quotbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := run(*label, *families, *workers, *engines, *reps, *timeout, *out, *appendTo); err != nil {
 		fmt.Fprintf(os.Stderr, "quotbench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(label, families, workers, engines string, reps int, out string, appendTo bool) error {
+func run(label, families, workers, engines string, reps int, timeout time.Duration, out string, appendTo bool) error {
 	ws, err := parseInts(workers)
 	if err != nil {
 		return err
@@ -178,7 +213,7 @@ func run(label, families, workers, engines string, reps int, out string, appendT
 		}
 	}
 	for _, fname := range strings.Split(families, ",") {
-		f, err := parseFamily(fname)
+		f, err := specgen.ParseFamily(fname)
 		if err != nil {
 			return err
 		}
@@ -187,9 +222,18 @@ func run(label, families, workers, engines string, reps int, out string, appendT
 			for _, w := range ws {
 				r := Run{Label: label, Family: f.Name, Engine: engine, Workers: w, Reps: reps}
 				for i := 0; i < reps; i++ {
-					m, err := runOnce(f, engine, w)
+					m, err := runOnce(f, engine, w, timeout)
 					if err != nil {
 						return err
+					}
+					if m.timedOut {
+						// Record the capped attempt and move on; repeating a
+						// run that hits the wall just burns the budget again.
+						r.TimedOut = true
+						r.TotalNs = m.composeNs + m.deriveNs
+						r.ComposeNs, r.DeriveNs = m.composeNs, m.deriveNs
+						r.BStates = m.bStates
+						break
 					}
 					total := m.composeNs + m.deriveNs
 					if i == 0 || total < r.TotalNs {
@@ -205,22 +249,28 @@ func run(label, families, workers, engines string, reps int, out string, appendT
 					r.TauCacheHits = m.stats.Metrics.TauCacheHits
 					r.TauInvalidated = m.stats.Metrics.TauInvalidated
 					r.ReadySetRebuilds = m.stats.Metrics.ReadySetRebuilds
+					r.EnvStatesExpanded = m.stats.Metrics.EnvStatesExpanded
+					r.EnvStatesTotal = m.stats.Metrics.EnvStatesTotal
+					r.EnvExpansionNs = m.stats.Metrics.EnvExpansionNs
 				}
-				// One instrumented repetition for allocation figures.
-				var before, after runtime.MemStats
-				runtime.GC()
-				runtime.ReadMemStats(&before)
-				if _, err := runOnce(f, engine, w); err != nil {
-					return err
+				if !r.TimedOut {
+					// One instrumented repetition for allocation figures.
+					var before, after runtime.MemStats
+					runtime.GC()
+					runtime.ReadMemStats(&before)
+					if _, err := runOnce(f, engine, w, timeout); err != nil {
+						return err
+					}
+					runtime.ReadMemStats(&after)
+					r.AllocBytes = after.TotalAlloc - before.TotalAlloc
+					r.Allocs = after.Mallocs - before.Mallocs
 				}
-				runtime.ReadMemStats(&after)
-				r.AllocBytes = after.TotalAlloc - before.TotalAlloc
-				r.Allocs = after.Mallocs - before.Mallocs
 				doc.Runs = append(doc.Runs, r)
-				fmt.Fprintf(os.Stderr, "%s %s engine=%s workers=%d: total=%s compose=%s derive=%s (safety=%s progress=%s) allocs=%d\n",
+				fmt.Fprintf(os.Stderr, "%s %s engine=%s workers=%d: total=%s compose=%s derive=%s (safety=%s progress=%s) env=%d/%d allocs=%d timedout=%v\n",
 					label, f.Name, engine, w,
 					time.Duration(r.TotalNs), time.Duration(r.ComposeNs), time.Duration(r.DeriveNs),
-					time.Duration(r.SafetyNs), time.Duration(r.ProgressNs), r.Allocs)
+					time.Duration(r.SafetyNs), time.Duration(r.ProgressNs),
+					r.EnvStatesExpanded, r.EnvStatesTotal, r.Allocs, r.TimedOut)
 			}
 		}
 	}

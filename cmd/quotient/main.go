@@ -20,6 +20,9 @@
 //	-gen-pkg name     package name for -gen output (default "converter")
 //	-prune            greedily remove useless converter behavior
 //	-minimize         bisimulation-minimize the converter before output
+//	-minimize-env     bisimulation-minimize each environment before deriving
+//	                  (language-preserving pre-reduction; converter state
+//	                  names reflect the minimized environments)
 //	-safety-only      stop after the safety phase (paper Figure 12 artifact)
 //	-omit-vacuous     drop converter states no environment behavior can reach
 //	-max-states n     abort if the safety phase exceeds n states
@@ -85,6 +88,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		genPkg      = fs.String("gen-pkg", "converter", "package name for -gen output")
 		prune       = fs.Bool("prune", false, "greedily remove useless converter behavior")
 		minimize    = fs.Bool("minimize", false, "bisimulation-minimize the converter before output")
+		minimizeEnv = fs.Bool("minimize-env", false, "bisimulation-minimize each environment before deriving (language-preserving; state names reflect the quotient)")
 		safetyOnly  = fs.Bool("safety-only", false, "stop after the safety phase")
 		omitVacuous = fs.Bool("omit-vacuous", false, "drop unreachable-for-B converter states")
 		maxStates   = fs.Int("max-states", 0, "abort if the safety phase exceeds this many states (0 = unlimited)")
@@ -167,10 +171,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	opts := core.Options{
-		OmitVacuous: *omitVacuous,
-		MaxStates:   *maxStates,
-		SafetyOnly:  *safetyOnly,
-		Workers:     *workers,
+		OmitVacuous:        *omitVacuous,
+		MaxStates:          *maxStates,
+		SafetyOnly:         *safetyOnly,
+		Workers:            *workers,
+		MinimizeComponents: *minimizeEnv,
 	}
 	if *verbose {
 		opts.Log = stderr
@@ -282,6 +287,13 @@ func printStats(w io.Writer, s core.Stats) {
 		m.InternLookups, m.InternHits, 100*m.InternHitRate())
 	fmt.Fprintf(w, "progress memo:  %d ready-set rebuilds, %d τ-closure cache hits, %d invalidated\n",
 		m.ReadySetRebuilds, m.TauCacheHits, m.TauInvalidated)
+	if m.EnvStatesTotal > 0 {
+		fmt.Fprintf(w, "environment:    %d of %d states expanded", m.EnvStatesExpanded, m.EnvStatesTotal)
+		if m.EnvExpansionNs > 0 {
+			fmt.Fprintf(w, " (%s on demand)", time.Duration(m.EnvExpansionNs).Round(time.Microsecond))
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 func loadOne(path string) (*spec.Spec, error) {

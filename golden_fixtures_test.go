@@ -134,6 +134,9 @@ func TestGoldenFixtures(t *testing.T) {
 				if got := renderOutcome(deriveIndexedWith(tc.a, comps, opts)); got != canonical {
 					t.Errorf("indexed pipeline workers=%d diverged from spec pipeline\ngot:\n%s", w, truncate(got))
 				}
+				if got := renderOutcome(deriveLazyWith(tc.a, comps, opts)); got != canonical {
+					t.Errorf("lazy pipeline workers=%d diverged from pinned outcome\ngot:\n%s", w, truncate(got))
+				}
 			}
 		})
 	}
@@ -146,11 +149,12 @@ func truncate(s string) string {
 	return s
 }
 
-// TestIndexedEngineDifferentialSweep compares the two pipelines live —
-// eager string composition + Derive against fused index-space composition +
-// DeriveEnv — on specgen instances larger than the pinned fixtures, at every
-// worker count. Unlike TestGoldenFixtures this needs no pinned file: the two
-// engines check each other.
+// TestIndexedEngineDifferentialSweep compares the three pipelines live —
+// eager string composition + Derive, fused index-space composition +
+// DeriveEnv, and demand-driven composition fused into the safety phase — on
+// specgen instances larger than the pinned fixtures, at every worker count.
+// Unlike TestGoldenFixtures this needs no pinned file: the engines check
+// each other.
 func TestIndexedEngineDifferentialSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("derives multi-thousand-state composed systems")
@@ -168,6 +172,11 @@ func TestIndexedEngineDifferentialSweep(t *testing.T) {
 				if spec != idx {
 					t.Errorf("workers=%d: pipelines disagree\nspec: %.300s\nidx:  %.300s",
 						w, renderOutcome(spec), renderOutcome(idx))
+				}
+				lz := deriveLazyWith(f.Service, f.Components, opts)
+				if spec != lz {
+					t.Errorf("workers=%d: lazy pipeline disagrees\nspec: %.300s\nlazy: %.300s",
+						w, renderOutcome(spec), renderOutcome(lz))
 				}
 				if !spec.exists {
 					t.Fatalf("workers=%d: expected a converter: %s", w, spec.err)

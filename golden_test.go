@@ -63,6 +63,22 @@ func deriveIndexedWith(a *Spec, comps []*Spec, opts Options) deriveOutcome {
 	return outcomeOf(res, err)
 }
 
+// deriveLazyWith derives through the demand-driven pipeline —
+// compose.LazyMany feeding core.DeriveEnv, with the safety phase driving
+// environment exploration. Composite state ids under this pipeline depend on
+// demand order (scheduling-dependent when workers > 1), but everything the
+// outcome captures — converter names and structure, statistics, failure
+// messages — is invariant under that renaming, so the comparison against the
+// eager pipelines is still exact.
+func deriveLazyWith(a *Spec, comps []*Spec, opts Options) deriveOutcome {
+	x, err := compose.LazyMany(comps...)
+	if err != nil {
+		return deriveOutcome{err: err.Error()}
+	}
+	res, err := core.DeriveEnv(a, x, opts)
+	return outcomeOf(res, err)
+}
+
 func outcomeOf(res *core.Result, err error) deriveOutcome {
 	o := deriveOutcome{}
 	if err != nil {
@@ -118,6 +134,11 @@ func TestGoldenParallelEqualsSequentialOnSpecs(t *testing.T) {
 				t.Errorf("%s / %s: indexed pipeline differs from spec pipeline:\nspec: %+v\nidx:  %+v",
 					an, bn, abbreviate(seq), abbreviate(idx))
 			}
+			lz := deriveLazyWith(a, []*Spec{b}, Options{MaxStates: bound, Workers: 1})
+			if seq != lz {
+				t.Errorf("%s / %s: lazy pipeline differs from spec pipeline:\nspec: %+v\nlazy: %+v",
+					an, bn, abbreviate(seq), abbreviate(lz))
+			}
 			if seq.exists || strings.Contains(seq.err, "no converter exists") {
 				reached++
 			}
@@ -162,6 +183,10 @@ func TestGoldenParallelComposedSystems(t *testing.T) {
 					t.Errorf("indexed pipeline (workers=%d) differs from spec pipeline:\nspec: %+v\nidx:  %+v",
 						o.Workers, abbreviate(seq), abbreviate(idx))
 				}
+				if lz := deriveLazyWith(tc.a, []*Spec{tc.b}, o); seq != lz {
+					t.Errorf("lazy pipeline (workers=%d) differs from spec pipeline:\nspec: %+v\nlazy: %+v",
+						o.Workers, abbreviate(seq), abbreviate(lz))
+				}
 			}
 		})
 	}
@@ -204,6 +229,11 @@ func TestGoldenIndexedPaperComponents(t *testing.T) {
 				if spec != idx {
 					t.Errorf("workers=%d: indexed pipeline differs from spec pipeline:\nspec: %+v\nidx:  %+v",
 						w, abbreviate(spec), abbreviate(idx))
+				}
+				lz := deriveLazyWith(tc.a, tc.comps, opts)
+				if spec != lz {
+					t.Errorf("workers=%d: lazy pipeline differs from spec pipeline:\nspec: %+v\nlazy: %+v",
+						w, abbreviate(spec), abbreviate(lz))
 				}
 			}
 		})

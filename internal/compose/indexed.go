@@ -52,84 +52,33 @@ func IndexedMany(components ...*spec.Spec) (*Indexed, error) {
 	if len(components) == 0 {
 		return nil, fmt.Errorf("compose: no components")
 	}
-	if err := CheckPairwiseInterfaces(components...); err != nil {
+	tb, err := compileComponents(components)
+	if err != nil {
 		return nil, err
 	}
 	x := &Indexed{
 		comps:    components,
 		name:     foldName(components),
-		eventSet: make(map[spec.Event]struct{}),
+		events:   tb.external,
+		eventSet: make(map[spec.Event]struct{}, len(tb.external)),
 	}
-
-	// Global event interning in sorted-name order, so integer comparison of
-	// event ids agrees with the canonical (string) edge order.
-	ownersOf := make(map[spec.Event][]int32)
-	for ci, c := range components {
-		for _, e := range c.Alphabet() {
-			ownersOf[e] = append(ownersOf[e], int32(ci))
-		}
+	for _, e := range tb.external {
+		x.eventSet[e] = struct{}{}
 	}
-	allEvents := make([]spec.Event, 0, len(ownersOf))
-	for e := range ownersOf {
-		allEvents = append(allEvents, e)
-	}
-	sort.Slice(allEvents, func(i, j int) bool { return allEvents[i] < allEvents[j] })
-	evID := make(map[spec.Event]int32, len(allEvents))
-	for i, e := range allEvents {
-		evID[e] = int32(i)
-		if len(ownersOf[e]) == 1 {
-			x.events = append(x.events, e)
-			x.eventSet[e] = struct{}{}
-		}
-	}
-	// partner[ci][ev] is the other owner of a shared event, or -1. Stored
-	// densely per component to keep the BFS loop map-free.
-	nev := len(allEvents)
-	partner := make([][]int32, len(components))
-	for ci := range components {
-		partner[ci] = make([]int32, nev)
-		for i := range partner[ci] {
-			partner[ci][i] = -1
-		}
-	}
-	for e, owners := range ownersOf {
-		if len(owners) == 2 {
-			partner[owners[0]][evID[e]] = owners[1]
-			partner[owners[1]][evID[e]] = owners[0]
-		}
-	}
-
-	// Per-component dense edge tables over global event ids.
-	type cedge struct{ ev, to int32 }
-	cext := make([][][]cedge, len(components))
-	cintl := make([][][]int32, len(components))
-	for ci, c := range components {
-		cext[ci] = make([][]cedge, c.NumStates())
-		cintl[ci] = make([][]int32, c.NumStates())
-		for s := 0; s < c.NumStates(); s++ {
-			for _, ed := range c.ExtEdges(spec.State(s)) {
-				cext[ci][s] = append(cext[ci][s], cedge{ev: evID[ed.Event], to: int32(ed.To)})
-			}
-			for _, t := range c.IntEdges(spec.State(s)) {
-				cintl[ci][s] = append(cintl[ci][s], int32(t))
-			}
-		}
-	}
+	allEvents, partner, cext, cintl := tb.allEvents, tb.partner, tb.cext, tb.cintl
 
 	// Tuple interning: mixed-radix uint64 when the full product fits,
 	// otherwise a string key over the raw tuple bytes.
 	k := len(components)
-	radixOK := true
-	prod := uint64(1)
-	for _, c := range components {
-		n := uint64(c.NumStates())
-		if prod > (1<<63)/n {
-			radixOK = false
-			break
-		}
-		prod *= n
-	}
+	radixOK := tb.radixOK
 	seenU := make(map[uint64]int32)
+	var seenD []int32
+	if radixOK && tb.product <= denseInternLimit {
+		seenD = make([]int32, tb.product)
+		for i := range seenD {
+			seenD[i] = -1
+		}
+	}
 	var seenS map[string]int32
 	if !radixOK {
 		seenS = make(map[string]int32)
@@ -140,6 +89,15 @@ func IndexedMany(components ...*spec.Spec) (*Indexed, error) {
 			key := uint64(0)
 			for ci, s := range tuple {
 				key = key*uint64(components[ci].NumStates()) + uint64(s)
+			}
+			if seenD != nil {
+				if id := seenD[key]; id >= 0 {
+					return id, false
+				}
+				id := int32(len(x.tuples) / k)
+				seenD[key] = id
+				x.tuples = append(x.tuples, tuple...)
+				return id, true
 			}
 			if id, ok := seenU[key]; ok {
 				return id, false

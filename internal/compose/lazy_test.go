@@ -1,0 +1,188 @@
+package compose
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"protoquot/internal/spec"
+)
+
+// assertLazyMatchesIndexed saturates a demand-driven composition and asserts
+// it is name-isomorphic to the fused eager sweep over the same components.
+// Lazy state ids follow demand order rather than BFS order, so the
+// comparison goes through namedListing, which is invariant under
+// renumbering.
+func assertLazyMatchesIndexed(t *testing.T, comps ...*spec.Spec) *Lazy {
+	t.Helper()
+	x, err := IndexedMany(comps...)
+	if err != nil {
+		t.Fatalf("IndexedMany: %v", err)
+	}
+	lz, err := LazyMany(comps...)
+	if err != nil {
+		t.Fatalf("LazyMany: %v", err)
+	}
+	// namedListing re-reads NumStates every iteration and ExtEdges/IntEdges
+	// expand on demand, so walking the listing saturates the product.
+	if got, want := namedListing(lz), namedListing(x); got != want {
+		t.Fatalf("lazy composition differs from indexed sweep\n--- lazy ---\n%.2000s\n--- indexed ---\n%.2000s", got, want)
+	}
+	exp, disc, _ := lz.ExpansionStats()
+	if exp != disc || disc != x.NumStates() {
+		t.Fatalf("saturated lazy stats = %d expanded / %d discovered, want both = %d reachable",
+			exp, disc, x.NumStates())
+	}
+	// The materialized Spec must agree with the Lazy view it came from.
+	ls, err := lz.Spec()
+	if err != nil {
+		t.Fatalf("Lazy.Spec: %v", err)
+	}
+	if got, want := namedListing(ls), namedListing(lz); got != want {
+		t.Fatalf("materialized Spec differs from Lazy view\n--- spec ---\n%.2000s\n--- lazy ---\n%.2000s", got, want)
+	}
+	return lz
+}
+
+func TestLazyMatchesIndexedBasic(t *testing.T) {
+	snd := spec.NewBuilder("snd")
+	snd.Init("s0").Ext("s0", "acc", "s1").Ext("s1", "-x", "s0")
+	rcv := spec.NewBuilder("rcv")
+	rcv.Init("r0").Ext("r0", "+y", "r1").Ext("r1", "del", "r0")
+	cases := [][]*spec.Spec{
+		{snd.MustBuild()},
+		{snd.MustBuild(), chanSpec("C", "-x", "+x")},
+		{snd.MustBuild(), chanSpec("C", "-x", "+x"), chanSpec("D", "-y", "+y"), rcv.MustBuild()},
+	}
+	for _, comps := range cases {
+		lz := assertLazyMatchesIndexed(t, comps...)
+		if lz.Init() != 0 {
+			t.Errorf("lazy init = %d, want 0", lz.Init())
+		}
+	}
+}
+
+// TestLazyMatchesIndexedRandom is the differential sweep over random
+// component systems, mirroring TestIndexedMatchesManyRandom.
+func TestLazyMatchesIndexedRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		k := 2 + rng.Intn(3)
+		comps := make([]*spec.Spec, k)
+		for i := range comps {
+			b := spec.NewBuilder(fmt.Sprintf("m%d", i))
+			n := 2 + rng.Intn(3)
+			for s := 0; s < n; s++ {
+				b.State(fmt.Sprintf("q%d", s))
+			}
+			b.Init("q0")
+			for s := 0; s < n; s++ {
+				if rng.Intn(2) == 0 {
+					b.Ext(fmt.Sprintf("q%d", s), spec.Event(fmt.Sprintf("p%d.%d", i, s)), fmt.Sprintf("q%d", rng.Intn(n)))
+				}
+				if rng.Intn(3) == 0 {
+					b.Int(fmt.Sprintf("q%d", s), fmt.Sprintf("q%d", rng.Intn(n)))
+				}
+			}
+			if i > 0 {
+				b.Ext("q0", spec.Event(fmt.Sprintf("link%d", i)), fmt.Sprintf("q%d", rng.Intn(n)))
+			}
+			if i < k-1 {
+				b.Ext(fmt.Sprintf("q%d", rng.Intn(n)), spec.Event(fmt.Sprintf("link%d", i+1)), "q0")
+			}
+			comps[i] = b.MustBuild()
+		}
+		assertLazyMatchesIndexed(t, comps...)
+	}
+}
+
+func TestLazyManyRejectsBadInputs(t *testing.T) {
+	mk := func(name string) *spec.Spec {
+		b := spec.NewBuilder(name)
+		b.Init("s").Ext("s", "shared", "s")
+		return b.MustBuild()
+	}
+	if _, err := LazyMany(mk("a"), mk("b"), mk("c")); err == nil {
+		t.Fatal("expected pairwise-interface error")
+	}
+	if _, err := LazyMany(); err == nil {
+		t.Fatal("expected error for empty component list")
+	}
+}
+
+// TestLazyPeekRowsDoesNotExpand pins the non-expanding read: PeekRows on a
+// discovered-but-unexpanded state reports absence and leaves the expansion
+// counter untouched.
+func TestLazyPeekRowsDoesNotExpand(t *testing.T) {
+	snd := spec.NewBuilder("snd")
+	snd.Init("s0").Ext("s0", "acc", "s1").Ext("s1", "-x", "s0")
+	lz := MustLazyMany(snd.MustBuild(), chanSpec("C", "-x", "+x"))
+	if _, _, ok := lz.PeekRows(lz.Init()); ok {
+		t.Fatal("init state reported expanded before any Rows call")
+	}
+	ext, intl := lz.Rows(lz.Init())
+	exp, disc, _ := lz.ExpansionStats()
+	if exp != 1 || disc < 2 {
+		t.Fatalf("after one Rows call: expanded=%d discovered=%d, want 1 and ≥2", exp, disc)
+	}
+	for st := 1; st < disc; st++ {
+		if _, _, ok := lz.PeekRows(spec.State(st)); ok {
+			t.Fatalf("frontier state %d reported expanded", st)
+		}
+	}
+	if exp2, _, _ := lz.ExpansionStats(); exp2 != 1 {
+		t.Fatalf("PeekRows expanded states: counter went 1 → %d", exp2)
+	}
+	// Rows must be idempotent and stable.
+	ext2, intl2 := lz.Rows(lz.Init())
+	if &ext[0] != &ext2[0] || len(intl) != len(intl2) {
+		t.Fatal("repeated Rows returned a different published row")
+	}
+}
+
+// TestLazyConcurrentRows hammers concurrent first-demand expansion: many
+// goroutines racing to expand overlapping frontiers must agree on every row
+// (the race detector checks the publication protocol).
+func TestLazyConcurrentRows(t *testing.T) {
+	comps := []*spec.Spec{}
+	prev := ""
+	for i := 0; i < 5; i++ {
+		name := fmt.Sprintf("n%d", i)
+		b := spec.NewBuilder(name)
+		b.Init("u").Ext("u", spec.Event("go"+name), "v").Int("v", "u")
+		if prev != "" {
+			b.Ext("u", spec.Event("l"+prev), "v")
+		}
+		if i < 4 {
+			b.Ext("v", spec.Event("l"+name), "u")
+		}
+		prev = name
+		comps = append(comps, b.MustBuild())
+	}
+	lz := MustLazyMany(comps...)
+	ref := MustIndexedMany(comps...)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				n := lz.NumStates()
+				st := spec.State(rng.Intn(n))
+				ext, intl := lz.Rows(st)
+				// Re-read: published rows must be identical slices.
+				ext2, intl2 := lz.Rows(st)
+				if len(ext) != len(ext2) || len(intl) != len(intl2) {
+					t.Errorf("row of %d changed between reads", st)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if got, want := namedListing(lz), namedListing(ref); got != want {
+		t.Fatalf("lazy product after concurrent hammering differs from indexed\n--- lazy ---\n%.2000s\n--- indexed ---\n%.2000s", got, want)
+	}
+}

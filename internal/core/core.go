@@ -29,14 +29,19 @@
 // problem PSPACE-hard (paper §7), so the engine is built for the large
 // instances:
 //
-//   - Pair sets are interned bitsets over the V × S_A × S_B domain
+//   - Pair sets are interned sparse sets over the V × S_A × S_B domain
 //     (intern.go): one canonical ID per distinct set, and the ID doubles as
-//     the converter state index.
+//     the converter state index. Set operations cost O(set size), not
+//     O(domain), and the domain need not be known up front.
 //   - Frontier expansion is level-synchronous and optionally parallel
 //     (parallel.go): Options.Workers goroutines compute φ(J, e) for the
 //     whole frontier, and a single-threaded merge interns the results in
 //     frontier order, so the derived converter — state numbering included —
 //     is bit-identical for every worker count.
+//   - The environment may be demand-driven (*compose.Lazy): the safety
+//     phase's closure walk is what first expands each composite state of B,
+//     so derivation cost tracks the reachable slice of the product rather
+//     than its full size. Metrics.EnvStatesExpanded reports the slice.
 //   - The progress phase is incremental (progress.go): after a sweep
 //     removes bad states, only converter states that can reach a removed
 //     state (predecessors under T_C) can see their composite ready sets
@@ -49,7 +54,7 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"sync"
+	"sort"
 	"time"
 
 	"protoquot/internal/compose"
@@ -78,6 +83,19 @@ type Environment interface {
 	StateName(st spec.State) string
 }
 
+// demandEnvironment is the surface of a demand-driven environment
+// (*compose.Lazy): integer-id edge rows expanded on first demand, a
+// non-expanding peek, and expansion accounting. When the (single) variant
+// implements it, prepare skips the up-front edge-table copy and the hot
+// loops pull rows straight from the environment — fusing product
+// exploration into the safety phase.
+type demandEnvironment interface {
+	Environment
+	Rows(st spec.State) ([]compose.Edge, []int32)
+	PeekRows(st spec.State) ([]compose.Edge, []int32, bool)
+	ExpansionStats() (expanded, discovered int, ns int64)
+}
+
 // Options tune the derivation. The zero value is the recommended default.
 type Options struct {
 	// OmitVacuous drops converter states whose pair set is empty. An empty
@@ -98,6 +116,17 @@ type Options struct {
 	// Figure 12 artifact). The result may violate progress; Exists then
 	// means only "a safety converter exists".
 	SafetyOnly bool
+	// MinimizeComponents pre-reduces the environment before derivation:
+	// each component of a composed environment (and a plain *spec.Spec
+	// environment as a whole) is replaced by its strong-bisimulation
+	// minimization (spec.Minimize). Minimization is a congruence for
+	// composition and preserves both satisfaction properties, so the
+	// derived converter accepts the same language — but its state
+	// numbering and pair-set diagnostics reflect the reduced environment,
+	// so the output is equivalent, not bit-identical, to the unreduced
+	// derivation. Environments that are neither *spec.Spec, *compose.Lazy,
+	// nor *compose.Indexed are left untouched.
+	MinimizeComponents bool
 	// Workers is the number of goroutines expanding each safety-phase
 	// frontier; 0 and 1 both mean single-threaded. The expansion is
 	// level-synchronous with a deterministic merge, so the result is
@@ -128,8 +157,10 @@ type Result struct {
 	// Stats describes the work performed.
 	Stats Stats
 	// pairSets maps each converter state name to its f.c pair set, in
-	// (A-state, B-state) name pairs — diagnostic information.
+	// (A-state, B-state) name pairs — diagnostic information, built on
+	// first PairSet call by pairFn.
 	pairSets map[string][][2]string
+	pairFn   func() map[string][][2]string
 }
 
 // Stats records derivation effort, used by the benchmark harness to
@@ -155,9 +186,15 @@ type Stats struct {
 }
 
 // PairSet returns the f.c pair set of a converter state (by state name) as
-// (A-state, B-state) name pairs, or nil if unknown. Useful for diagnosing
-// why a state was kept or removed.
+// (A-state, B-state) name pairs sorted by name, or nil if unknown. Useful
+// for diagnosing why a state was kept or removed. The pair-set tables are
+// materialized on the first call (state naming is pure overhead on the
+// derivation hot path); PairSet is not safe for concurrent first use.
 func (r *Result) PairSet(stateName string) [][2]string {
+	if r.pairSets == nil && r.pairFn != nil {
+		r.pairSets = r.pairFn()
+		r.pairFn = nil
+	}
 	return r.pairSets[stateName]
 }
 
@@ -188,49 +225,51 @@ func (e *NoQuotientError) Phase() string { return e.FailedPhase }
 // Witness returns the witness trace, if any (see WitnessTrace).
 func (e *NoQuotientError) Witness() []spec.Event { return e.WitnessTrace }
 
-// bedge is an external transition of an environment variant with its event
-// resolved to a dense index into the Σ_B alphabet.
-type bedge struct {
-	eid int32 // index into deriver.events
-	to  int32
-}
+// bedge is an external transition of an environment with its event resolved
+// to a dense index into the Σ_B alphabet — exactly compose.Edge, so rows
+// from a demand-driven composite flow into the hot loops with no
+// per-edge conversion.
+type bedge = compose.Edge
 
 // deriver carries the immutable inputs and the precomputed dense tables of
 // one run. Everything set up by prepare is read-only during the safety
 // phase, so expansion workers share it freely; the intern table is written
-// only on the single-threaded merge path.
+// only on the single-threaded merge path. (Under a demand-driven
+// environment, rowsOf may expand composite states concurrently; that
+// mutation is owned and synchronized by compose.Lazy.)
 type deriver struct {
 	ctx     context.Context
 	a       *spec.Spec
 	bs      []Environment       // environment variants; len 1 for plain Derive
+	lazy    demandEnvironment   // non-nil iff the single variant is demand-driven
 	ext     map[spec.Event]bool // Ext = Σ_A
 	intl    []spec.Event        // Int = Σ_B − Ext, sorted
 	opts    Options
 	workers int
 	trace   func(TraceEvent)
 
-	// Dense tables over Σ_B and the pair domain.
+	// Dense tables over Σ_B and the pair domain. A pair (v, a, b) is
+	// encoded pb-major as (boff[v]+b)*numA + a: packed-b-major order makes
+	// ascending pair order agree with the progress phase's combo tables,
+	// and leaves the domain open-ended in b — the demand-driven environment
+	// keeps discovering states while the derivation runs.
 	events    []spec.Event // Σ_B, sorted
 	isExt     []bool       // by event id: e ∈ Ext
 	intlIndex []int32      // by event id: position in intl, or -1
 	psi       []int32      // ψ-step table, numA×nev flat; -1 = not allowed
-	bext      [][][]bedge  // [variant][bState] → resolved external edges
-	bintl     [][][]int32  // [variant][bState] → internal successors
-	offs      []int32      // pair-index offset per variant
-	numBs     []int32      // |S_B| per variant
+	bext      [][][]bedge  // [variant][bState] → resolved external edges; nil under lazy
+	bintl     [][][]int32  // [variant][bState] → internal successors; nil under lazy
+	boff      []int32      // packed-b offset per variant
+	numBs     []int32      // |S_B| per variant; 0 under lazy (open-ended)
 	numA      int
 	nev       int
-	words     int // bitset width for the pair domain
 
-	table    *internTable
-	states   []cstate
-	emptySet bitset
-	met      *Metrics
-	prog     *progTables // progress-phase memo tables; nil until that phase
+	table  *internTable
+	states []cstate
+	met    *Metrics
+	prog   *progTables // progress-phase memo tables; nil until that phase
 
 	scratches []*scratch // persistent per-worker arenas
-	free      []bitset   // shared pool of merge-recycled bitsets
-	freeMu    sync.Mutex // guards free during a level's expansion
 }
 
 // cState is a converter state under construction. Its pair set is
@@ -315,6 +354,25 @@ func DeriveEnvsContext(ctx context.Context, a *spec.Spec, bs []Environment, opts
 				bs[0].Name(), b.Name())
 		}
 	}
+	if opts.MinimizeComponents {
+		reduced := make([]Environment, len(bs))
+		for i, b := range bs {
+			reduced[i] = minimizeEnv(b)
+		}
+		bs = reduced
+	}
+	var lazyEnv demandEnvironment
+	for _, b := range bs {
+		if de, ok := b.(demandEnvironment); ok {
+			if len(bs) > 1 {
+				// The pair encoding needs every variant's state count up
+				// front; a demand-driven variant discovers its states
+				// during derivation, so it must be the only one.
+				return nil, fmt.Errorf("quotient: demand-driven environment %s cannot be combined with other variants", b.Name())
+			}
+			lazyEnv = de
+		}
+	}
 	ext := make(map[spec.Event]bool, len(a.Alphabet()))
 	for _, e := range a.Alphabet() {
 		if !bs[0].HasEvent(e) {
@@ -331,7 +389,7 @@ func DeriveEnvsContext(ctx context.Context, a *spec.Spec, bs []Environment, opts
 	if len(intl) == 0 {
 		return nil, fmt.Errorf("quotient: Int = Σ_B − Ext is empty; B leaves no interface for a converter")
 	}
-	d := &deriver{ctx: ctx, a: a, bs: bs, ext: ext, intl: intl, opts: opts}
+	d := &deriver{ctx: ctx, a: a, bs: bs, lazy: lazyEnv, ext: ext, intl: intl, opts: opts}
 	d.workers = opts.Workers
 	if d.workers < 1 {
 		d.workers = 1
@@ -347,6 +405,29 @@ func DeriveEnvsContext(ctx context.Context, a *spec.Spec, bs []Environment, opts
 	}
 	d.prepare()
 	return d.run()
+}
+
+// minimizeEnv pre-reduces one environment for Options.MinimizeComponents:
+// a plain spec is minimized directly; a composed environment is rebuilt
+// from its minimized components (compose.MinimizeComponents — minimization
+// is a congruence for composition). Unknown environment types pass through
+// unchanged.
+func minimizeEnv(b Environment) Environment {
+	switch e := b.(type) {
+	case *spec.Spec:
+		return e.Minimize()
+	case *compose.Indexed:
+		// The components built this composite once already, so re-composing
+		// the minimized list cannot fail.
+		if x, err := compose.IndexedMany(compose.MinimizeComponents(e.Components()...)...); err == nil {
+			return x
+		}
+	case *compose.Lazy:
+		if x, err := compose.LazyMany(compose.MinimizeComponents(e.Components()...)...); err == nil {
+			return x
+		}
+	}
+	return b
 }
 
 func sameAlphabet(x, y Environment) bool {
@@ -401,57 +482,80 @@ func (d *deriver) prepare() {
 		}
 	}
 
-	d.offs = make([]int32, len(d.bs))
+	d.boff = make([]int32, len(d.bs))
 	d.numBs = make([]int32, len(d.bs))
-	d.bext = make([][][]bedge, len(d.bs))
-	d.bintl = make([][][]int32, len(d.bs))
-	var domain int32
-	for v, b := range d.bs {
-		d.offs[v] = domain
-		nb := int32(b.NumStates())
-		d.numBs[v] = nb
-		domain += int32(d.numA) * nb
-		edges := make([][]bedge, nb)
-		ints := make([][]int32, nb)
-		for st := int32(0); st < nb; st++ {
-			src := b.ExtEdges(spec.State(st))
-			out := make([]bedge, len(src))
-			for i, ed := range src {
-				out[i] = bedge{eid: eid[ed.Event], to: int32(ed.To)}
+	if d.lazy == nil {
+		d.bext = make([][][]bedge, len(d.bs))
+		d.bintl = make([][][]int32, len(d.bs))
+		var packed int32
+		for v, b := range d.bs {
+			d.boff[v] = packed
+			nb := int32(b.NumStates())
+			d.numBs[v] = nb
+			packed += nb
+			edges := make([][]bedge, nb)
+			ints := make([][]int32, nb)
+			for st := int32(0); st < nb; st++ {
+				src := b.ExtEdges(spec.State(st))
+				out := make([]bedge, len(src))
+				for i, ed := range src {
+					out[i] = bedge{Ev: eid[ed.Event], To: int32(ed.To)}
+				}
+				edges[st] = out
+				tos := b.IntEdges(spec.State(st))
+				row := make([]int32, len(tos))
+				for i, t := range tos {
+					row[i] = int32(t)
+				}
+				ints[st] = row
 			}
-			edges[st] = out
-			tos := b.IntEdges(spec.State(st))
-			row := make([]int32, len(tos))
-			for i, t := range tos {
-				row[i] = int32(t)
-			}
-			ints[st] = row
+			d.bext[v] = edges
+			d.bintl[v] = ints
 		}
-		d.bext[v] = edges
-		d.bintl[v] = ints
 	}
-	d.words = (int(domain) + 63) / 64
-	d.table = newInternTable(d.words)
-	d.emptySet = newBitset(d.words)
+	// Under a demand-driven environment no edge tables are copied (the
+	// environment is the table, expanded as the safety phase walks it) and
+	// the packed-b domain stays open-ended: boff = [0], numBs[0] = 0.
+	d.table = newInternTable()
 }
 
-// encode maps a (variant, a, b) triple to its pair-domain index.
+// encode maps a (variant, a, b) triple to its pair-domain index
+// (pb-major; see the deriver field comments).
 func (d *deriver) encode(v int, a, b int32) int32 {
-	return d.offs[v] + a*d.numBs[v] + b
+	return (d.boff[v]+b)*int32(d.numA) + a
 }
 
 // decode is the inverse of encode.
 func (d *deriver) decode(p int32) (v int, a, b int32) {
-	v = len(d.offs) - 1
-	for d.offs[v] > p {
+	numA := int32(d.numA)
+	a = p % numA
+	pb := p / numA
+	v = d.variantOf(pb)
+	return v, a, pb - d.boff[v]
+}
+
+// variantOf recovers the variant index from a packed-b id.
+func (d *deriver) variantOf(pb int32) int {
+	v := len(d.boff) - 1
+	for d.boff[v] > pb {
 		v--
 	}
-	rel := p - d.offs[v]
-	return v, rel / d.numBs[v], rel % d.numBs[v]
+	return v
+}
+
+// rowsOf returns b-state b's external edges (events resolved to Σ_B ids)
+// and internal successors, in canonical order. Under a demand-driven
+// environment this is the fusion point: the first request for a state's
+// rows is what expands it.
+func (d *deriver) rowsOf(v int, b int32) ([]bedge, []int32) {
+	if d.lazy != nil {
+		return d.lazy.Rows(spec.State(b))
+	}
+	return d.bext[v][b], d.bintl[v][b]
 }
 
 func (d *deriver) run() (*Result, error) {
-	res := &Result{pairSets: make(map[string][][2]string)}
+	res := &Result{}
 	d.met = &res.Stats.Metrics
 	d.met.Workers = d.workers
 
@@ -461,6 +565,7 @@ func (d *deriver) run() (*Result, error) {
 	d.met.SafetyWall = time.Since(t0)
 	d.met.InternLookups = d.table.lookups
 	d.met.InternHits = d.table.hits
+	d.fillEnvMetrics()
 	if err != nil {
 		if nq, ok := err.(*NoQuotientError); ok {
 			return res, nq
@@ -529,23 +634,59 @@ func (d *deriver) run() (*Result, error) {
 	res.Exists = true
 	res.Stats.FinalStates = c.NumStates()
 	res.Stats.FinalTransitions = c.NumExternalTransitions()
-	for ci := range d.states {
-		if !alive[ci] {
-			continue
-		}
-		set := d.table.get(int32(ci))
-		pairs := make([][2]string, 0, set.count())
-		set.forEach(func(p int32) {
-			v, a, b := d.decode(p)
-			bName := d.bs[v].StateName(spec.State(b))
-			if len(d.bs) > 1 {
-				bName = fmt.Sprintf("%s@%d", bName, v)
+	res.pairFn = func() map[string][][2]string {
+		out := make(map[string][][2]string, len(d.states))
+		for ci := range d.states {
+			if !alive[ci] {
+				continue
 			}
-			pairs = append(pairs, [2]string{d.a.StateName(spec.State(a)), bName})
-		})
-		res.pairSets[d.stateName(int32(ci))] = pairs
+			set := d.table.get(int32(ci))
+			pairs := make([][2]string, 0, set.count())
+			set.forEach(func(p int32) {
+				v, a, b := d.decode(p)
+				bName := d.bs[v].StateName(spec.State(b))
+				if len(d.bs) > 1 {
+					bName = fmt.Sprintf("%s@%d", bName, v)
+				}
+				pairs = append(pairs, [2]string{d.a.StateName(spec.State(a)), bName})
+			})
+			// Sort by name so the diagnostic is stable even when b-state
+			// ids are demand-order (scheduling-dependent under a parallel
+			// lazy derivation).
+			sort.Slice(pairs, func(i, j int) bool {
+				if pairs[i][0] != pairs[j][0] {
+					return pairs[i][0] < pairs[j][0]
+				}
+				return pairs[i][1] < pairs[j][1]
+			})
+			out[d.stateName(int32(ci))] = pairs
+		}
+		return out
 	}
+	d.fillEnvMetrics()
 	return res, nil
+}
+
+// fillEnvMetrics records how much of the environment the derivation
+// touched. Under a demand-driven environment this is the reachable-slice
+// accounting (expanded « total possible when the derivation is selective);
+// eager environments were fully materialized before derivation began, so
+// expanded = total = the reachable product size, with no expansion time
+// attributed to the derivation.
+func (d *deriver) fillEnvMetrics() {
+	if d.lazy != nil {
+		expanded, discovered, ns := d.lazy.ExpansionStats()
+		d.met.EnvStatesExpanded = expanded
+		d.met.EnvStatesTotal = discovered
+		d.met.EnvExpansionNs = ns
+		return
+	}
+	total := 0
+	for _, b := range d.bs {
+		total += b.NumStates()
+	}
+	d.met.EnvStatesExpanded = total
+	d.met.EnvStatesTotal = total
 }
 
 // safetyPhase grows the largest safe converter C0 by level-synchronous
@@ -592,9 +733,6 @@ func (d *deriver) safetyPhase() error {
 				succ[ei] = -1
 				r := &results[(si-lo)*ne+ei]
 				if !r.ok {
-					if r.set != nil {
-						d.free = append(d.free, r.set)
-					}
 					continue // ok.J fails: omit the transition (and the state)
 				}
 				set, hash := r.set, r.hash
@@ -602,13 +740,12 @@ func (d *deriver) safetyPhase() error {
 					if d.opts.OmitVacuous {
 						continue
 					}
-					set, hash = d.emptySet, d.emptySet.hash()
+					set = pairset{}
+					hash = set.hash()
 				}
 				id, hit := d.table.internHashed(set, hash)
 				if !hit {
 					d.states = append(d.states, cstate{})
-				} else if r.set != nil {
-					d.free = append(d.free, r.set) // duplicate: recycle
 				}
 				succ[ei] = id
 			}

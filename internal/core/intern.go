@@ -1,51 +1,64 @@
-// Interned bitset representation of the safety phase's h.r pair sets.
+// Interned sparse-set representation of the safety phase's h.r pair sets.
 //
-// Every converter state of the safety phase is a set of (variant, a, b)
-// triples over the finite domain V × S_A × S_B. Instead of the seed
-// implementation's sorted slices keyed by formatted strings, a pair set is
-// a fixed-width bitset over that domain, and each distinct set is stored
-// exactly once in a hash-consing table: the interned ID of a set doubles as
-// the converter state index, so set equality, state lookup, and membership
-// tests are all O(1) word operations with no string formatting on the hot
-// path.
+// Every converter state of the safety phase is a set of pair-domain indices
+// (encoding (variant, a, b) triples). Earlier engines stored each set as a
+// fixed-width bitset over the whole V × S_A × S_B domain, which made every
+// closure, hash, and equality scan cost O(domain) — ruinous once the domain
+// runs to hundreds of thousands of pairs of which a typical set holds a few
+// dozen, and impossible once the domain is not even known up front (the
+// demand-driven environment discovers B's states during derivation). A pair
+// set is now a canonical sparse run list: alternating (wordIndex, wordBits)
+// uint64 entries with strictly ascending word indices and no zero words.
+// Size, hashing, and equality are proportional to the set's population; the
+// closure builds sets in a per-worker dense scratch (parallel.go) and
+// extracts this canonical form at the end.
 package core
 
 import "math/bits"
 
-// bitset is a fixed-width bit vector over the pair domain. The width (in
-// words) is a property of the deriver, not the value; all bitsets of one
-// derivation share it. The all-zero value is the empty (vacuous) pair set.
-type bitset []uint64
+// pairset is a canonical sparse bit set over the pair domain: even slots
+// hold 64-bit-word indices (strictly ascending), odd slots the corresponding
+// nonzero word. The empty set is the empty (or nil) slice. Two equal sets
+// have identical representations, so equality is a flat compare and the
+// FNV hash needs no normalization.
+type pairset []uint64
 
-func newBitset(words int) bitset { return make(bitset, words) }
+func (ps pairset) empty() bool { return len(ps) == 0 }
 
-func (bs bitset) set(i int32)      { bs[i>>6] |= 1 << uint(i&63) }
-func (bs bitset) has(i int32) bool { return bs[i>>6]&(1<<uint(i&63)) != 0 }
-
-func (bs bitset) empty() bool {
-	for _, w := range bs {
-		if w != 0 {
-			return false
-		}
-	}
-	return true
-}
-
-func (bs bitset) count() int {
+func (ps pairset) count() int {
 	n := 0
-	for _, w := range bs {
-		n += bits.OnesCount64(w)
+	for i := 1; i < len(ps); i += 2 {
+		n += bits.OnesCount64(ps[i])
 	}
 	return n
 }
 
-// forEach visits the set bits in ascending order. Ascending pair-index
-// order is ascending (variant, a, b) order, which is exactly the canonical
-// order the seed implementation's sort produced — diagnostics and emitted
-// converters are therefore bit-identical to the pre-interning engine.
-func (bs bitset) forEach(f func(i int32)) {
-	for wi, w := range bs {
-		base := int32(wi) << 6
+// has reports membership; used only on cold diagnostic paths (the hot
+// closure tests membership in its dense scratch instead).
+func (ps pairset) has(p int32) bool {
+	want := uint64(p >> 6)
+	lo, hi := 0, len(ps)/2
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ps[2*mid] < want {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(ps)/2 || ps[2*lo] != want {
+		return false
+	}
+	return ps[2*lo+1]&(1<<(uint(p)&63)) != 0
+}
+
+// forEach visits the set pair indices in ascending order. With the pb-major
+// pair encoding, ascending index order is ascending (packed-b, a) order,
+// which downstream consumers (combo projection, verdict merge-walk) rely on.
+func (ps pairset) forEach(f func(p int32)) {
+	for i := 0; i < len(ps); i += 2 {
+		base := int32(ps[i]) << 6
+		w := ps[i+1]
 		for w != 0 {
 			f(base + int32(bits.TrailingZeros64(w)))
 			w &= w - 1
@@ -53,11 +66,12 @@ func (bs bitset) forEach(f func(i int32)) {
 	}
 }
 
-// forEachUntil visits the set bits in ascending order, stopping early when
-// f returns true.
-func (bs bitset) forEachUntil(f func(i int32) bool) {
-	for wi, w := range bs {
-		base := int32(wi) << 6
+// forEachUntil visits the set pair indices in ascending order, stopping
+// early when f returns true.
+func (ps pairset) forEachUntil(f func(p int32) bool) {
+	for i := 0; i < len(ps); i += 2 {
+		base := int32(ps[i]) << 6
+		w := ps[i+1]
 		for w != 0 {
 			if f(base + int32(bits.TrailingZeros64(w))) {
 				return
@@ -67,20 +81,23 @@ func (bs bitset) forEachUntil(f func(i int32) bool) {
 	}
 }
 
-// hash is FNV-1a over the words; good enough for the consing table, and
-// deterministic across runs (no seed) so state numbering never depends on
-// hash randomization.
-func (bs bitset) hash() uint64 {
+// hash is FNV-1a over the representation; canonical form makes it a set
+// hash. Deterministic across runs (no seed) so state numbering never
+// depends on hash randomization.
+func (ps pairset) hash() uint64 {
 	h := uint64(14695981039346656037)
-	for _, w := range bs {
+	for _, w := range ps {
 		h ^= w
 		h *= 1099511628211
 	}
 	return h
 }
 
-func (bs bitset) equal(o bitset) bool {
-	for i, w := range bs {
+func (ps pairset) equal(o pairset) bool {
+	if len(ps) != len(o) {
+		return false
+	}
+	for i, w := range ps {
 		if w != o[i] {
 			return false
 		}
@@ -88,49 +105,46 @@ func (bs bitset) equal(o bitset) bool {
 	return true
 }
 
-// internTable hash-conses bitsets: one canonical ID per distinct set.
+// internTable hash-conses pairsets: one canonical ID per distinct set.
 // Interning happens only on the single-threaded merge path of the safety
-// phase (workers hand raw bitsets to the merger), so the table needs no
+// phase (workers hand raw sets to the merger), so the table needs no
 // locking; worker goroutines may call get concurrently with each other but
 // never concurrently with intern.
 type internTable struct {
-	words   int
-	sets    []bitset
+	sets    []pairset
 	buckets map[uint64][]int32
 	lookups int
 	hits    int
 }
 
-func newInternTable(words int) *internTable {
-	return &internTable{words: words, buckets: make(map[uint64][]int32)}
+func newInternTable() *internTable {
+	return &internTable{buckets: make(map[uint64][]int32)}
 }
 
-// intern returns the canonical ID of bs, adopting bs into the table when it
+// intern returns the canonical ID of ps, adopting ps into the table when it
 // is new (the caller must not mutate it afterwards). hit reports whether
 // the set was already present.
-func (t *internTable) intern(bs bitset) (id int32, hit bool) {
-	return t.internHashed(bs, bs.hash())
+func (t *internTable) intern(ps pairset) (id int32, hit bool) {
+	return t.internHashed(ps, ps.hash())
 }
 
 // internHashed is intern with the hash supplied by the caller — expansion
 // workers hash their φ results concurrently so the single-threaded merge
 // only pays for bucket probing.
-func (t *internTable) internHashed(bs bitset, h uint64) (id int32, hit bool) {
+func (t *internTable) internHashed(ps pairset, h uint64) (id int32, hit bool) {
 	t.lookups++
 	for _, cand := range t.buckets[h] {
-		if t.sets[cand].equal(bs) {
+		if t.sets[cand].equal(ps) {
 			t.hits++
 			return cand, true
 		}
 	}
 	id = int32(len(t.sets))
-	t.sets = append(t.sets, bs)
+	t.sets = append(t.sets, ps)
 	t.buckets[h] = append(t.buckets[h], id)
 	return id, false
 }
 
-// get returns the canonical bitset for an interned ID. The caller must not
+// get returns the canonical pairset for an interned ID. The caller must not
 // mutate it.
-func (t *internTable) get(id int32) bitset { return t.sets[id] }
-
-func (t *internTable) len() int { return len(t.sets) }
+func (t *internTable) get(id int32) pairset { return t.sets[id] }

@@ -44,6 +44,19 @@ type Metrics struct {
 	TauCacheHits     int
 	TauInvalidated   int
 	ReadySetRebuilds int
+	// EnvStatesExpanded / EnvStatesTotal describe how much of the
+	// environment the derivation touched. Under a demand-driven environment
+	// (*compose.Lazy), Expanded counts composite states whose successor
+	// rows were computed and Total the states discovered (expanded plus the
+	// frontier they revealed) — the reachable slice, versus the full
+	// product the eager paths would have built. Under an eager environment
+	// both equal the environment's (already materialized) state count.
+	EnvStatesExpanded int
+	EnvStatesTotal    int
+	// EnvExpansionNs is the total wall time, in nanoseconds, spent
+	// expanding environment states on demand during the derivation; always
+	// 0 for eager environments (their compose cost is paid before Derive).
+	EnvExpansionNs int64
 }
 
 // InternHitRate returns the fraction of intern lookups that found an

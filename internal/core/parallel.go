@@ -10,15 +10,22 @@
 // state numbering, transition structure, and every downstream artifact,
 // match the sequential worklist bit for bit regardless of worker count.
 //
-// Workers only read shared state: the spec tables are immutable, the
-// intern table is read-only during a level (merge, the sole writer, runs
-// between levels), and each worker owns a scratch arena for the closure
-// stack and φ seed buckets. Work is distributed by an atomic cursor over
-// the frontier rather than pre-chunking, since φ cost varies wildly
-// between states.
+// Workers share the deriver read-only — the spec tables are immutable and
+// the intern table is read-only during a level (merge, the sole writer,
+// runs between levels) — with one exception: under a demand-driven
+// environment, rowsOf may expand a composite state, which serializes inside
+// compose.Lazy. This is the fusion the lazy path is built around: the
+// safety phase's own frontier walk is what drives environment exploration,
+// and only the slice of the product the derivation actually touches is ever
+// built. Each worker owns a scratch arena holding the closure stack, the φ
+// seed buckets, and a dense bit scratch with dirty-word tracking, so a
+// closure costs O(result size), not O(pair domain). Work is distributed by
+// an atomic cursor over the frontier rather than pre-chunking, since φ cost
+// varies wildly between states.
 package core
 
 import (
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -30,20 +37,28 @@ import (
 // trace reaching it). ok=false means ok.J failed — the transition is
 // omitted.
 type phiResult struct {
-	set  bitset
+	set  pairset
 	hash uint64 // set.hash(), precomputed on the worker
 	ok   bool
 }
 
-// scratch is the per-worker reusable arena. free holds bitsets recycled by
-// the merge — φ results that duplicated an interned set — refilled in
-// batches from the deriver's shared pool, so steady-state expansion
-// allocates almost nothing (the interning hit rate is typically well above
-// half, making most levels self-sufficient).
+// scratch is the per-worker reusable arena. dense/dirty implement the
+// closure's working set: dense is a bit vector over the pair domain that is
+// only ever cleared word-by-word via the dirty list, so a closure touching
+// k pairs costs O(k) regardless of how large the domain is (or grows to,
+// under a demand-driven environment).
 type scratch struct {
 	stack []int32   // closure DFS stack
 	seeds [][]int32 // φ seed pairs, bucketed by Int-event index
-	free  []bitset  // recycled result bitsets (local cache)
+	dense []uint64  // dense scratch bits over the pair domain
+	dirty []int32   // word indices with at least one bit set in dense
+
+	// rext/rint cache demand-driven row lookups by packed-b id, so the hot
+	// closure loop pays compose.Lazy's atomic published-row check once per
+	// (worker, state) instead of once per pair visit. Rows are immutable
+	// once published, so a per-worker copy of the slice headers is safe.
+	rext [][]bedge
+	rint [][]int32
 }
 
 func newScratch(d *deriver) *scratch {
@@ -59,30 +74,70 @@ func (d *deriver) getScratch(w int) *scratch {
 	return d.scratches[w]
 }
 
-// outBitset produces a zeroed result bitset: from the worker's local
-// cache, else a batch stolen from the shared recycled pool (work-stealing
-// keeps per-worker demand unpredictable, so the pool is shared rather than
-// pre-split), else a fresh allocation.
-func (sc *scratch) outBitset(d *deriver) bitset {
-	if len(sc.free) == 0 {
-		d.freeMu.Lock()
-		if n := len(d.free); n > 0 {
-			take := 16
-			if take > n {
-				take = n
-			}
-			sc.free = append(sc.free, d.free[n-take:]...)
-			d.free = d.free[:n-take]
+// setBit records pair p in the scratch, growing the dense array on demand
+// (the pair domain grows during a closure when the environment is
+// demand-driven). It reports whether p was newly set.
+func (sc *scratch) setBit(p int32) bool {
+	w := int(p >> 6)
+	if w >= len(sc.dense) {
+		grown := make([]uint64, max(2*len(sc.dense), w+64))
+		copy(grown, sc.dense)
+		sc.dense = grown
+	}
+	bit := uint64(1) << (uint(p) & 63)
+	old := sc.dense[w]
+	if old&bit != 0 {
+		return false
+	}
+	if old == 0 {
+		sc.dirty = append(sc.dirty, int32(w))
+	}
+	sc.dense[w] = old | bit
+	return true
+}
+
+// extract converts the scratch's working set into canonical sparse form and
+// resets the scratch for the next closure.
+func (sc *scratch) extract() pairset {
+	slices.Sort(sc.dirty)
+	out := make(pairset, 0, 2*len(sc.dirty))
+	for _, w := range sc.dirty {
+		out = append(out, uint64(w), sc.dense[w])
+		sc.dense[w] = 0
+	}
+	sc.dirty = sc.dirty[:0]
+	return out
+}
+
+// emptyBedges is the cached-row sentinel for states with no external edges,
+// distinguishing "expanded, empty" from "not yet cached" (nil).
+var emptyBedges = []bedge{}
+
+// rowsCached is rowsOf routed through the worker's row cache. Only the
+// demand-driven path caches; the eager tables are already direct loads.
+func (d *deriver) rowsCached(sc *scratch, v int, pb int32) ([]bedge, []int32) {
+	if d.lazy == nil {
+		b := pb - d.boff[v]
+		return d.bext[v][b], d.bintl[v][b]
+	}
+	if int(pb) < len(sc.rext) {
+		if e := sc.rext[pb]; e != nil {
+			return e, sc.rint[pb]
 		}
-		d.freeMu.Unlock()
+	} else {
+		n := max(2*len(sc.rext), int(pb)+64)
+		ge := make([][]bedge, n)
+		copy(ge, sc.rext)
+		gi := make([][]int32, n)
+		copy(gi, sc.rint)
+		sc.rext, sc.rint = ge, gi
 	}
-	if n := len(sc.free); n > 0 {
-		bs := sc.free[n-1]
-		sc.free = sc.free[:n-1]
-		clear(bs)
-		return bs
+	ext, ints := d.lazy.Rows(spec.State(pb))
+	if ext == nil {
+		ext = emptyBedges
 	}
-	return newBitset(d.words)
+	sc.rext[pb], sc.rint[pb] = ext, ints
+	return ext, ints
 }
 
 // closure computes the smallest pair set containing seeds that is closed
@@ -91,50 +146,49 @@ func (sc *scratch) outBitset(d *deriver) bitset {
 // h.ε and φ. ok reports the ok.J predicate: it is false when some reached
 // pair lets B emit an external event the service does not then allow;
 // offend is the first such event encountered (meaningful only when !ok).
-func (d *deriver) closure(sc *scratch, seeds []int32) (out bitset, ok bool, offend spec.Event) {
-	out = sc.outBitset(d)
+func (d *deriver) closure(sc *scratch, seeds []int32) (out pairset, ok bool, offend spec.Event) {
+	numA := int32(d.numA)
 	stack := sc.stack[:0]
 	ok = true
 	for _, p := range seeds {
-		if !out.has(p) {
-			out.set(p)
+		if sc.setBit(p) {
 			stack = append(stack, p)
 		}
 	}
 	for len(stack) > 0 {
 		p := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		v, a, b := d.decode(p)
-		base := d.offs[v] + a*d.numBs[v]
-		for _, t := range d.bintl[v][b] {
-			q := base + t
-			if !out.has(q) {
-				out.set(q)
+		a := p % numA
+		pb := p / numA
+		v := d.variantOf(pb)
+		ext, ints := d.rowsCached(sc, v, pb)
+		for _, t := range ints {
+			q := (d.boff[v]+t)*numA + a
+			if sc.setBit(q) {
 				stack = append(stack, q)
 			}
 		}
 		arow := int(a) * d.nev
-		for _, ed := range d.bext[v][b] {
-			if !d.isExt[ed.eid] {
+		for _, ed := range ext {
+			if !d.isExt[ed.Ev] {
 				continue // Int event: needs the converter, not closure
 			}
-			a2 := d.psi[arow+int(ed.eid)]
+			a2 := d.psi[arow+int(ed.Ev)]
 			if a2 < 0 {
 				if ok {
-					offend = d.events[ed.eid]
+					offend = d.events[ed.Ev]
 				}
 				ok = false
 				continue
 			}
-			q := d.offs[v] + a2*d.numBs[v] + ed.to
-			if !out.has(q) {
-				out.set(q)
+			q := (d.boff[v]+ed.To)*numA + a2
+			if sc.setBit(q) {
 				stack = append(stack, q)
 			}
 		}
 	}
 	sc.stack = stack[:0]
-	return out, ok, offend
+	return sc.extract(), ok, offend
 }
 
 // expandState computes φ(J, e) for every Int event e of one frontier
@@ -142,15 +196,18 @@ func (d *deriver) closure(sc *scratch, seeds []int32) (out bitset, ok bool, offe
 // bucketing the e-labelled external B-edges into per-event seed lists;
 // each non-empty bucket then runs one closure.
 func (d *deriver) expandState(sc *scratch, si int, out []phiResult) {
+	numA := int32(d.numA)
 	for i := range sc.seeds {
 		sc.seeds[i] = sc.seeds[i][:0]
 	}
 	d.table.get(int32(si)).forEach(func(p int32) {
-		v, a, b := d.decode(p)
-		base := d.offs[v] + a*d.numBs[v]
-		for _, ed := range d.bext[v][b] {
-			if ii := d.intlIndex[ed.eid]; ii >= 0 {
-				sc.seeds[ii] = append(sc.seeds[ii], base+ed.to)
+		a := p % numA
+		pb := p / numA
+		v := d.variantOf(pb)
+		ext, _ := d.rowsCached(sc, v, pb)
+		for _, ed := range ext {
+			if ii := d.intlIndex[ed.Ev]; ii >= 0 {
+				sc.seeds[ii] = append(sc.seeds[ii], (d.boff[v]+ed.To)*numA+a)
 			}
 		}
 	})

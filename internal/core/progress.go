@@ -2,14 +2,14 @@
 //
 // A sweep removes every converter state containing a pair whose composite
 // ready sets cannot satisfy A's acceptance sets; removal changes
-// reachability, so sweeps repeat to a fixpoint. Three ideas keep the phase
+// reachability, so sweeps repeat to a fixpoint. Four ideas keep the phase
 // cheap on large instances:
 //
 //   - Incrementality (PR 1): deleting state r only changes verdicts of
 //     converter states that could reach r, so each sweep after the first
 //     re-examines only the predecessor closure of the previous sweep's
 //     removals, over the static safety-phase graph.
-//   - Dense memoized ready sets (this PR): the composite states ⟨b,c⟩ of
+//   - Dense memoized ready sets (PR 3): the composite states ⟨b,c⟩ of
 //     B‖C that matter are exactly the (v,b) projections of c's pair set
 //     (pair sets are closed under B's internal moves and synchronized Int
 //     steps land in the successor's pair set), so each converter state c
@@ -21,6 +21,19 @@
 //     computation runs Tarjan SCC condensation over the combo graph and a
 //     reverse-topological DP, with edges into still-valid columns consumed
 //     as memoized leaves (the τ-closure cache hits of core.Metrics).
+//   - Resolved-successor arenas and O(1) slot lookup (this PR): each Tarjan
+//     node's successor list — row enumeration, Int-edge redirection through
+//     the converter graph, combo-slot binary search — used to be recomputed
+//     three times (SCC pass, level pass, mask DP); it is now resolved once
+//     at node creation into a flat arena the later passes iterate. Slot
+//     lookup itself switches from binary search to a per-column rank bitmap
+//     (popcount prefix sums) once a column is large enough, and the verdict
+//     scan exploits the pb-major pair encoding: pairs arrive in packed-b
+//     order, so a single merge-walk cursor replaces a per-pair search.
+//     Together these removed the dominant flat cost of chain-family
+//     derivations. Under a demand-driven environment the tables cover only
+//     the states the safety phase expanded — the phase never forces
+//     expansion of product states the derivation did not touch.
 //   - Parallelism: the condensation DP processes SCCs level by level
 //     (levels are antichains, so same-level SCCs are independent) and the
 //     verdict scan fans over Options.Workers goroutines; both write
@@ -34,6 +47,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -42,24 +56,55 @@ import (
 	"protoquot/internal/spec"
 )
 
+// rankThreshold is the combo-table size at which a column gets a rank
+// bitmap for O(1) slot lookup instead of binary search. Below it the bitmap
+// (totalB bits + prefix counts) costs more to build than it saves.
+const rankThreshold = 128
+
 // progTables is the progress phase's per-derivation state, kept on the
 // deriver so repeated sweeps share the combo tables and memoized masks.
 type progTables struct {
 	accIx   *sat.AcceptanceIndex
 	readyIx *sat.ReadyIndex
-	words   int     // mask stride in uint64 words
-	boff    []int32 // packed (v,b) id = boff[v] + b
-	totalB  int32
+	words   int   // mask stride in uint64 words
+	totalB  int32 // packed-b domain size at progress start
 
 	bready []uint64 // totalB × words: τ.b ∩ Ext as a mask, per packed b
 
+	// ext/ints are the resolved edge rows per packed b, captured once at
+	// init (slice headers only) so successor resolution never goes back
+	// through the environment — in particular never through compose.Lazy's
+	// atomic published-row check, and never forcing an expansion.
+	ext  [][]bedge
+	ints [][]int32
+
 	// Per converter state ("column"): the sorted packed-b combo table, the
 	// flat ready-mask storage (len(combos)×words), the per-slot Tarjan node
-	// id scratch, and whether the column's masks are current.
-	combos   [][]int32
-	ready    [][]uint64
-	slotNode [][]int32
-	valid    []bool
+	// id scratch, whether the column's masks are current, and — for large
+	// columns — the rank bitmap accelerating slotOf.
+	combos    [][]int32
+	ready     [][]uint64
+	slotNode  [][]int32
+	valid     []bool
+	comboBits [][]uint64
+	comboRank [][]int32
+
+	// Sweep scratch, persisted so every sweep after the first reuses the
+	// first sweep's capacity instead of re-growing it allocation by
+	// allocation (the first sweep visits every column; later sweeps a
+	// shrinking closure). SCC membership is stored flat: SCC si's members
+	// are sccMembers[sccOff[si]:sccOff[si+1]].
+	tnodes     []tnode
+	tarena     []succRef
+	tlow       []int32
+	tonStack   []bool
+	tsccOf     []int32
+	tstack     []int32
+	tframes    []tframe
+	sccMembers []int32
+	sccOff     []int32
+	sccLevel   []int32
+	sccOrder   []int32
 }
 
 // initProgTables builds the acceptance index, base ready masks, and empty
@@ -74,24 +119,54 @@ func (d *deriver) initProgTables() error {
 		return fmt.Errorf("quotient: progress phase: %w", err)
 	}
 	pt := &progTables{accIx: accIx, readyIx: readyIx, words: readyIx.Words()}
-	pt.boff = make([]int32, len(d.bs))
-	for v := range d.bs {
-		pt.boff[v] = pt.totalB
-		pt.totalB += d.numBs[v]
+	if d.lazy != nil {
+		// The safety phase is done exploring: the packed-b domain is
+		// whatever it discovered. Only expanded states have rows (and only
+		// they can appear in pair sets); the rest keep zero masks that are
+		// never consulted.
+		_, discovered, _ := d.lazy.ExpansionStats()
+		pt.totalB = int32(discovered)
+	} else {
+		for v := range d.bs {
+			pt.totalB += d.numBs[v]
+		}
 	}
 	pt.bready = make([]uint64, int(pt.totalB)*pt.words)
-	for v := range d.bs {
-		for b := int32(0); b < d.numBs[v]; b++ {
-			row := pt.bready[int(pt.boff[v]+b)*pt.words:]
-			for _, ed := range d.bext[v][b] {
-				if !d.isExt[ed.eid] {
-					continue
+	pt.ext = make([][]bedge, pt.totalB)
+	pt.ints = make([][]int32, pt.totalB)
+	fill := func(pb int32, ext []bedge) error {
+		row := pt.bready[int(pb)*pt.words:]
+		for _, ed := range ext {
+			if !d.isExt[ed.Ev] {
+				continue
+			}
+			pos, ok := readyIx.Bit(d.events[ed.Ev])
+			if !ok { // Ext = Σ_A, so every external event has a bit
+				return fmt.Errorf("quotient: progress phase: event %q missing from ready universe", d.events[ed.Ev])
+			}
+			row[pos>>6] |= 1 << (uint(pos) & 63)
+		}
+		return nil
+	}
+	if d.lazy != nil {
+		for pb := int32(0); pb < pt.totalB; pb++ {
+			ext, ints, ok := d.lazy.PeekRows(spec.State(pb))
+			if !ok {
+				continue // frontier-only state: zero mask, empty rows, never consulted
+			}
+			pt.ext[pb], pt.ints[pb] = ext, ints
+			if err := fill(pb, ext); err != nil {
+				return err
+			}
+		}
+	} else {
+		for v := range d.bs {
+			for b := int32(0); b < d.numBs[v]; b++ {
+				pb := d.boff[v] + b
+				pt.ext[pb], pt.ints[pb] = d.bext[v][b], d.bintl[v][b]
+				if err := fill(pb, d.bext[v][b]); err != nil {
+					return err
 				}
-				pos, ok := readyIx.Bit(d.events[ed.eid])
-				if !ok { // Ext = Σ_A, so every external event has a bit
-					return fmt.Errorf("quotient: progress phase: event %q missing from ready universe", d.events[ed.eid])
-				}
-				row[pos>>6] |= 1 << (uint(pos) & 63)
 			}
 		}
 	}
@@ -100,39 +175,61 @@ func (d *deriver) initProgTables() error {
 	pt.ready = make([][]uint64, n)
 	pt.slotNode = make([][]int32, n)
 	pt.valid = make([]bool, n)
+	pt.comboBits = make([][]uint64, n)
+	pt.comboRank = make([][]int32, n)
 	d.prog = pt
 	return nil
 }
 
 // column ensures converter state ci's combo table exists: the sorted,
-// deduplicated (v,b) projection of its pair set.
+// deduplicated packed-b projection of its pair set. The pb-major pair
+// encoding delivers pairs in ascending packed-b order, so the projection is
+// a single dedup pass — no sort.
 func (pt *progTables) column(d *deriver, ci int32) []int32 {
 	if pt.combos[ci] != nil {
 		return pt.combos[ci]
 	}
-	var pbs []int32
+	numA := int32(d.numA)
+	out := make([]int32, 0, 8)
+	last := int32(-1)
 	d.table.get(ci).forEach(func(p int32) {
-		v, _, b := d.decode(p)
-		pbs = append(pbs, pt.boff[v]+b)
-	})
-	sort.Slice(pbs, func(i, j int) bool { return pbs[i] < pbs[j] })
-	out := pbs[:0]
-	for i, pb := range pbs {
-		if i == 0 || pb != out[len(out)-1] {
+		if pb := p / numA; pb != last {
 			out = append(out, pb)
+			last = pb
 		}
-	}
-	if len(out) == 0 { // vacuous state: no combos, no verdicts
-		out = make([]int32, 0)
-	}
+	})
 	pt.combos[ci] = out
 	pt.ready[ci] = make([]uint64, len(out)*pt.words)
 	pt.slotNode[ci] = make([]int32, len(out))
+	if len(out) >= rankThreshold {
+		nw := (int(pt.totalB) + 63) / 64
+		bm := make([]uint64, nw)
+		for _, pb := range out {
+			bm[pb>>6] |= 1 << (uint(pb) & 63)
+		}
+		rank := make([]int32, nw)
+		c := int32(0)
+		for i, w := range bm {
+			rank[i] = c
+			c += int32(bits.OnesCount64(w))
+		}
+		pt.comboBits[ci] = bm
+		pt.comboRank[ci] = rank
+	}
 	return out
 }
 
-// slotOf locates packed-b id pb in ci's combo table; -1 if absent.
-func (pt *progTables) slotOf(ci int32, pb int32) int32 {
+// slotOf locates packed-b id pb in ci's combo table; -1 if absent. Large
+// columns answer from the rank bitmap in O(1); small ones binary-search.
+func (pt *progTables) slotOf(ci, pb int32) int32 {
+	if bm := pt.comboBits[ci]; bm != nil {
+		w := pb >> 6
+		bit := uint64(1) << (uint(pb) & 63)
+		if bm[w]&bit == 0 {
+			return -1
+		}
+		return pt.comboRank[ci][w] + int32(bits.OnesCount64(bm[w]&(bit-1)))
+	}
 	combos := pt.combos[ci]
 	lo, hi := 0, len(combos)
 	for lo < hi {
@@ -147,15 +244,6 @@ func (pt *progTables) slotOf(ci int32, pb int32) int32 {
 		return int32(lo)
 	}
 	return -1
-}
-
-// variantOf recovers the variant index from a packed-b id.
-func (pt *progTables) variantOf(pb int32) int {
-	v := len(pt.boff) - 1
-	for pt.boff[v] > pb {
-		v--
-	}
-	return v
 }
 
 func (d *deriver) progressPhase(res *Result, alive []bool) error {
@@ -272,10 +360,30 @@ func predClosure(preds [][]int32, removed []int32, alive []bool) []int32 {
 }
 
 // tnode is one Tarjan node: a (column, slot) composite state scheduled for
-// ready-mask recomputation this sweep.
+// ready-mask recomputation this sweep. Its successor references live in the
+// shared arena at [succStart, succEnd) — resolved exactly once, at node
+// creation, then iterated by the SCC walk, the level pass, and the mask DP.
 type tnode struct {
-	ci   int32
-	slot int32
+	ci, slot           int32
+	succStart, succEnd int32
+}
+
+// succRef is one resolved successor: the target (column, slot), and whether
+// the target column's masks were already valid when the node was created
+// (a memoized leaf — it contributes its mask but is not part of this
+// sweep's graph).
+type succRef struct {
+	ci, slot int32
+	memo     bool
+}
+
+// tframe is one iterative-DFS frame of the Tarjan walk: a node, the resume
+// position within its arena range, and the range end (cached so the inner
+// loop never re-reads the node record).
+type tframe struct {
+	node int32
+	ei   int32
+	end  int32
 }
 
 // refreshReady brings the ready masks of every affected live column up to
@@ -286,11 +394,13 @@ type tnode struct {
 // level-parallel reverse-topological DP over the condensation.
 func (d *deriver) refreshReady(alive []bool, affected []int32) {
 	pt := d.prog
+	want := 0 // exact Tarjan node count: one per invalidated slot
 	for _, ci := range affected {
 		if !alive[ci] {
 			continue
 		}
 		combos := pt.column(d, ci)
+		want += len(combos)
 		if pt.valid[ci] {
 			pt.valid[ci] = false
 			d.met.TauInvalidated += len(combos)
@@ -301,24 +411,53 @@ func (d *deriver) refreshReady(alive []bool, affected []int32) {
 		}
 	}
 
-	// Iterative Tarjan over the invalid-column combo graph.
-	var (
-		nodes   []tnode
-		low     []int32
-		onStack []bool
-		sccOf   []int32
-		stack   []int32 // Tarjan stack (node ids)
-		sccs    [][]int32
-	)
-	type frame struct {
-		node int32
-		ei   int // resume position in the successor enumeration
-	}
-	var callStack []frame
+	// Iterative Tarjan over the invalid-column combo graph. The per-node
+	// slices are sized exactly (want is exact); the arena grows as edges
+	// resolve but keeps its capacity across sweeps.
+	nodes := growCap(pt.tnodes, want)
+	arena := growCap(pt.tarena, 2*want)
+	low := growCap(pt.tlow, want)
+	onStack := growCap(pt.tonStack, want)
+	sccOf := growCap(pt.tsccOf, want)
+	stack := growCap(pt.tstack, want)
+	sccMembers := growCap(pt.sccMembers, want)
+	sccOff := append(pt.sccOff[:0], 0)
+	callStack := pt.tframes[:0]
 
+	// addNode registers the Tarjan node for (ci, slot) and resolves its
+	// successors into the arena: B's internal moves stay in the same column
+	// (ascending), synchronized Int events redirect through the converter's
+	// transition (bext order); edges into valid columns become memo leaves,
+	// unreachable targets are dropped here so no later pass re-filters them.
 	addNode := func(ci, slot int32) int32 {
 		id := int32(len(nodes))
-		nodes = append(nodes, tnode{ci: ci, slot: slot})
+		start := int32(len(arena))
+		pb := pt.combos[ci][slot]
+		v := d.variantOf(pb)
+		ext, ints := pt.ext[pb], pt.ints[pb]
+		for _, t := range ints {
+			s := pt.slotOf(ci, d.boff[v]+t)
+			if s < 0 {
+				continue // cannot happen: pair sets are τ-closed; defensive
+			}
+			arena = append(arena, succRef{ci: ci, slot: s})
+		}
+		for _, ed := range ext {
+			ii := d.intlIndex[ed.Ev]
+			if ii < 0 {
+				continue // external to the composite
+			}
+			t := d.states[ci].succ[ii]
+			if t < 0 || !alive[t] {
+				continue
+			}
+			s := pt.slotOf(t, d.boff[v]+ed.To)
+			if s < 0 {
+				continue // closure property; defensive
+			}
+			arena = append(arena, succRef{ci: t, slot: s, memo: pt.valid[t]})
+		}
+		nodes = append(nodes, tnode{ci: ci, slot: slot, succStart: start, succEnd: int32(len(arena))})
 		low = append(low, id)
 		onStack = append(onStack, true)
 		sccOf = append(sccOf, -1)
@@ -327,80 +466,30 @@ func (d *deriver) refreshReady(alive []bool, affected []int32) {
 		return id
 	}
 
-	// successor enumeration: for node (ci, slot) return the ei-th successor
-	// as (kind, target). kind: 0 = node edge to an invalid column (recurse),
-	// 1 = memo leaf (valid column), 2 = exhausted. The enumeration is
-	// deterministic: internal B-moves first (ascending), then synchronized
-	// Int events in bext order.
-	type succRes struct {
-		kind     int
-		ci, slot int32
-	}
-	succAt := func(nd tnode, ei int) succRes {
-		pb := pt.combos[nd.ci][nd.slot]
-		v := pt.variantOf(pb)
-		b := pb - pt.boff[v]
-		ints := d.bintl[v][b]
-		if ei < len(ints) {
-			slot := pt.slotOf(nd.ci, pt.boff[v]+ints[ei])
-			if slot < 0 {
-				return succRes{kind: 3} // skip (cannot happen: closure property)
-			}
-			return succRes{kind: 0, ci: nd.ci, slot: slot}
-		}
-		ei -= len(ints)
-		edges := d.bext[v][b]
-		for ; ei < len(edges); ei++ {
-			ed := edges[ei]
-			ii := d.intlIndex[ed.eid]
-			if ii < 0 {
-				continue // external to the composite
-			}
-			t := d.states[nd.ci].succ[ii]
-			if t < 0 || !alive[t] {
-				continue
-			}
-			slot := pt.slotOf(t, pt.boff[v]+ed.to)
-			if slot < 0 {
-				continue // closure property; defensive
-			}
-			if pt.valid[t] {
-				return succRes{kind: 1, ci: t, slot: slot}
-			}
-			return succRes{kind: 0, ci: t, slot: slot}
-		}
-		return succRes{kind: 2}
-	}
-	// succIndex converts the flat resume cursor back: we re-enumerate from
-	// the cursor each resume; kind 3 and skipped entries advance the cursor
-	// by one like any other, so the walk terminates.
 	visit := func(rootCi, rootSlot int32) {
 		if pt.slotNode[rootCi][rootSlot] >= 0 {
 			return
 		}
 		callStack = callStack[:0]
 		id := addNode(rootCi, rootSlot)
-		callStack = append(callStack, frame{node: id})
+		callStack = append(callStack, tframe{node: id, ei: nodes[id].succStart, end: nodes[id].succEnd})
 		for len(callStack) > 0 {
 			f := &callStack[len(callStack)-1]
-			nd := nodes[f.node]
-			r := succAt(nd, f.ei)
-			f.ei++
-			switch r.kind {
-			case 2: // exhausted: maybe emit an SCC, then return to caller
+			if f.ei >= f.end {
+				// Exhausted: maybe emit an SCC, then return to caller.
 				if low[f.node] == f.node {
-					var members []int32
+					si := int32(len(sccOff)) - 1
 					for {
 						m := stack[len(stack)-1]
 						stack = stack[:len(stack)-1]
 						onStack[m] = false
-						sccOf[m] = int32(len(sccs))
-						members = append(members, m)
+						sccOf[m] = si
+						sccMembers = append(sccMembers, m)
 						if m == f.node {
 							break
 						}
 					}
-					sccs = append(sccs, members)
+					sccOff = append(sccOff, int32(len(sccMembers)))
 				}
 				callStack = callStack[:len(callStack)-1]
 				if len(callStack) > 0 {
@@ -409,17 +498,23 @@ func (d *deriver) refreshReady(alive []bool, affected []int32) {
 						low[parent.node] = low[f.node]
 					}
 				}
-			case 0:
-				tid := pt.slotNode[r.ci][r.slot]
-				if tid < 0 {
-					tid = addNode(r.ci, r.slot)
-					callStack = append(callStack, frame{node: tid})
-				} else if onStack[tid] {
-					if tid < low[f.node] {
-						low[f.node] = tid
-					}
+				continue
+			}
+			r := arena[f.ei]
+			f.ei++
+			if r.memo {
+				continue // memoized leaf: no SCC structure
+			}
+			tid := pt.slotNode[r.ci][r.slot]
+			if tid < 0 {
+				tid = addNode(r.ci, r.slot)
+				// f may be stale after the appends above; push re-derives
+				// everything from tid.
+				callStack = append(callStack, tframe{node: tid, ei: nodes[tid].succStart, end: nodes[tid].succEnd})
+			} else if onStack[tid] {
+				if tid < low[f.node] {
+					low[f.node] = tid
 				}
-			default: // memo leaf (1) or skip (3): nothing to do for SCC structure
 			}
 		}
 	}
@@ -441,18 +536,15 @@ func (d *deriver) refreshReady(alive []bool, affected []int32) {
 	// result independent of scheduling.
 	w := pt.words
 	var hits int64
-	level := make([]int32, len(sccs))
+	nsccs := len(sccOff) - 1
+	level := growCap(pt.sccLevel, nsccs)[:nsccs]
 	maxLevel := int32(0)
-	for si, members := range sccs {
+	for si := 0; si < nsccs; si++ {
 		lvl := int32(0)
-		for _, m := range members {
+		for _, m := range sccMembers[sccOff[si]:sccOff[si+1]] {
 			nd := nodes[m]
-			for ei := 0; ; ei++ {
-				r := succAt(nd, ei)
-				if r.kind == 2 {
-					break
-				}
-				if r.kind != 0 {
+			for _, r := range arena[nd.succStart:nd.succEnd] {
+				if r.memo {
 					continue
 				}
 				ts := sccOf[pt.slotNode[r.ci][r.slot]]
@@ -466,34 +558,61 @@ func (d *deriver) refreshReady(alive []bool, affected []int32) {
 			maxLevel = lvl
 		}
 	}
-	buckets := make([][]int32, maxLevel+1)
-	for si := range sccs {
-		buckets[level[si]] = append(buckets[level[si]], int32(si))
+	// Counting sort by level into a flat order; levelOff brackets each level.
+	levelOff := make([]int32, maxLevel+2)
+	for si := 0; si < nsccs; si++ {
+		levelOff[level[si]+1]++
+	}
+	for l := int32(1); l <= maxLevel+1; l++ {
+		levelOff[l] += levelOff[l-1]
+	}
+	order := growCap(pt.sccOrder, nsccs)[:nsccs]
+	fillCursor := append([]int32(nil), levelOff[:maxLevel+1]...)
+	for si := 0; si < nsccs; si++ {
+		order[fillCursor[level[si]]] = int32(si)
+		fillCursor[level[si]]++
 	}
 	computeSCC := func(si int32, mask []uint64) {
+		members := sccMembers[sccOff[si]:sccOff[si+1]]
+		localHits := int64(0)
+		if w == 1 {
+			// Scalar fast path for the common single-word ready universe.
+			var acc uint64
+			for _, m := range members {
+				nd := nodes[m]
+				acc |= pt.bready[pt.combos[nd.ci][nd.slot]]
+				for _, r := range arena[nd.succStart:nd.succEnd] {
+					if !r.memo && sccOf[pt.slotNode[r.ci][r.slot]] == si {
+						continue // intra-SCC edge: same mask by definition
+					}
+					if r.memo {
+						localHits++
+					}
+					acc |= pt.ready[r.ci][r.slot]
+				}
+			}
+			for _, m := range members {
+				nd := nodes[m]
+				pt.ready[nd.ci][nd.slot] = acc
+			}
+			atomic.AddInt64(&hits, localHits)
+			return
+		}
 		for i := range mask {
 			mask[i] = 0
 		}
-		localHits := int64(0)
-		for _, m := range sccs[si] {
+		for _, m := range members {
 			nd := nodes[m]
 			pb := pt.combos[nd.ci][nd.slot]
 			base := pt.bready[int(pb)*w : int(pb)*w+w]
 			for i := range mask {
 				mask[i] |= base[i]
 			}
-			for ei := 0; ; ei++ {
-				r := succAt(nd, ei)
-				if r.kind == 2 {
-					break
-				}
-				if r.kind == 3 {
-					continue
-				}
-				if r.kind == 0 && sccOf[pt.slotNode[r.ci][r.slot]] == si {
+			for _, r := range arena[nd.succStart:nd.succEnd] {
+				if !r.memo && sccOf[pt.slotNode[r.ci][r.slot]] == si {
 					continue // intra-SCC edge: same mask by definition
 				}
-				if r.kind == 1 {
+				if r.memo {
 					localHits++
 				}
 				tm := pt.ready[r.ci][int(r.slot)*w : int(r.slot)*w+w]
@@ -502,14 +621,15 @@ func (d *deriver) refreshReady(alive []bool, affected []int32) {
 				}
 			}
 		}
-		for _, m := range sccs[si] {
+		for _, m := range members {
 			nd := nodes[m]
 			copy(pt.ready[nd.ci][int(nd.slot)*w:int(nd.slot)*w+w], mask)
 		}
 		atomic.AddInt64(&hits, localHits)
 	}
 	workers := d.workers
-	for _, bucket := range buckets {
+	for l := int32(0); l <= maxLevel; l++ {
+		bucket := order[levelOff[l]:levelOff[l+1]]
 		if workers <= 1 || len(bucket) < 2*workers {
 			mask := make([]uint64, w)
 			for _, si := range bucket {
@@ -542,29 +662,54 @@ func (d *deriver) refreshReady(alive []bool, affected []int32) {
 			pt.valid[ci] = true
 		}
 	}
+
+	// Park the scratch (at its grown capacity) for the next sweep.
+	pt.tnodes, pt.tarena = nodes, arena
+	pt.tlow, pt.tonStack, pt.tsccOf, pt.tstack = low, onStack, sccOf, stack
+	pt.tframes = callStack
+	pt.sccMembers, pt.sccOff = sccMembers, sccOff
+	pt.sccLevel, pt.sccOrder = level, order
+}
+
+// growCap returns s emptied for reuse, reallocating only when its capacity
+// cannot hold n elements.
+func growCap[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, 0, n)
+	}
+	return s[:0]
 }
 
 // verdictScan evaluates prog for every pair of every affected live state,
 // fanning across workers; the removal list is assembled from per-state
-// flags in affected order, so it is identical for every worker count.
+// flags in affected order, so it is identical for every worker count. The
+// pb-major encoding delivers a state's pairs in nondecreasing packed-b
+// order — the same order as its combo table — so a merge-walk cursor finds
+// each pair's ready-mask slot without any per-pair lookup.
 func (d *deriver) verdictScan(alive []bool, affected []int32) []int32 {
 	pt := d.prog
 	w := pt.words
+	numA := int32(d.numA)
 	bad := make([]bool, len(affected))
 	scan := func(i int) {
 		ci := affected[i]
 		if !alive[ci] {
 			return
 		}
+		combos := pt.combos[ci]
+		cursor := 0
 		isBad := false
 		d.table.get(ci).forEachUntil(func(p int32) bool {
-			v, a, b := d.decode(p)
-			slot := pt.slotOf(ci, pt.boff[v]+b)
-			if slot < 0 {
+			a := p % numA
+			pb := p / numA
+			for cursor < len(combos) && combos[cursor] < pb {
+				cursor++
+			}
+			if cursor == len(combos) || combos[cursor] != pb {
 				isBad = true // cannot happen: combos are the pair-set projection
 				return true
 			}
-			mask := pt.ready[ci][int(slot)*w : int(slot)*w+w]
+			mask := pt.ready[ci][cursor*w : cursor*w+w]
 			if !pt.accIx.Prog(spec.State(a), mask) {
 				isBad = true
 			}

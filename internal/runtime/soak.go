@@ -44,10 +44,10 @@ type SoakConfig struct {
 
 // SoakResult reports one soak run.
 type SoakResult struct {
-	Acked      int           // payloads acknowledged to the AB user
-	Delivered  int           // payloads delivered to the NS user
-	InOrder    bool          // deliveries matched the offered sequence
-	Deadlock   bool          // the quiescence watchdog fired
+	Acked      int  // payloads acknowledged to the AB user
+	Delivered  int  // payloads delivered to the NS user
+	InOrder    bool // deliveries matched the offered sequence
+	Deadlock   bool // the quiescence watchdog fired
 	Violation  *ConformanceError
 	ConvErr    error         // interpreter error (mutants may wedge instead of diverge)
 	ConvEvents int           // converter events accepted by the monitor

@@ -90,9 +90,13 @@ func (s *Spec) Minimize() *Spec {
 			b.Ext(from, ed.Event, blockName(block[ed.To]))
 		}
 		for _, t := range s.intl[r] {
-			if block[t] != id || s.HasInt(r, r) {
-				b.Int(from, blockName(block[t]))
-			}
+			// An intra-block τ becomes a self-loop on the quotient state:
+			// the block can take an internal step and stay bisimilar, and
+			// that divergence is observable (quiescence, fair-progress
+			// reasoning), so it must be kept even when the representative's
+			// target is a different member of the block. The Builder
+			// deduplicates repeated edges.
+			b.Int(from, blockName(block[t]))
 		}
 	}
 	return b.MustBuild().Trim()

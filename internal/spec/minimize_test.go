@@ -1,0 +1,31 @@
+package spec
+
+import "testing"
+
+// TestMinimizeKeepsIntraBlockTau is the regression test for a quotient bug:
+// a τ between two bisimilar states used to be dropped from the minimized
+// machine unless the block representative happened to carry a τ self-loop.
+// The internal step is observable behavior (the block can diverge, which
+// quiescence and progress reasoning distinguish from a block with no τ), so
+// the quotient state must keep it as a self-loop.
+func TestMinimizeKeepsIntraBlockTau(t *testing.T) {
+	b := NewBuilder("T")
+	// p and q are bisimilar (identical external rows, τ to each other), so
+	// they collapse into one block — whose state must keep a τ self-loop.
+	b.Init("p").Ext("p", "a", "r").Ext("q", "a", "r")
+	b.Int("p", "q").Int("q", "p")
+	b.Ext("r", "b", "p").Ext("r", "b", "q")
+	s := mustBuild(t, b)
+
+	m := s.Minimize()
+	if m.NumStates() != 2 {
+		t.Fatalf("Minimize: %d states, want 2 (p≡q collapsed)\n%s", m.NumStates(), m.Format())
+	}
+	if got := m.NumInternalTransitions(); got != 1 {
+		t.Fatalf("Minimize: %d internal transitions, want exactly the τ self-loop\n%s", got, m.Format())
+	}
+	init := m.Init()
+	if !m.HasInt(init, init) {
+		t.Fatalf("Minimize dropped the intra-block τ: the collapsed block must carry a τ self-loop\n%s", m.Format())
+	}
+}

@@ -1,0 +1,48 @@
+// Family-instance naming shared by the benchmark tooling: "kind(n)" names
+// parse to sized instances, and BenchFamilies pins the registered bench
+// sweep — including the sizes (chain(7), chaindrop(6), ring(5)) that only
+// became tractable once the demand-driven environment landed.
+package specgen
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var famPattern = regexp.MustCompile(`^([a-z]+)\((\d+)\)$`)
+
+// ParseFamily resolves an instance name like "chain(4)", "chaindrop(3)", or
+// "ring(2)" to its Family.
+func ParseFamily(name string) (Family, error) {
+	m := famPattern.FindStringSubmatch(strings.TrimSpace(name))
+	if m == nil {
+		return Family{}, fmt.Errorf("specgen: bad family %q (want e.g. chain(4))", name)
+	}
+	n, err := strconv.Atoi(m[2])
+	if err != nil {
+		return Family{}, fmt.Errorf("specgen: bad family size in %q: %w", name, err)
+	}
+	switch m[1] {
+	case "chain":
+		return Chain(n), nil
+	case "chaindrop":
+		return ChainDrop(n), nil
+	case "ring":
+		return Ring(n), nil
+	}
+	return Family{}, fmt.Errorf("specgen: unknown family kind %q", m[1])
+}
+
+// BenchFamilies is the registered benchmark sweep, smallest to largest per
+// kind. The tail instances — chain(7) (~65k-state product), chaindrop(6),
+// ring(5) — are sized for the demand-driven engine; eager engines should
+// run them under a derivation timeout.
+func BenchFamilies() []string {
+	return []string{
+		"chain(4)", "chain(5)", "chain(6)", "chain(7)",
+		"chaindrop(4)", "chaindrop(5)", "chaindrop(6)",
+		"ring(2)", "ring(3)", "ring(4)", "ring(5)",
+	}
+}

@@ -1,0 +1,70 @@
+package protoquot
+
+import (
+	"testing"
+
+	"protoquot/internal/core"
+	"protoquot/internal/specgen"
+)
+
+// TestDeriveMinimizedEnvironmentEquivalent is the property test behind
+// Options.MinimizeComponents: deriving against a bisimulation-minimized
+// environment must answer the quotient problem identically — same
+// existence verdict, and a converter that is correct for the ORIGINAL
+// environment (and vice versa). Converter state names reflect environment
+// state names, so the comparison is semantic (cross-verification plus
+// minimized-shape agreement), not textual.
+func TestDeriveMinimizedEnvironmentEquivalent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("derives each family twice and cross-verifies")
+	}
+	fams := []specgen.Family{
+		specgen.Chain(2), specgen.Chain(3),
+		specgen.ChainDrop(2), specgen.ChainDrop(3),
+		specgen.Ring(1), specgen.Ring(2),
+	}
+	for _, f := range fams {
+		t.Run(f.Name, func(t *testing.T) {
+			b, err := Compose(f.Components...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bMin := b.Minimize()
+			opts := Options{OmitVacuous: true}
+			orig, errO := Derive(f.Service, b, opts)
+			min, errM := Derive(f.Service, bMin, opts)
+			if (errO == nil) != (errM == nil) {
+				t.Fatalf("existence verdicts differ: original %v, minimized %v", errO, errM)
+			}
+			if errO != nil {
+				return
+			}
+			// Each converter must be correct for the other environment.
+			if err := core.Verify(f.Service, b, min.Converter); err != nil {
+				t.Errorf("converter derived over Minimize(B) fails against B: %v", err)
+			}
+			if err := core.Verify(f.Service, bMin, orig.Converter); err != nil {
+				t.Errorf("converter derived over B fails against Minimize(B): %v", err)
+			}
+			// The maximal converters themselves must be behaviorally equal:
+			// their bisimulation quotients have identical shape.
+			co, cm := orig.Converter.Minimize(), min.Converter.Minimize()
+			if co.NumStates() != cm.NumStates() ||
+				co.NumExternalTransitions() != cm.NumExternalTransitions() ||
+				co.NumInternalTransitions() != cm.NumInternalTransitions() {
+				t.Errorf("minimized converters differ in shape: %d/%d/%d vs %d/%d/%d states/ext/int",
+					co.NumStates(), co.NumExternalTransitions(), co.NumInternalTransitions(),
+					cm.NumStates(), cm.NumExternalTransitions(), cm.NumInternalTransitions())
+			}
+			// Options.MinimizeComponents must be exactly the bMin derivation,
+			// whichever pipeline carries it.
+			viaOpt, err := Derive(f.Service, b, Options{OmitVacuous: true, MinimizeComponents: true})
+			if err != nil {
+				t.Fatalf("MinimizeComponents derivation failed: %v", err)
+			}
+			if got, want := viaOpt.Converter.Format(), min.Converter.Format(); got != want {
+				t.Errorf("MinimizeComponents output differs from explicit Minimize(B) derivation\ngot:\n%.400s\nwant:\n%.400s", got, want)
+			}
+		})
+	}
+}

@@ -152,6 +152,20 @@ type Indexed = compose.Indexed
 // faster (see BENCH_pr3.json). Use (*Indexed).Spec to materialize a *Spec.
 func ComposeIndexed(specs ...*Spec) (*Indexed, error) { return compose.IndexedMany(specs...) }
 
+// Lazy is a demand-driven composed system: composite states are expanded
+// only when a consumer first asks for their successors. It satisfies
+// Environment; fed to DeriveEnv, the derivation's own safety phase drives
+// exploration, so only the slice of the product the derivation touches is
+// ever built.
+type Lazy = compose.Lazy
+
+// ComposeLazy builds the demand-driven n-way composition. It accepts exactly
+// the systems ComposeIndexed accepts and represents the same machine; only
+// the initial state is interned up front. The converter DeriveEnv produces
+// over it is bit-identical to the eager engines' for every worker count.
+// Use (*Lazy).Spec to saturate and materialize a *Spec.
+func ComposeLazy(specs ...*Spec) (*Lazy, error) { return compose.LazyMany(specs...) }
+
 // Satisfies reports whether B satisfies A with respect to both safety and
 // progress. A must be in normal form for the progress part. The returned
 // error is a *Violation carrying a witness trace when the answer is no.
