@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify fmt vet build test race benchsmoke fuzz-smoke bench
+.PHONY: verify fmt vet build test race benchsmoke fuzz-smoke bench loadtest
 
-verify: fmt vet build test race benchsmoke fuzz-smoke
+verify: fmt vet build test race benchsmoke fuzz-smoke loadtest
 	@echo "verify: OK"
 
 # gofmt compliance; fails listing the offending files.
@@ -47,6 +47,15 @@ bench:
 		-families 'chain(7),chaindrop(6),ring(4),ring(5)' \
 		-engine indexed,lazy -workers 1,2 -reps 6 -derivetimeout 30s \
 		-append -out BENCH_pr4.json
+
+# Concurrent load against an in-process quotd: N clients × rounds over
+# specgen families. Fails on any non-200, a zero cache-hit ratio on repeat
+# rounds, key instability, or more engine runs than distinct derivations
+# (singleflight + cache must absorb everything else). Prints the
+# warm-vs-cold latency table EXPERIMENTS.md reports.
+loadtest:
+	$(GO) run ./cmd/quotload -clients 8 -rounds 3 \
+		-families 'chain(3),chain(4),chaindrop(4)'
 
 # Short fuzzing bursts over the wire decoder and the DSL parser: enough to
 # catch regressions in frame bounds-checking and grammar handling without

@@ -46,7 +46,38 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// errWriter latches the first error from the report destination. The report
+// IS the tool's product — a full disk or closed pipe must surface as a
+// failing exit status, not vanish into fmt.Fprintf's discarded return.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	if err != nil {
+		ew.err = err
+	}
+	return n, err
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
+	out := &errWriter{w: stdout}
+	code := runMode(args, out, stderr)
+	if out.err != nil {
+		fmt.Fprintf(stderr, "convsim: writing report: %v\n", out.err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	return code
+}
+
+func runMode(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("convsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (

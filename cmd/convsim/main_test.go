@@ -1,8 +1,10 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -70,9 +72,29 @@ func stripElapsed(s string) string {
 	return strings.Join(kept, "\n")
 }
 
-// TestScenarioABNSGolden: the entire scenario report — delivery counts,
-// fault counters, conformance totals — must be byte-stable for a fixed
-// seed, which is what makes the printed seed a real reproduction handle.
+// timingClause matches the fault clauses whose counters depend on live
+// channel occupancy rather than the seed: Link.overtake fires only when
+// exactly one message is buffered at the instant of send, and duplication
+// is a best-effort non-blocking push, so under scheduler pressure both
+// counts can differ between same-seed runs. Everything RNG-driven (loss,
+// corruption, delay draws) stays in the comparison.
+var timingClause = regexp.MustCompile(`, \d+ (duplicated|reordered)`)
+
+// convEvents matches the converter-event total, which counts duplicate
+// deliveries and so inherits the duplication counter's timing sensitivity.
+var convEvents = regexp.MustCompile(`\d+ converter events`)
+
+func stripTimingSensitive(s string) string {
+	s = stripElapsed(s)
+	s = timingClause.ReplaceAllString(s, "")
+	return convEvents.ReplaceAllString(s, "? converter events")
+}
+
+// TestScenarioABNSGolden: the scenario report — delivery counts, the
+// seed-driven fault counters, service-event totals — must be stable for a
+// fixed seed, which is what makes the printed seed a real reproduction
+// handle. Occupancy-dependent counters (see stripTimingSensitive) are
+// excluded: they vary with goroutine scheduling by design.
 func TestScenarioABNSGolden(t *testing.T) {
 	args := []string{"-scenario", "abns", "-faults", "loss=0.2,dup=0.1,reorder=0.05",
 		"-conform", "-messages", "500", "-seed", "42"}
@@ -81,11 +103,11 @@ func TestScenarioABNSGolden(t *testing.T) {
 		if code := run(args, &out, &errb); code != 0 {
 			t.Fatalf("exit %d: %s", code, errb.String())
 		}
-		return stripElapsed(out.String())
+		return out.String()
 	}
 	first, second := runOnce(), runOnce()
-	if first != second {
-		t.Errorf("same seed produced different reports:\n--- first\n%s\n--- second\n%s", first, second)
+	if a, b := stripTimingSensitive(first), stripTimingSensitive(second); a != b {
+		t.Errorf("same seed produced different reports:\n--- first\n%s\n--- second\n%s", a, b)
 	}
 	for _, want := range []string{
 		"seed 42, faults loss=0.2,dup=0.1,reorder=0.05, 500 messages",
@@ -148,5 +170,49 @@ func TestUsageErrors(t *testing.T) {
 	}
 	if code := run([]string{"-scenario", "bogus"}, &out, &errb); code != 1 {
 		t.Error("unknown scenario should exit 1")
+	}
+}
+
+// failAfterWriter fails every write after the first n bytes — a stand-in
+// for a full disk or a closed pipe under the report.
+type failAfterWriter struct {
+	n       int
+	written int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.n {
+		allowed := w.n - w.written
+		if allowed < 0 {
+			allowed = 0
+		}
+		w.written += allowed
+		return allowed, errWriteFailed
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+var errWriteFailed = errors.New("write failed: no space left on device")
+
+// TestReportWriteErrorsPropagate: a run whose simulation succeeds but whose
+// report cannot be written must exit non-zero and say why — soak reports
+// feeding dashboards must not silently truncate.
+func TestReportWriteErrorsPropagate(t *testing.T) {
+	var errb strings.Builder
+	out := &failAfterWriter{n: 64}
+	code := run([]string{"-scenario", "abns", "-soak", "10", "-seed", "1"}, out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 when the report write fails\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "writing report") ||
+		!strings.Contains(errb.String(), "no space left") {
+		t.Errorf("write failure not diagnosed on stderr: %s", errb.String())
+	}
+
+	// The same run with a working writer still passes.
+	var good, errb2 strings.Builder
+	if code := run([]string{"-scenario", "abns", "-soak", "10", "-seed", "1"}, &good, &errb2); code != 0 {
+		t.Fatalf("control run failed: exit %d: %s", code, errb2.String())
 	}
 }

@@ -1,0 +1,246 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"protoquot/internal/dsl"
+	"protoquot/internal/server"
+	"protoquot/internal/specgen"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer: run() writes logs from its
+// own goroutine while the test polls for the startup line.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`quotd: listening on (\S+)`)
+
+// startDaemon runs quotd on an ephemeral port and returns its base URL, the
+// injected signal channel, the exit-code channel, and the log buffer.
+func startDaemon(t *testing.T, extraArgs ...string) (string, chan os.Signal, chan int, *syncBuffer) {
+	t.Helper()
+	sigs := make(chan os.Signal, 1)
+	logs := &syncBuffer{}
+	exit := make(chan int, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	go func() { exit <- run(args, logs, logs, sigs) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(logs.String()); m != nil {
+			return "http://" + m[1], sigs, exit, logs
+		}
+		select {
+		case code := <-exit:
+			t.Fatalf("quotd exited early with %d:\n%s", code, logs.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no startup line within 5s:\n%s", logs.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func daemonStats(t *testing.T, url string) (server.StatsResponse, error) {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		return server.StatsResponse{}, err
+	}
+	defer resp.Body.Close()
+	var st server.StatsResponse
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// TestDaemonServesAndExitsCleanly is the basic lifecycle: start, derive,
+// SIGTERM with nothing in flight, exit 0.
+func TestDaemonServesAndExitsCleanly(t *testing.T) {
+	url, sigs, exit, logs := startDaemon(t)
+
+	body, _ := json.Marshal(server.DeriveRequest{
+		Service: server.SpecSource{Inline: "spec S\ninit v0\next v0 acc v1\next v1 del v0\n"},
+		Envs: []server.SpecSource{{Inline: "spec B\ninit b0\next b0 acc b1\n" +
+			"ext b1 fwd b2\next b2 del b0\n"}},
+	})
+	resp, err := http.Post(url+"/v1/derive", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out server.DeriveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !out.Exists {
+		t.Fatalf("derive: %d %+v", resp.StatusCode, out.Error)
+	}
+
+	sigs <- syscall.SIGTERM
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Errorf("exit code %d, want 0:\n%s", code, logs.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("quotd did not exit after SIGTERM")
+	}
+	if !strings.Contains(logs.String(), "drained cleanly") {
+		t.Errorf("missing clean-drain log line:\n%s", logs.String())
+	}
+}
+
+// TestDaemonSIGTERMDrainsInflightRequests is the shutdown contract from the
+// issue: a SIGTERM arriving while a derivation is running must let that
+// request finish with a real answer (HTTP 200), then exit 0 — not sever the
+// connection or abort the engine inside the drain budget.
+func TestDaemonSIGTERMDrainsInflightRequests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second derivation")
+	}
+	url, sigs, exit, logs := startDaemon(t, "-drain", "60s")
+
+	// chain(8), derived lazily, runs for seconds — long enough that the
+	// signal below lands mid-derivation.
+	f := specgen.Chain(8)
+	req := server.DeriveRequest{Service: server.SpecSource{Inline: dsl.String(f.Service)}}
+	for _, c := range f.Components {
+		req.Components = append(req.Components, server.SpecSource{Inline: dsl.String(c)})
+	}
+	body, _ := json.Marshal(req)
+
+	type derived struct {
+		code int
+		out  server.DeriveResponse
+		err  error
+		done time.Time
+	}
+	res := make(chan derived, 1)
+	go func() {
+		var d derived
+		resp, err := http.Post(url+"/v1/derive", "application/json", bytes.NewReader(body))
+		if err != nil {
+			d.err = err
+		} else {
+			d.code = resp.StatusCode
+			d.err = json.NewDecoder(resp.Body).Decode(&d.out)
+			resp.Body.Close()
+		}
+		d.done = time.Now()
+		res <- d
+	}()
+
+	// Wait until the derivation is actually inside the engine.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := daemonStats(t, url)
+		if err == nil && st.Inflight >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("derivation never became in-flight:\n%s", logs.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	signaled := time.Now()
+	sigs <- syscall.SIGTERM
+
+	d := <-res
+	if d.err != nil {
+		t.Fatalf("in-flight request severed by shutdown: %v\n%s", d.err, logs.String())
+	}
+	if d.code != http.StatusOK || !d.out.Exists {
+		t.Fatalf("in-flight request got %d %+v, want a derived converter", d.code, d.out.Error)
+	}
+	if !d.done.After(signaled) {
+		t.Error("request finished before the signal; test proved nothing")
+	}
+
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Errorf("exit code %d, want 0 after a clean drain:\n%s", code, logs.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("quotd did not exit after draining")
+	}
+	if !strings.Contains(logs.String(), "drained cleanly") {
+		t.Errorf("missing clean-drain log line:\n%s", logs.String())
+	}
+}
+
+// TestDaemonPreload checks the -preload glob path end to end: specs on disk
+// become refs the first request can use.
+func TestDaemonPreload(t *testing.T) {
+	dir := t.TempDir()
+	specs := "spec S\ninit v0\next v0 acc v1\next v1 del v0\n" +
+		"spec B\ninit b0\next b0 acc b1\next b1 fwd b2\next b2 del b0\n"
+	if err := os.WriteFile(dir+"/sys.spec", []byte(specs), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	url, sigs, exit, logs := startDaemon(t, "-preload", dir+"/*.spec")
+	if !strings.Contains(logs.String(), "preloaded 2 spec(s)") {
+		t.Errorf("preload not logged:\n%s", logs.String())
+	}
+
+	body, _ := json.Marshal(server.DeriveRequest{
+		Service: server.SpecSource{Ref: "S"},
+		Envs:    []server.SpecSource{{Ref: "B"}},
+	})
+	resp, err := http.Post(url+"/v1/derive", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out server.DeriveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !out.Exists {
+		t.Fatalf("derive by preloaded ref: %d %+v", resp.StatusCode, out.Error)
+	}
+	sigs <- syscall.SIGTERM
+	if code := <-exit; code != 0 {
+		t.Errorf("exit code %d", code)
+	}
+}
+
+// TestDaemonBadFlags pins the failure modes main can hit before serving.
+func TestDaemonBadFlags(t *testing.T) {
+	sigs := make(chan os.Signal)
+	var buf syncBuffer
+	if code := run([]string{"-bogus"}, &buf, &buf, sigs); code != 1 {
+		t.Errorf("bad flag: exit %d, want 1", code)
+	}
+	if code := run([]string{"-addr", "256.0.0.1:99999"}, &buf, &buf, sigs); code != 1 {
+		t.Errorf("bad addr: exit %d, want 1", code)
+	}
+	if code := run([]string{"-preload", fmt.Sprintf("%s/nope-*.spec", t.TempDir())}, &buf, &buf, sigs); code != 1 {
+		t.Errorf("empty preload glob: exit %d, want 1", code)
+	}
+}

@@ -27,6 +27,13 @@
 //	-omit-vacuous     drop converter states no environment behavior can reach
 //	-max-states n     abort if the safety phase exceeds n states
 //	-normalize        determinize the service if it is not in normal form
+//	-json             emit the quotd response envelope (internal/server
+//	                  DeriveResponse JSON) instead of bare converter text:
+//	                  content-address key, exists, converter, stats — byte
+//	                  compatible with POST /v1/derive, with the per-request
+//	                  service fields (request_id, cached, coalesced) zero.
+//	                  Definitive nonexistence emits the envelope and exits 2;
+//	                  usage and I/O failures stay plain text on stderr.
 //	-verify           re-verify B‖C against A after derivation
 //	-workers n        safety-phase worker goroutines (result is identical
 //	                  for every n; 0 or 1 = sequential)
@@ -42,6 +49,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -58,6 +66,7 @@ import (
 	"protoquot/internal/dsl"
 	"protoquot/internal/render"
 	"protoquot/internal/sat"
+	"protoquot/internal/server"
 	"protoquot/internal/spec"
 )
 
@@ -94,6 +103,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxStates   = fs.Int("max-states", 0, "abort if the safety phase exceeds this many states (0 = unlimited)")
 		compress    = fs.Bool("compress", false, "τ-compress each environment before deriving (semantics-preserving)")
 		normalize   = fs.Bool("normalize", false, "determinize the service if not in normal form")
+		jsonOut     = fs.Bool("json", false, "emit the quotd DeriveResponse envelope instead of bare converter text")
 		verify      = fs.Bool("verify", false, "re-verify the result against every environment")
 		workers     = fs.Int("workers", 0, "safety-phase worker goroutines (0 or 1 = sequential; result identical for every count)")
 		stats       = fs.Bool("stats", false, "print derivation statistics and engine metrics to stderr")
@@ -180,12 +190,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *verbose {
 		opts.Log = stderr
 	}
+	// The content address of this derivation: the same key quotd would
+	// compute for an equivalent POST /v1/derive (Workers deliberately absent
+	// — the result is bit-identical for every count).
+	key := server.CacheKey(a, envs, nil, server.DeriveOptions{
+		OmitVacuous: *omitVacuous,
+		SafetyOnly:  *safetyOnly,
+		MaxStates:   *maxStates,
+		MinimizeEnv: *minimizeEnv,
+		Prune:       *prune,
+		Minimize:    *minimize,
+	})
+
 	ctx := context.Background()
 	if *deriveTO > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *deriveTO)
 		defer cancel()
 	}
+	deriveStart := time.Now()
 	res, derr := core.DeriveRobustContext(ctx, a, envs, opts)
 	if derr != nil {
 		fmt.Fprintf(stderr, "quotient: %v\n", derr)
@@ -198,6 +221,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			if *stats && res != nil {
 				printStats(stderr, res.Stats)
+			}
+			if *jsonOut {
+				if err := writeEnvelope(stdout, *outPath, key, res, nil, derr, deriveStart); err != nil {
+					fmt.Fprintf(stderr, "quotient: %v\n", err)
+					return 1
+				}
 			}
 			return 2
 		}
@@ -229,19 +258,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	out := stdout
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
+	if *jsonOut {
+		if err := writeEnvelope(stdout, *outPath, key, res, c, nil, deriveStart); err != nil {
 			fmt.Fprintf(stderr, "quotient: %v\n", err)
 			return 1
 		}
-		defer f.Close()
-		out = f
-	}
-	if err := dsl.Write(out, c); err != nil {
-		fmt.Fprintf(stderr, "quotient: %v\n", err)
-		return 1
+	} else {
+		out := stdout
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				fmt.Fprintf(stderr, "quotient: %v\n", err)
+				return 1
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := dsl.Write(out, c); err != nil {
+			fmt.Fprintf(stderr, "quotient: %v\n", err)
+			return 1
+		}
 	}
 	if *dotPath != "" {
 		f, err := os.Create(*dotPath)
@@ -270,6 +306,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// writeEnvelope renders the shared quotd response envelope to -o or stdout.
+// It is the -json output path for both outcomes a finished derivation can
+// have: a converter (derr nil) and definitive nonexistence (derr a
+// diagnostic). The per-request service fields stay zero — they only mean
+// something inside the daemon.
+func writeEnvelope(stdout io.Writer, outPath, key string, res *core.Result,
+	c *spec.Spec, derr error, start time.Time) error {
+	env := server.ResultEnvelope(key, res, c, derr)
+	env.ElapsedMS = float64(time.Since(start).Nanoseconds()) / 1e6
+	data, err := json.MarshalIndent(env, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath != "" {
+		return os.WriteFile(outPath, data, 0o644)
+	}
+	_, err = stdout.Write(data)
+	return err
 }
 
 func printStats(w io.Writer, s core.Stats) {

@@ -1,0 +1,275 @@
+// Command quotload drives concurrent load against quotd and checks the
+// service-level invariants the daemon promises: every request answered
+// (zero non-200s), repeats served from the content-addressed cache (hit
+// ratio > 0 after round one), and identical answers across rounds. It
+// prints the warm-vs-cold latency table that EXPERIMENTS.md reports.
+//
+// By default it starts an in-process daemon on an ephemeral port, so `make
+// loadtest` needs no running server; point -addr at a live quotd to load
+// that instead.
+//
+// Usage:
+//
+//	quotload [-clients n] [-rounds n] [-families list] [-addr host:port]
+//
+// Each round, every client derives every family once (components inline,
+// lazy pipeline). Round one is the cold round — within it, concurrent
+// identical requests exercise singleflight; all later rounds must be warm.
+// Exit status: 0 when every invariant holds, 1 otherwise.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"protoquot/internal/dsl"
+	"protoquot/internal/server"
+	"protoquot/internal/specgen"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// oneResult is one client's observation of one request.
+type oneResult struct {
+	family  string
+	status  int
+	cached  bool
+	exists  bool
+	key     string
+	elapsed time.Duration
+	err     error
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("quotload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		clients  = fs.Int("clients", 8, "concurrent clients")
+		rounds   = fs.Int("rounds", 3, "rounds per client (round 1 cold, rest warm)")
+		families = fs.String("families", "chain(3),chain(4),chaindrop(4)", "specgen families to derive")
+		addr     = fs.String("addr", "", "target an already-running quotd instead of an in-process one")
+		timeout  = fs.Duration("timeout", 60*time.Second, "per-request client timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *clients < 1 || *rounds < 1 {
+		fmt.Fprintln(stderr, "quotload: -clients and -rounds must be >= 1")
+		return 1
+	}
+
+	// Build one derive request body per family.
+	type job struct {
+		family string
+		body   []byte
+	}
+	var jobs []job
+	for _, name := range strings.Split(*families, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		f, err := specgen.ParseFamily(name)
+		if err != nil {
+			fmt.Fprintf(stderr, "quotload: %v\n", err)
+			return 1
+		}
+		req := server.DeriveRequest{Service: server.SpecSource{Inline: dsl.String(f.Service)}}
+		for _, c := range f.Components {
+			req.Components = append(req.Components, server.SpecSource{Inline: dsl.String(c)})
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			fmt.Fprintf(stderr, "quotload: %v\n", err)
+			return 1
+		}
+		jobs = append(jobs, job{family: f.Name, body: body})
+	}
+	if len(jobs) == 0 {
+		fmt.Fprintln(stderr, "quotload: no families")
+		return 1
+	}
+
+	base := *addr
+	if base == "" {
+		srv, err := server.New(server.Config{Logf: nil})
+		if err != nil {
+			fmt.Fprintf(stderr, "quotload: %v\n", err)
+			return 1
+		}
+		defer srv.Abort()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(stderr, "quotload: %v\n", err)
+			return 1
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go httpSrv.Serve(ln)
+		defer httpSrv.Close()
+		base = ln.Addr().String()
+	}
+	url := "http://" + base
+	client := &http.Client{Timeout: *timeout}
+
+	fmt.Fprintf(stdout, "quotload: %d client(s) × %d round(s) × %d familie(s) against %s\n",
+		*clients, *rounds, len(jobs), url)
+
+	// Run the load. A barrier between rounds makes rounds ≥ 2 strictly warm:
+	// every key was derived (or coalesced) to completion in round 1.
+	results := make([]oneResult, 0, *clients**rounds*len(jobs))
+	var mu sync.Mutex
+	var nonOK atomic.Int64
+	for round := 1; round <= *rounds; round++ {
+		var wg sync.WaitGroup
+		for c := 0; c < *clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				local := make([]oneResult, 0, len(jobs))
+				for _, j := range jobs {
+					r := oneResult{family: j.family}
+					t0 := time.Now()
+					resp, err := client.Post(url+"/v1/derive", "application/json", bytes.NewReader(j.body))
+					r.elapsed = time.Since(t0)
+					if err != nil {
+						r.err = err
+						nonOK.Add(1)
+					} else {
+						r.status = resp.StatusCode
+						var out server.DeriveResponse
+						if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+							r.err = err
+						}
+						resp.Body.Close()
+						r.cached, r.exists, r.key = out.Cached, out.Exists, out.Key
+						if r.status != http.StatusOK {
+							nonOK.Add(1)
+						}
+					}
+					local = append(local, r)
+				}
+				mu.Lock()
+				results = append(results, local...)
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Service-level checks.
+	failed := false
+	if n := nonOK.Load(); n > 0 {
+		fmt.Fprintf(stderr, "quotload: FAIL: %d non-200 response(s)\n", n)
+		for _, r := range results {
+			if r.err != nil || r.status != http.StatusOK {
+				fmt.Fprintf(stderr, "quotload:   %s: status=%d err=%v\n", r.family, r.status, r.err)
+			}
+		}
+		failed = true
+	}
+	var hits, total int
+	keys := map[string]map[string]bool{} // family → distinct keys (must be 1)
+	for _, r := range results {
+		if r.err != nil {
+			continue
+		}
+		total++
+		if r.cached {
+			hits++
+		}
+		if keys[r.family] == nil {
+			keys[r.family] = map[string]bool{}
+		}
+		keys[r.family][r.key] = true
+	}
+	if hits == 0 {
+		fmt.Fprintf(stderr, "quotload: FAIL: cache-hit ratio is 0 over %d request(s) with %d round(s)\n",
+			total, *rounds)
+		failed = true
+	}
+	for fam, ks := range keys {
+		if len(ks) != 1 {
+			fmt.Fprintf(stderr, "quotload: FAIL: family %s produced %d distinct content addresses\n", fam, len(ks))
+			failed = true
+		}
+	}
+
+	// The warm-vs-cold table: client-observed medians per family.
+	fmt.Fprintf(stdout, "%-14s %8s %8s %12s %12s %9s\n",
+		"family", "cold_n", "warm_n", "cold_p50_ms", "warm_p50_ms", "speedup")
+	for _, j := range jobs {
+		var cold, warm []float64
+		for _, r := range results {
+			if r.family != j.family || r.err != nil {
+				continue
+			}
+			ms := float64(r.elapsed.Nanoseconds()) / 1e6
+			if r.cached {
+				warm = append(warm, ms)
+			} else {
+				cold = append(cold, ms)
+			}
+		}
+		cp, wp := median(cold), median(warm)
+		speedup := "-"
+		if wp > 0 {
+			speedup = fmt.Sprintf("%.0f×", cp/wp)
+		}
+		fmt.Fprintf(stdout, "%-14s %8d %8d %12.2f %12.2f %9s\n",
+			j.family, len(cold), len(warm), cp, wp, speedup)
+	}
+
+	// Server-side view: singleflight and cache counters.
+	if st, err := fetchStats(client, url); err == nil {
+		fmt.Fprintf(stdout, "server: derives=%d coalesced=%d cache_hits=%d cache_misses=%d warm_p50=%.2fms cold_p50=%.2fms\n",
+			st.Derives, st.Coalesced, st.CacheHits, st.CacheMisses, st.WarmP50MS, st.ColdP50MS)
+		// With R rounds and C clients the engine must have run at most once
+		// per family per cold round — coalescing and caching absorb the rest.
+		if st.Derives > int64(len(jobs)) {
+			fmt.Fprintf(stderr, "quotload: FAIL: engine ran %d times for %d distinct derivations\n",
+				st.Derives, len(jobs))
+			failed = true
+		}
+	} else {
+		fmt.Fprintf(stderr, "quotload: stats: %v\n", err)
+	}
+
+	if failed {
+		return 1
+	}
+	fmt.Fprintf(stdout, "quotload: OK: %d request(s), 0 non-200, %d cache hit(s) (%.0f%%)\n",
+		total, hits, 100*float64(hits)/float64(total))
+	return 0
+}
+
+func fetchStats(client *http.Client, url string) (server.StatsResponse, error) {
+	var st server.StatsResponse
+	resp, err := client.Get(url + "/v1/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadTestPasses runs the whole harness, in-process, at a small size:
+// the same invariants `make loadtest` enforces (zero non-200s, hit ratio
+// > 0, one content address and at most one engine run per family).
+func TestLoadTestPasses(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-clients", "4", "-rounds", "2", "-families", "chain(3),chaindrop(3)"},
+		&out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "quotload: OK") {
+		t.Errorf("missing OK line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "chaindrop(3)") {
+		t.Errorf("missing family row:\n%s", out.String())
+	}
+}
+
+func TestLoadTestBadFlags(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-families", "nosuch(9)"}, &out, &errb); code != 1 {
+		t.Errorf("unknown family: exit %d, want 1", code)
+	}
+	if code := run([]string{"-clients", "0"}, &out, &errb); code != 1 {
+		t.Errorf("zero clients: exit %d, want 1", code)
+	}
+}

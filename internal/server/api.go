@@ -1,0 +1,269 @@
+// Package server implements quotd, the long-running derivation service: an
+// HTTP/JSON daemon that accepts specification uploads and derivation
+// requests, runs derivations on a bounded worker pool with per-request
+// deadlines and cancellation, deduplicates identical in-flight requests
+// (singleflight), and serves repeat requests from a content-addressed
+// converter cache keyed by the canonical hash of the inputs.
+//
+// The quotient is a pure function of its (A, B) inputs — the Calvert & Lam
+// construction is deterministic and complete — so a derivation result may
+// be cached under a key derived from the canonical serialization of every
+// input specification plus the semantic options (DESIGN.md argues the
+// soundness of this in detail). Repeat and concurrent requests then cost
+// O(lookup) instead of O(derive).
+//
+// This file defines the wire types. They are shared with `quotient -json`,
+// so the CLI and the daemon emit the same machine-readable envelope and
+// can never drift.
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"time"
+
+	"protoquot/internal/core"
+	"protoquot/internal/spec"
+)
+
+// SpecSource names one input specification: either inline .spec DSL text or
+// a reference to a spec previously uploaded via POST /v1/specs. Exactly one
+// field must be set.
+type SpecSource struct {
+	// Inline is .spec DSL text containing exactly one specification.
+	Inline string `json:"inline,omitempty"`
+	// Ref is the name of an uploaded specification.
+	Ref string `json:"ref,omitempty"`
+}
+
+// DeriveOptions are the per-request knobs of POST /v1/derive.
+//
+// Only the semantic options — those that change the derived artifact —
+// participate in the cache key: OmitVacuous, SafetyOnly, MaxStates,
+// MinimizeEnv, Normalize, Prune, Minimize. Workers and Engine are excluded
+// because the engine's outcome is bit-identical for every worker count and
+// for the lazy/indexed/eager pipelines alike (the golden differential
+// suites pin this); TimeoutMS and the artifact selectors (IncludeDOT,
+// IncludeGo, GoPackage) are excluded because they do not change the
+// converter, only how much of it is rendered into the response.
+type DeriveOptions struct {
+	// Workers is the engine worker count for the safety phase; 0 means the
+	// server default. The result is bit-identical for every value.
+	Workers int `json:"workers,omitempty"`
+	// Engine selects the composition pipeline when Components are given:
+	// "lazy" (default, demand-driven) or "indexed" (eager index-space).
+	Engine string `json:"engine,omitempty"`
+	// Normalize determinizes the service first if it is not in normal form;
+	// without it a non-normal service is a bad request.
+	Normalize bool `json:"normalize,omitempty"`
+	// MinimizeEnv pre-reduces each environment component by strong
+	// bisimulation before deriving (core.Options.MinimizeComponents).
+	MinimizeEnv bool `json:"minimize_env,omitempty"`
+	// OmitVacuous, SafetyOnly, MaxStates mirror core.Options.
+	OmitVacuous bool `json:"omit_vacuous,omitempty"`
+	SafetyOnly  bool `json:"safety_only,omitempty"`
+	MaxStates   int  `json:"max_states,omitempty"`
+	// Prune greedily removes useless converter behavior; Minimize
+	// bisimulation-minimizes the converter before it is returned.
+	Prune    bool `json:"prune,omitempty"`
+	Minimize bool `json:"minimize,omitempty"`
+	// TimeoutMS bounds this request's derivation; 0 means the server
+	// default. Values above the server maximum are clamped.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// IncludeDOT / IncludeGo additionally render the converter as Graphviz
+	// and as standalone Go source (package GoPackage, default "converter").
+	// Both are deterministic functions of the converter, computed on demand
+	// — cache entries store only the converter itself.
+	IncludeDOT bool   `json:"include_dot,omitempty"`
+	IncludeGo  bool   `json:"include_go,omitempty"`
+	GoPackage  string `json:"go_package,omitempty"`
+}
+
+// DeriveRequest is the body of POST /v1/derive. Exactly one of Envs or
+// Components must be non-empty: Envs lists environment variants for robust
+// derivation (each variant a complete environment; one variant is the plain
+// quotient), Components lists machines to be composed into a single
+// environment by the server (lazy by default — the fused demand-driven
+// pipeline).
+type DeriveRequest struct {
+	Service    SpecSource    `json:"service"`
+	Envs       []SpecSource  `json:"envs,omitempty"`
+	Components []SpecSource  `json:"components,omitempty"`
+	Options    DeriveOptions `json:"options"`
+}
+
+// WireStats is core.Stats flattened for the wire. Wall times are reported
+// in milliseconds; on a cache hit they describe the original derivation,
+// not the lookup (the envelope's ElapsedMS describes the request).
+type WireStats struct {
+	SafetyStates       int     `json:"safety_states"`
+	SafetyTransitions  int     `json:"safety_transitions"`
+	PairSetTotal       int     `json:"pair_set_total"`
+	ProgressIterations int     `json:"progress_iterations"`
+	RemovedStates      int     `json:"removed_states"`
+	FinalStates        int     `json:"final_states"`
+	FinalTransitions   int     `json:"final_transitions"`
+	Workers            int     `json:"workers"`
+	SafetyWallMS       float64 `json:"safety_wall_ms"`
+	ProgressWallMS     float64 `json:"progress_wall_ms"`
+	SafetyLevels       int     `json:"safety_levels"`
+	PeakFrontier       int     `json:"peak_frontier"`
+	InternLookups      int     `json:"intern_lookups"`
+	InternHits         int     `json:"intern_hits"`
+	ProgressScans      int     `json:"progress_scans"`
+	TauCacheHits       int     `json:"tau_cache_hits"`
+	TauInvalidated     int     `json:"tau_invalidated"`
+	ReadySetRebuilds   int     `json:"ready_set_rebuilds"`
+	EnvStatesExpanded  int     `json:"env_states_expanded"`
+	EnvStatesTotal     int     `json:"env_states_total"`
+	EnvExpansionMS     float64 `json:"env_expansion_ms,omitempty"`
+}
+
+// StatsFromCore flattens engine statistics into the wire form.
+func StatsFromCore(s core.Stats) *WireStats {
+	m := s.Metrics
+	return &WireStats{
+		SafetyStates:       s.SafetyStates,
+		SafetyTransitions:  s.SafetyTransitions,
+		PairSetTotal:       s.PairSetTotal,
+		ProgressIterations: s.ProgressIterations,
+		RemovedStates:      s.RemovedStates,
+		FinalStates:        s.FinalStates,
+		FinalTransitions:   s.FinalTransitions,
+		Workers:            m.Workers,
+		SafetyWallMS:       durMS(m.SafetyWall),
+		ProgressWallMS:     durMS(m.ProgressWall),
+		SafetyLevels:       m.SafetyLevels,
+		PeakFrontier:       m.PeakFrontier,
+		InternLookups:      m.InternLookups,
+		InternHits:         m.InternHits,
+		ProgressScans:      m.ProgressScans,
+		TauCacheHits:       m.TauCacheHits,
+		TauInvalidated:     m.TauInvalidated,
+		ReadySetRebuilds:   m.ReadySetRebuilds,
+		EnvStatesExpanded:  m.EnvStatesExpanded,
+		EnvStatesTotal:     m.EnvStatesTotal,
+		EnvExpansionMS:     float64(m.EnvExpansionNs) / 1e6,
+	}
+}
+
+func durMS(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// Error codes carried in WireError.Code.
+const (
+	ErrCodeBadRequest  = "bad_request"  // malformed body, bad DSL, bad options
+	ErrCodeNotFound    = "not_found"    // unknown spec reference or route
+	ErrCodeNoConverter = "no_converter" // derivation proved nonexistence
+	ErrCodeTimeout     = "timeout"      // per-request deadline exceeded
+	ErrCodeCanceled    = "canceled"     // client went away or server shut down
+	ErrCodeOverloaded  = "overloaded"   // queue full; retry later
+	ErrCodeInternal    = "internal"
+)
+
+// WireError is the machine-readable error envelope. Nonexistence
+// (no_converter) is a definitive answer, not a failure: it is cached and
+// carries the phase that proved it and, when available, a witness trace.
+type WireError struct {
+	Code    string   `json:"code"`
+	Message string   `json:"message"`
+	Phase   string   `json:"phase,omitempty"`
+	Witness []string `json:"witness,omitempty"`
+}
+
+func (e *WireError) Error() string { return e.Code + ": " + e.Message }
+
+// DeriveResponse is the result envelope of POST /v1/derive — and of
+// `quotient -json`, which emits the identical shape with the per-request
+// service fields (RequestID, Cached, Coalesced) left zero.
+type DeriveResponse struct {
+	// RequestID identifies this request in the server log.
+	RequestID string `json:"request_id,omitempty"`
+	// Key is the content address of the derivation: the cache key computed
+	// from the canonical input hashes and the semantic options.
+	Key string `json:"key"`
+	// Cached reports that the result was served from the converter cache;
+	// Coalesced that this request shared a single in-flight derivation
+	// with concurrent identical requests (singleflight).
+	Cached    bool `json:"cached"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Exists reports whether a converter exists. When false, Error.Code is
+	// no_converter with the proof phase.
+	Exists bool `json:"exists"`
+	// Converter is the derived converter in .spec DSL text.
+	Converter string `json:"converter,omitempty"`
+	// DOT / GoSource are optional renderings (Options.IncludeDOT/IncludeGo).
+	DOT      string `json:"dot,omitempty"`
+	GoSource string `json:"go_source,omitempty"`
+	// Stats describes the derivation that produced the artifact.
+	Stats *WireStats `json:"stats,omitempty"`
+	// Error is set on any non-success, including definitive nonexistence.
+	Error *WireError `json:"error,omitempty"`
+	// ElapsedMS is this request's wall time (lookup time on a cache hit).
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// keyedOptions returns the canonical encoding of the semantic options — the
+// option slice of the cache key. Workers, Engine, TimeoutMS, and the
+// artifact selectors are deliberately absent; see DeriveOptions.
+func (o DeriveOptions) keyedOptions() string {
+	return fmt.Sprintf("omitvac=%t safety=%t maxstates=%d minenv=%t prune=%t minimize=%t",
+		o.OmitVacuous, o.SafetyOnly, o.MaxStates, o.MinimizeEnv, o.Prune, o.Minimize)
+}
+
+// CacheKey computes the content address of a derivation: the hex SHA-256
+// over a version tag, the semantic options, and the canonical serialization
+// of the service and of every environment variant or component, each
+// prefixed by its role. The service must already be in normal form (the
+// caller normalizes first, so normalize-vs-prenormalized requests that
+// reach the same effective inputs share an address).
+func CacheKey(a *spec.Spec, envs, components []*spec.Spec, opts DeriveOptions) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "protoquot-derive-v1\n")
+	fmt.Fprintf(h, "opts %s\n", opts.keyedOptions())
+	fmt.Fprintf(h, "service %d\n", len(a.Canonical()))
+	h.Write(a.Canonical())
+	for _, b := range envs {
+		c := b.Canonical()
+		fmt.Fprintf(h, "env %d\n", len(c))
+		h.Write(c)
+	}
+	for _, b := range components {
+		c := b.Canonical()
+		fmt.Fprintf(h, "component %d\n", len(c))
+		h.Write(c)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ResultEnvelope builds the shared success/nonexistence envelope from a
+// derivation outcome. conv is the final converter after any post-processing
+// (prune, minimize); it may differ from res.Converter. derr, when non-nil,
+// must be the derivation error; a *core.NoQuotientError becomes a
+// definitive no_converter envelope, anything else an internal error.
+// Renderings (DOT, Go source) are the caller's concern.
+func ResultEnvelope(key string, res *core.Result, conv *spec.Spec, derr error) *DeriveResponse {
+	env := &DeriveResponse{Key: key}
+	if res != nil {
+		env.Stats = StatsFromCore(res.Stats)
+	}
+	if derr != nil {
+		var nq *core.NoQuotientError
+		if errors.As(derr, &nq) {
+			we := &WireError{Code: ErrCodeNoConverter, Message: nq.Error(), Phase: nq.Phase()}
+			for _, e := range nq.Witness() {
+				we.Witness = append(we.Witness, string(e))
+			}
+			env.Error = we
+		} else {
+			env.Error = &WireError{Code: ErrCodeInternal, Message: derr.Error()}
+		}
+		return env
+	}
+	env.Exists = true
+	if conv != nil {
+		env.Converter = specText(conv)
+	}
+	return env
+}

@@ -1,0 +1,219 @@
+package server
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"protoquot/internal/codegen"
+	"protoquot/internal/dsl"
+	"protoquot/internal/render"
+	"protoquot/internal/spec"
+)
+
+// cacheEntry is one cached derivation outcome: either a converter or a
+// definitive nonexistence proof, plus the statistics of the run that
+// produced it. Entries are immutable once stored — repeat requests are
+// served from them bit-identically. Renderings (DOT, Go source) are not
+// stored; they are deterministic functions of Converter, recomputed on
+// demand and, under disk persistence, written once as sibling artifacts.
+type cacheEntry struct {
+	Key       string     `json:"key"`
+	Exists    bool       `json:"exists"`
+	Converter string     `json:"converter,omitempty"`
+	Stats     *WireStats `json:"stats,omitempty"`
+	Error     *WireError `json:"error,omitempty"`
+}
+
+// Cache is the content-addressed converter cache: an LRU-bounded in-memory
+// map keyed by CacheKey, with optional write-through persistence of
+// envelope and converter artifacts to a directory. All methods are safe for
+// concurrent use.
+type Cache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used; values are *cacheEntry
+	byKey map[string]*list.Element
+	dir   string // "" disables persistence
+	logf  func(format string, args ...any)
+
+	hits, misses, evictions atomic.Int64
+	diskHits, diskErrors    atomic.Int64
+}
+
+// NewCache returns a cache bounded to max entries (min 1). dir, when
+// non-empty, enables disk persistence: every stored entry is written
+// through as <key>.json plus converter artifacts (<key>.spec, <key>.dot,
+// and <key>.go when the converter is deterministic enough for codegen), and
+// an in-memory miss falls back to <key>.json before counting as a miss —
+// so a restarted daemon keeps its warm set. logf, when non-nil, receives
+// persistence problems (they degrade the cache, never the request).
+func NewCache(max int, dir string, logf func(format string, args ...any)) (*Cache, error) {
+	if max < 1 {
+		max = 1
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: cache dir: %w", err)
+		}
+	}
+	return &Cache{
+		max:   max,
+		ll:    list.New(),
+		byKey: make(map[string]*list.Element),
+		dir:   dir,
+		logf:  logf,
+	}, nil
+}
+
+// Get returns the entry stored under key, consulting disk on an in-memory
+// miss when persistence is enabled.
+func (c *Cache) Get(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return e, true
+	}
+	c.mu.Unlock()
+	if c.dir != "" {
+		if e, ok := c.diskGet(key); ok {
+			c.insert(e, false) // promote without re-writing to disk
+			c.hits.Add(1)
+			c.diskHits.Add(1)
+			return e, true
+		}
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put stores an entry, evicting the least recently used entry beyond the
+// bound and writing through to disk when persistence is enabled.
+func (c *Cache) Put(e *cacheEntry) {
+	c.insert(e, c.dir != "")
+}
+
+func (c *Cache) insert(e *cacheEntry, persist bool) {
+	c.mu.Lock()
+	if el, ok := c.byKey[e.Key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value = e
+	} else {
+		c.byKey[e.Key] = c.ll.PushFront(e)
+		for c.ll.Len() > c.max {
+			back := c.ll.Back()
+			old := back.Value.(*cacheEntry)
+			c.ll.Remove(back)
+			delete(c.byKey, old.Key)
+			c.evictions.Add(1)
+		}
+	}
+	c.mu.Unlock()
+	if persist {
+		c.diskPut(e)
+	}
+}
+
+// Len returns the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Counters returns the cumulative hit/miss/eviction/disk counters.
+func (c *Cache) Counters() (hits, misses, evictions, diskHits, diskErrors int64) {
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load(),
+		c.diskHits.Load(), c.diskErrors.Load()
+}
+
+// entryPath sanity-checks the key before using it as a file name: CacheKey
+// only ever produces lowercase hex, so anything else is rejected rather
+// than spliced into a path.
+func (c *Cache) entryPath(key, ext string) (string, bool) {
+	if len(key) != 64 || strings.Trim(key, "0123456789abcdef") != "" {
+		return "", false
+	}
+	return filepath.Join(c.dir, key+ext), true
+}
+
+func (c *Cache) diskGet(key string) (*cacheEntry, bool) {
+	p, ok := c.entryPath(key, ".json")
+	if !ok {
+		return nil, false
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil || e.Key != key {
+		c.diskErrors.Add(1)
+		c.logf("cache: corrupt entry %s: %v", p, err)
+		return nil, false
+	}
+	return &e, true
+}
+
+// diskPut writes the envelope and the converter artifacts. Each file is
+// written atomically (temp + rename) so a crashed daemon never leaves a
+// half-written entry for its successor to trust.
+func (c *Cache) diskPut(e *cacheEntry) {
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		c.diskErrors.Add(1)
+		c.logf("cache: marshal %s: %v", e.Key, err)
+		return
+	}
+	c.writeAtomic(e.Key, ".json", data)
+	if !e.Exists || e.Converter == "" {
+		return
+	}
+	c.writeAtomic(e.Key, ".spec", []byte(e.Converter))
+	conv, err := dsl.ParseString(e.Converter)
+	if err != nil {
+		c.diskErrors.Add(1)
+		c.logf("cache: reparse converter %s: %v", e.Key, err)
+		return
+	}
+	c.writeAtomic(e.Key, ".dot", []byte(render.DOTString(conv, render.DOTOptions{})))
+	// Codegen requires a deterministic converter; the maximal converter
+	// usually is not, so a failure here is expected and not an error.
+	if src, err := codegen.Generate(conv, codegen.Config{Package: "converter"}); err == nil {
+		c.writeAtomic(e.Key, ".go", src)
+	}
+}
+
+func (c *Cache) writeAtomic(key, ext string, data []byte) {
+	p, ok := c.entryPath(key, ext)
+	if !ok {
+		c.diskErrors.Add(1)
+		c.logf("cache: refusing non-hex key %q", key)
+		return
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		c.diskErrors.Add(1)
+		c.logf("cache: write %s: %v", tmp, err)
+		return
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		c.diskErrors.Add(1)
+		c.logf("cache: rename %s: %v", p, err)
+		os.Remove(tmp)
+	}
+}
+
+// specText renders a spec in the shared DSL text form.
+func specText(s *spec.Spec) string { return dsl.String(s) }

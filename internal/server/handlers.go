@@ -1,0 +1,292 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"protoquot/internal/codegen"
+	"protoquot/internal/dsl"
+	"protoquot/internal/render"
+	"protoquot/internal/spec"
+)
+
+// SpecUploadRequest is the body of POST /v1/specs: .spec DSL text that may
+// contain several specifications. Each is registered under its own name;
+// re-uploading a name replaces it (last write wins).
+type SpecUploadRequest struct {
+	Text string `json:"text"`
+}
+
+// SpecInfo describes one registered specification.
+type SpecInfo struct {
+	Name        string `json:"name"`
+	Hash        string `json:"hash"`
+	States      int    `json:"states"`
+	ExtEdges    int    `json:"ext_edges"`
+	IntEdges    int    `json:"int_edges"`
+	NormalForm  bool   `json:"normal_form"`
+	Alphabet    int    `json:"alphabet"`
+	Determinist bool   `json:"deterministic"`
+}
+
+func specInfo(sp *spec.Spec) SpecInfo {
+	return SpecInfo{
+		Name:        sp.Name(),
+		Hash:        sp.Hash(),
+		States:      sp.NumStates(),
+		ExtEdges:    sp.NumExternalTransitions(),
+		IntEdges:    sp.NumInternalTransitions(),
+		NormalForm:  sp.IsNormalForm() == nil,
+		Alphabet:    len(sp.Alphabet()),
+		Determinist: sp.Deterministic(),
+	}
+}
+
+// SpecListResponse is the body of GET /v1/specs and POST /v1/specs.
+type SpecListResponse struct {
+	Specs []SpecInfo `json:"specs"`
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/derive", s.handleDerive)
+	s.mux.HandleFunc("POST /v1/specs", s.handleSpecUpload)
+	s.mux.HandleFunc("GET /v1/specs", s.handleSpecList)
+	s.mux.HandleFunc("GET /v1/specs/{name}", s.handleSpecGet)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the client is gone if this fails; nothing to do
+}
+
+// errStatus maps a wire error code to its HTTP status.
+func errStatus(code string) int {
+	switch code {
+	case ErrCodeBadRequest:
+		return http.StatusBadRequest
+	case ErrCodeNotFound:
+		return http.StatusNotFound
+	case ErrCodeTimeout:
+		return http.StatusGatewayTimeout
+	case ErrCodeOverloaded, ErrCodeCanceled:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// handleDerive is POST /v1/derive: resolve → cache → singleflight → engine.
+// Definitive answers — a converter, or a nonexistence proof — are HTTP 200
+// with the envelope saying which; non-200 means the derivation itself did
+// not complete (bad input, overload, timeout, shutdown).
+func (s *Server) handleDerive(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	id := fmt.Sprintf("r%06d", s.reqSeq.Add(1))
+	s.met.deriveRequests.Add(1)
+
+	var req DeriveRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.failRequest(w, id, start, &WireError{Code: ErrCodeBadRequest,
+			Message: "body: " + err.Error()})
+		return
+	}
+	cr, werr := s.compile(&req)
+	if werr != nil {
+		s.failRequest(w, id, start, werr)
+		return
+	}
+
+	if e, ok := s.cache.Get(cr.key); ok {
+		s.respondEntry(w, r, id, start, cr, &req.Options, e, true, false)
+		return
+	}
+
+	fr, joined, err := s.flights.do(r.Context(), cr.key, func() flightResult {
+		// The queue wait draws down the same per-request budget the engine
+		// runs under; the derivation itself re-derives its deadline from
+		// baseCtx inside executeDerivation.
+		actx, cancel := context.WithTimeout(s.baseCtx, cr.timeout)
+		defer cancel()
+		if err := s.pool.acquire(actx); err != nil {
+			if errors.Is(err, errOverloaded) {
+				s.met.rejected.Add(1)
+				return flightResult{err: &WireError{Code: ErrCodeOverloaded,
+					Message: "derivation queue full; retry later"}}
+			}
+			s.met.timeouts.Add(1)
+			return flightResult{err: &WireError{Code: ErrCodeTimeout,
+				Message: "timed out waiting for a derivation slot"}}
+		}
+		defer s.pool.release()
+		s.met.derives.Add(1)
+		if s.preDerive != nil {
+			s.preDerive(cr.key)
+		}
+		fr := s.executeDerivation(cr)
+		if fr.entry != nil {
+			s.cache.Put(fr.entry)
+		}
+		return fr
+	})
+	if err != nil {
+		// This request gave up waiting on someone else's flight; the flight
+		// itself keeps running into the cache.
+		s.failRequest(w, id, start, &WireError{Code: ErrCodeCanceled,
+			Message: "request canceled while waiting for an identical in-flight derivation"})
+		return
+	}
+	if joined {
+		s.met.coalesced.Add(1)
+	}
+	if fr.err != nil {
+		var we *WireError
+		if !errors.As(fr.err, &we) {
+			we = &WireError{Code: ErrCodeInternal, Message: fr.err.Error()}
+		}
+		if we.Code == ErrCodeInternal {
+			s.met.deriveErrors.Add(1)
+		}
+		s.failRequest(w, id, start, we)
+		return
+	}
+	s.respondEntry(w, r, id, start, cr, &req.Options, fr.entry, false, joined)
+}
+
+// respondEntry renders one cacheable outcome into the response envelope,
+// attaching per-request fields and any requested artifact renderings.
+func (s *Server) respondEntry(w http.ResponseWriter, r *http.Request, id string,
+	start time.Time, cr *compiledRequest, opts *DeriveOptions, e *cacheEntry,
+	cached, coalesced bool) {
+
+	resp := &DeriveResponse{
+		RequestID: id,
+		Key:       e.Key,
+		Cached:    cached,
+		Coalesced: coalesced,
+		Exists:    e.Exists,
+		Converter: e.Converter,
+		Stats:     e.Stats,
+		Error:     e.Error,
+	}
+	if e.Exists && e.Converter != "" && (opts.IncludeDOT || opts.IncludeGo) {
+		if conv, err := dsl.ParseString(e.Converter); err == nil {
+			if opts.IncludeDOT {
+				resp.DOT = render.DOTString(conv, render.DOTOptions{})
+			}
+			if opts.IncludeGo {
+				pkg := opts.GoPackage
+				if pkg == "" {
+					pkg = "converter"
+				}
+				src, err := codegen.Generate(conv, codegen.Config{Package: pkg})
+				if err != nil {
+					resp.GoSource = "// codegen: " + err.Error() + "\n"
+				} else {
+					resp.GoSource = string(src)
+				}
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	resp.ElapsedMS = durMS(elapsed)
+	if cached {
+		s.met.warm.observe(elapsed)
+	} else {
+		s.met.cold.observe(elapsed)
+	}
+	s.logf("quotd: %s POST /v1/derive 200 key=%s exists=%t cached=%t coalesced=%t %.2fms",
+		id, shortKey(e.Key), e.Exists, cached, coalesced, resp.ElapsedMS)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) failRequest(w http.ResponseWriter, id string, start time.Time, we *WireError) {
+	status := errStatus(we.Code)
+	if we.Code == ErrCodeOverloaded {
+		w.Header().Set("Retry-After", "1")
+	}
+	s.logf("quotd: %s POST /v1/derive %d code=%s %.2fms: %s",
+		id, status, we.Code, durMS(time.Since(start)), we.Message)
+	writeJSON(w, status, &DeriveResponse{RequestID: id, Error: we,
+		ElapsedMS: durMS(time.Since(start))})
+}
+
+func shortKey(k string) string {
+	if len(k) > 12 {
+		return k[:12]
+	}
+	return k
+}
+
+func (s *Server) handleSpecUpload(w http.ResponseWriter, r *http.Request) {
+	var req SpecUploadRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, &WireError{Code: ErrCodeBadRequest,
+			Message: "body: " + err.Error()})
+		return
+	}
+	specs, err := dsl.Parse(strings.NewReader(req.Text))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, &WireError{Code: ErrCodeBadRequest,
+			Message: err.Error()})
+		return
+	}
+	resp := SpecListResponse{}
+	for _, sp := range specs {
+		s.RegisterSpec(sp)
+		resp.Specs = append(resp.Specs, specInfo(sp))
+	}
+	s.logf("quotd: POST /v1/specs registered %d spec(s)", len(resp.Specs))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSpecList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, SpecListResponse{Specs: s.listSpecs()})
+}
+
+func (s *Server) handleSpecGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	sp, ok := s.lookupSpec(name)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, &WireError{Code: ErrCodeNotFound,
+			Message: fmt.Sprintf("no uploaded spec named %q", name)})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = dsl.Write(w, sp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsSnapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the load-balancer probe: 503 once draining starts, so
+// traffic falls off before the listener closes.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"expvar"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyWindow keeps the most recent N observations of one latency class
+// and answers percentile queries over them. A sliding window is the right
+// shape for an always-on daemon: quantiles track current behavior instead
+// of being diluted by hours-old history.
+type latencyWindow struct {
+	mu   sync.Mutex
+	buf  []float64 // milliseconds, ring
+	next int
+	full bool
+}
+
+const latencyWindowSize = 1024
+
+func newLatencyWindow() *latencyWindow {
+	return &latencyWindow{buf: make([]float64, latencyWindowSize)}
+}
+
+func (w *latencyWindow) observe(d time.Duration) {
+	ms := float64(d.Nanoseconds()) / 1e6
+	w.mu.Lock()
+	w.buf[w.next] = ms
+	w.next++
+	if w.next == len(w.buf) {
+		w.next, w.full = 0, true
+	}
+	w.mu.Unlock()
+}
+
+// quantiles returns the q-th percentiles (q in [0,100]) over the window,
+// or zeros when nothing was observed.
+func (w *latencyWindow) quantiles(qs ...float64) []float64 {
+	w.mu.Lock()
+	n := w.next
+	if w.full {
+		n = len(w.buf)
+	}
+	sample := make([]float64, n)
+	copy(sample, w.buf[:n])
+	w.mu.Unlock()
+	out := make([]float64, len(qs))
+	if n == 0 {
+		return out
+	}
+	sort.Float64s(sample)
+	for i, q := range qs {
+		idx := int(q / 100 * float64(n-1))
+		out[i] = sample[idx]
+	}
+	return out
+}
+
+// serverMetrics is the daemon's counter set. Everything is monotonic except
+// the gauges read live from the pool; /v1/stats and expvar both render a
+// snapshot of it.
+type serverMetrics struct {
+	requests       atomic.Int64 // all HTTP requests
+	deriveRequests atomic.Int64 // POST /v1/derive
+	derives        atomic.Int64 // engine runs started (post-coalescing)
+	deriveErrors   atomic.Int64 // engine runs failing for non-semantic reasons
+	noConverter    atomic.Int64 // definitive nonexistence results
+	coalesced      atomic.Int64 // requests that shared another's flight
+	rejected       atomic.Int64 // load-shed (queue full)
+	timeouts       atomic.Int64 // per-request deadline exceeded
+
+	warm *latencyWindow // request latency on cache hits
+	cold *latencyWindow // request latency on engine runs
+}
+
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{warm: newLatencyWindow(), cold: newLatencyWindow()}
+}
+
+// StatsResponse is the body of GET /v1/stats: one JSON snapshot of the
+// daemon's counters, gauges, cache state, and latency quantiles.
+type StatsResponse struct {
+	UptimeMS float64 `json:"uptime_ms"`
+	Draining bool    `json:"draining"`
+
+	Requests       int64 `json:"requests"`
+	DeriveRequests int64 `json:"derive_requests"`
+	Derives        int64 `json:"derives"`
+	DeriveErrors   int64 `json:"derive_errors"`
+	NoConverter    int64 `json:"no_converter"`
+	Coalesced      int64 `json:"coalesced"`
+	Rejected       int64 `json:"rejected"`
+	Timeouts       int64 `json:"timeouts"`
+
+	CacheHits       int64 `json:"cache_hits"`
+	CacheMisses     int64 `json:"cache_misses"`
+	CacheEvictions  int64 `json:"cache_evictions"`
+	CacheDiskHits   int64 `json:"cache_disk_hits"`
+	CacheDiskErrors int64 `json:"cache_disk_errors"`
+	CacheEntries    int   `json:"cache_entries"`
+
+	QueueDepth  int64 `json:"queue_depth"`
+	Inflight    int64 `json:"inflight"`
+	PoolWorkers int   `json:"pool_workers"`
+	MaxQueue    int   `json:"max_queue"`
+
+	SpecsRegistered int `json:"specs_registered"`
+
+	WarmP50MS float64 `json:"warm_p50_ms"`
+	WarmP99MS float64 `json:"warm_p99_ms"`
+	ColdP50MS float64 `json:"cold_p50_ms"`
+	ColdP99MS float64 `json:"cold_p99_ms"`
+}
+
+// expvarOnce guards process-wide expvar publication: expvar names are
+// global and re-publishing panics, while tests construct many Servers.
+var expvarOnce sync.Once
+
+// PublishExpvar exposes this server's stats snapshot as the expvar variable
+// "quotd" (rendered by the stock /debug/vars handler, which Handler serves).
+// Only the first server in the process wins the name; later calls are
+// no-ops, matching expvar's process-global model.
+func (s *Server) PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("quotd", expvar.Func(func() any { return s.statsSnapshot() }))
+	})
+}

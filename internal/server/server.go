@@ -1,0 +1,422 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"protoquot/internal/compose"
+	"protoquot/internal/core"
+	"protoquot/internal/dsl"
+	"protoquot/internal/spec"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// production-shaped default.
+type Config struct {
+	// PoolWorkers is how many derivations may run concurrently; default
+	// GOMAXPROCS. MaxQueue is how many more may wait; default 64; beyond
+	// that requests are shed with 503. MaxQueue < 0 means no queue: every
+	// request must win a slot immediately or be shed.
+	PoolWorkers int
+	MaxQueue    int
+	// EngineWorkers is the default per-derivation safety-phase worker
+	// count (requests may override); default 1. The engine result is
+	// bit-identical for every value, so this is purely a latency knob.
+	EngineWorkers int
+	// CacheEntries bounds the in-memory converter cache; default 1024.
+	// CacheDir, when set, adds write-through disk persistence.
+	CacheEntries int
+	CacheDir     string
+	// DefaultTimeout bounds a derivation when the request does not ask;
+	// MaxTimeout clamps what a request may ask for. Defaults 30s / 5m.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxStatesCap, when > 0, caps every derivation's safety-phase state
+	// count, including requests that asked for no limit — the daemon-side
+	// guard against PSPACE-hard inputs from untrusted clients.
+	MaxStatesCap int
+	// MaxBodyBytes bounds request bodies; default 8 MiB.
+	MaxBodyBytes int64
+	// Logf receives one structured line per request plus cache/persistence
+	// diagnostics; nil disables logging.
+	Logf func(format string, v ...any)
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.PoolWorkers <= 0 {
+		out.PoolWorkers = runtime.GOMAXPROCS(0)
+	}
+	if out.MaxQueue == 0 {
+		out.MaxQueue = 64
+	}
+	if out.EngineWorkers <= 0 {
+		out.EngineWorkers = 1
+	}
+	if out.CacheEntries <= 0 {
+		out.CacheEntries = 1024
+	}
+	if out.DefaultTimeout <= 0 {
+		out.DefaultTimeout = 30 * time.Second
+	}
+	if out.MaxTimeout <= 0 {
+		out.MaxTimeout = 5 * time.Minute
+	}
+	if out.MaxBodyBytes <= 0 {
+		out.MaxBodyBytes = 8 << 20
+	}
+	if out.Logf == nil {
+		out.Logf = func(string, ...any) {}
+	}
+	return out
+}
+
+// Server is the quotd derivation service. Construct with New, mount
+// Handler() on an http.Server, and on SIGTERM call StartDrain, let the
+// http.Server drain (http.Server.Shutdown), then Abort to cancel whatever
+// is still inside the engine.
+type Server struct {
+	cfg     Config
+	logf    func(format string, v ...any)
+	cache   *Cache
+	pool    *pool
+	flights *flightGroup
+	met     *serverMetrics
+	mux     *http.ServeMux
+	start   time.Time
+
+	draining atomic.Bool
+	baseCtx  context.Context
+	abort    context.CancelFunc
+	reqSeq   atomic.Int64
+
+	regMu    sync.RWMutex
+	registry map[string]*spec.Spec
+
+	// preDerive, when non-nil, is called by a flight leader after it holds
+	// a pool slot and before it enters the engine. Test hook: lets tests
+	// make singleflight coalescing deterministic.
+	preDerive func(key string)
+}
+
+// New builds a Server. The only error source is an unusable cache
+// directory.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		logf:     cfg.Logf,
+		pool:     newPool(cfg.PoolWorkers, cfg.MaxQueue),
+		flights:  newFlightGroup(),
+		met:      newServerMetrics(),
+		start:    time.Now(),
+		registry: make(map[string]*spec.Spec),
+	}
+	cache, err := NewCache(cfg.CacheEntries, cfg.CacheDir, cfg.Logf)
+	if err != nil {
+		return nil, err
+	}
+	s.cache = cache
+	s.baseCtx, s.abort = context.WithCancel(context.Background())
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.met.requests.Add(1)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// StartDrain flips readiness to not-ready. In-flight and queued requests
+// keep running; new work is still accepted on this handler (connection
+// draining is the listener's job — http.Server.Shutdown), but load
+// balancers watching /readyz stop sending traffic.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Abort cancels the base context every derivation runs under, aborting
+// whatever is still inside the engine via DeriveContext cancellation. Call
+// it after the drain deadline, not before.
+func (s *Server) Abort() { s.abort() }
+
+// Cache exposes the converter cache (read-mostly; used by stats and tests).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// RegisterSpec adds or replaces a named specification in the reference
+// registry, as POST /v1/specs would.
+func (s *Server) RegisterSpec(sp *spec.Spec) {
+	s.regMu.Lock()
+	s.registry[sp.Name()] = sp
+	s.regMu.Unlock()
+}
+
+func (s *Server) lookupSpec(name string) (*spec.Spec, bool) {
+	s.regMu.RLock()
+	sp, ok := s.registry[name]
+	s.regMu.RUnlock()
+	return sp, ok
+}
+
+func (s *Server) specCount() int {
+	s.regMu.RLock()
+	defer s.regMu.RUnlock()
+	return len(s.registry)
+}
+
+func (s *Server) listSpecs() []SpecInfo {
+	s.regMu.RLock()
+	out := make([]SpecInfo, 0, len(s.registry))
+	for _, sp := range s.registry {
+		out = append(out, specInfo(sp))
+	}
+	s.regMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// compiledRequest is a DeriveRequest after resolution and validation:
+// parsed specs, effective options, and the content address.
+type compiledRequest struct {
+	key      string
+	a        *spec.Spec
+	envs     []*spec.Spec
+	comps    []*spec.Spec
+	engine   string // "lazy" or "indexed"; only used with comps
+	coreOpts core.Options
+	prune    bool
+	minimize bool
+	timeout  time.Duration
+}
+
+// resolveSource turns one SpecSource into a parsed spec.
+func (s *Server) resolveSource(role string, src SpecSource) (*spec.Spec, *WireError) {
+	switch {
+	case src.Inline != "" && src.Ref != "":
+		return nil, &WireError{Code: ErrCodeBadRequest,
+			Message: fmt.Sprintf("%s: give inline or ref, not both", role)}
+	case src.Inline != "":
+		sp, err := dsl.ParseString(src.Inline)
+		if err != nil {
+			return nil, &WireError{Code: ErrCodeBadRequest,
+				Message: fmt.Sprintf("%s: %v", role, err)}
+		}
+		return sp, nil
+	case src.Ref != "":
+		sp, ok := s.lookupSpec(src.Ref)
+		if !ok {
+			return nil, &WireError{Code: ErrCodeNotFound,
+				Message: fmt.Sprintf("%s: no uploaded spec named %q", role, src.Ref)}
+		}
+		return sp, nil
+	default:
+		return nil, &WireError{Code: ErrCodeBadRequest,
+			Message: fmt.Sprintf("%s: empty spec source", role)}
+	}
+}
+
+// compile validates and resolves a request, normalizes the service, applies
+// server-side caps, and computes the cache key from the effective inputs.
+func (s *Server) compile(req *DeriveRequest) (*compiledRequest, *WireError) {
+	a, werr := s.resolveSource("service", req.Service)
+	if werr != nil {
+		return nil, werr
+	}
+	if err := a.IsNormalForm(); err != nil {
+		if !req.Options.Normalize {
+			return nil, &WireError{Code: ErrCodeBadRequest,
+				Message: fmt.Sprintf("service: %v (set options.normalize)", err)}
+		}
+		a = a.Normalize()
+	}
+	if len(req.Envs) == 0 && len(req.Components) == 0 {
+		return nil, &WireError{Code: ErrCodeBadRequest,
+			Message: "give envs (robust variants) or components (to compose)"}
+	}
+	if len(req.Envs) > 0 && len(req.Components) > 0 {
+		return nil, &WireError{Code: ErrCodeBadRequest,
+			Message: "envs and components are mutually exclusive"}
+	}
+	cr := &compiledRequest{a: a}
+	for i, src := range req.Envs {
+		sp, werr := s.resolveSource(fmt.Sprintf("envs[%d]", i), src)
+		if werr != nil {
+			return nil, werr
+		}
+		cr.envs = append(cr.envs, sp)
+	}
+	for i, src := range req.Components {
+		sp, werr := s.resolveSource(fmt.Sprintf("components[%d]", i), src)
+		if werr != nil {
+			return nil, werr
+		}
+		cr.comps = append(cr.comps, sp)
+	}
+	switch req.Options.Engine {
+	case "", "lazy":
+		cr.engine = "lazy"
+	case "indexed":
+		cr.engine = "indexed"
+	default:
+		return nil, &WireError{Code: ErrCodeBadRequest,
+			Message: fmt.Sprintf("options.engine: unknown engine %q (lazy or indexed)", req.Options.Engine)}
+	}
+
+	maxStates := req.Options.MaxStates
+	if s.cfg.MaxStatesCap > 0 && (maxStates == 0 || maxStates > s.cfg.MaxStatesCap) {
+		maxStates = s.cfg.MaxStatesCap
+	}
+	workers := req.Options.Workers
+	if workers <= 0 {
+		workers = s.cfg.EngineWorkers
+	}
+	cr.coreOpts = core.Options{
+		OmitVacuous:        req.Options.OmitVacuous,
+		SafetyOnly:         req.Options.SafetyOnly,
+		MaxStates:          maxStates,
+		MinimizeComponents: req.Options.MinimizeEnv,
+		Workers:            workers,
+	}
+	cr.prune = req.Options.Prune
+	cr.minimize = req.Options.Minimize
+
+	cr.timeout = s.cfg.DefaultTimeout
+	if req.Options.TimeoutMS > 0 {
+		cr.timeout = time.Duration(req.Options.TimeoutMS) * time.Millisecond
+	}
+	if cr.timeout > s.cfg.MaxTimeout {
+		cr.timeout = s.cfg.MaxTimeout
+	}
+
+	keyed := req.Options
+	keyed.MaxStates = maxStates // key on the effective bound, not the asked one
+	cr.key = CacheKey(a, cr.envs, cr.comps, keyed)
+	return cr, nil
+}
+
+// executeDerivation runs the engine for one compiled request and returns
+// either a cacheable entry (converter, or definitive nonexistence) or a
+// non-cacheable error. It is only ever called by a flight leader holding a
+// pool slot.
+func (s *Server) executeDerivation(cr *compiledRequest) flightResult {
+	dctx, cancel := context.WithTimeout(s.baseCtx, cr.timeout)
+	defer cancel()
+
+	var res *core.Result
+	var derr error
+	switch {
+	case len(cr.comps) > 0 && cr.engine == "indexed":
+		x, err := compose.IndexedMany(cr.comps...)
+		if err != nil {
+			return flightResult{err: &WireError{Code: ErrCodeBadRequest, Message: err.Error()}}
+		}
+		res, derr = core.DeriveEnvContext(dctx, cr.a, x, cr.coreOpts)
+	case len(cr.comps) > 0:
+		x, err := compose.LazyMany(cr.comps...)
+		if err != nil {
+			return flightResult{err: &WireError{Code: ErrCodeBadRequest, Message: err.Error()}}
+		}
+		res, derr = core.DeriveEnvContext(dctx, cr.a, x, cr.coreOpts)
+	default:
+		res, derr = core.DeriveRobustContext(dctx, cr.a, cr.envs, cr.coreOpts)
+	}
+
+	if derr != nil {
+		var nq *core.NoQuotientError
+		switch {
+		case errors.As(derr, &nq):
+			env := ResultEnvelope(cr.key, res, nil, derr)
+			s.met.noConverter.Add(1)
+			return flightResult{entry: &cacheEntry{
+				Key: cr.key, Exists: false, Stats: env.Stats, Error: env.Error,
+			}}
+		case errors.Is(derr, context.DeadlineExceeded):
+			s.met.timeouts.Add(1)
+			return flightResult{err: &WireError{Code: ErrCodeTimeout,
+				Message: fmt.Sprintf("derivation exceeded %v: %v", cr.timeout, derr)}}
+		case errors.Is(derr, context.Canceled):
+			return flightResult{err: &WireError{Code: ErrCodeCanceled,
+				Message: "derivation canceled by server shutdown"}}
+		default:
+			// Engine precondition failures (alphabet mismatches, MaxStates
+			// exceeded, …) are the client's input, not server faults.
+			return flightResult{err: &WireError{Code: ErrCodeBadRequest, Message: derr.Error()}}
+		}
+	}
+
+	conv := res.Converter
+	if cr.prune && !cr.coreOpts.SafetyOnly {
+		envs := cr.envs
+		if len(cr.comps) > 0 {
+			b, err := compose.Many(cr.comps...)
+			if err != nil {
+				return flightResult{err: &WireError{Code: ErrCodeBadRequest, Message: err.Error()}}
+			}
+			envs = []*spec.Spec{b}
+		}
+		pruned, err := core.PruneRobust(cr.a, envs, conv)
+		if err != nil {
+			return flightResult{err: &WireError{Code: ErrCodeInternal,
+				Message: fmt.Sprintf("prune: %v", err)}}
+		}
+		conv = pruned
+	}
+	if cr.minimize {
+		conv = conv.Minimize()
+	}
+	env := ResultEnvelope(cr.key, res, conv, nil)
+	return flightResult{entry: &cacheEntry{
+		Key: cr.key, Exists: true, Converter: env.Converter, Stats: env.Stats,
+	}}
+}
+
+func (s *Server) statsSnapshot() StatsResponse {
+	hits, misses, evictions, diskHits, diskErrors := s.cache.Counters()
+	queue, inflight := s.pool.depths()
+	warm := s.met.warm.quantiles(50, 99)
+	cold := s.met.cold.quantiles(50, 99)
+	return StatsResponse{
+		UptimeMS: durMS(time.Since(s.start)),
+		Draining: s.draining.Load(),
+
+		Requests:       s.met.requests.Load(),
+		DeriveRequests: s.met.deriveRequests.Load(),
+		Derives:        s.met.derives.Load(),
+		DeriveErrors:   s.met.deriveErrors.Load(),
+		NoConverter:    s.met.noConverter.Load(),
+		Coalesced:      s.met.coalesced.Load(),
+		Rejected:       s.met.rejected.Load(),
+		Timeouts:       s.met.timeouts.Load(),
+
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		CacheEvictions:  evictions,
+		CacheDiskHits:   diskHits,
+		CacheDiskErrors: diskErrors,
+		CacheEntries:    s.cache.Len(),
+
+		QueueDepth:  queue,
+		Inflight:    inflight,
+		PoolWorkers: s.cfg.PoolWorkers,
+		MaxQueue:    max(0, s.cfg.MaxQueue),
+
+		SpecsRegistered: s.specCount(),
+
+		WarmP50MS: warm[0],
+		WarmP99MS: warm[1],
+		ColdP50MS: cold[0],
+		ColdP99MS: cold[1],
+	}
+}

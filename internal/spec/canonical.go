@@ -1,0 +1,94 @@
+package spec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Canonical returns a deterministic serialization of the specification,
+// suitable for content addressing. Two Specs that denote the same machine —
+// same name, same state names, same initial state, same alphabet, and the
+// same external and internal transition relations — produce byte-identical
+// canonical forms regardless of the order in which states, events, or
+// transitions were declared to the Builder (or listed in a .spec file).
+//
+// The encoding sorts every section: the alphabet ascending, state names
+// ascending, external transitions by (from-name, event, to-name), internal
+// transitions by (from-name, to-name). Each token is %q-quoted so names
+// containing spaces or control characters cannot collide across token
+// boundaries, and each section is length-prefixed by its entry count so no
+// section's encoding is a prefix of another's.
+//
+// The derivation engine is a pure function of its input Specs (the quotient
+// construction is deterministic and complete), so Canonical — and Hash, its
+// SHA-256 — is a sound cache key for derivation results. See DESIGN.md,
+// "Content-addressed derivation caching".
+func (s *Spec) Canonical() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "protoquot-spec-v1\n")
+	fmt.Fprintf(&b, "name %q\n", s.name)
+	fmt.Fprintf(&b, "init %q\n", s.stateNames[s.init])
+
+	fmt.Fprintf(&b, "alphabet %d\n", len(s.alphabet))
+	for _, e := range s.alphabet { // already sorted, deduplicated
+		fmt.Fprintf(&b, "e %q\n", string(e))
+	}
+
+	names := make([]string, len(s.stateNames))
+	copy(names, s.stateNames)
+	sort.Strings(names)
+	fmt.Fprintf(&b, "states %d\n", len(names))
+	for _, n := range names {
+		fmt.Fprintf(&b, "s %q\n", n)
+	}
+
+	type extLine struct{ from, ev, to string }
+	exts := make([]extLine, 0, s.numExt)
+	type intLine struct{ from, to string }
+	ints := make([]intLine, 0, s.numIntl)
+	for st := range s.stateNames {
+		from := s.stateNames[st]
+		for _, ed := range s.ext[st] {
+			exts = append(exts, extLine{from, string(ed.Event), s.stateNames[ed.To]})
+		}
+		for _, t := range s.intl[st] {
+			ints = append(ints, intLine{from, s.stateNames[t]})
+		}
+	}
+	sort.Slice(exts, func(i, j int) bool {
+		if exts[i].from != exts[j].from {
+			return exts[i].from < exts[j].from
+		}
+		if exts[i].ev != exts[j].ev {
+			return exts[i].ev < exts[j].ev
+		}
+		return exts[i].to < exts[j].to
+	})
+	sort.Slice(ints, func(i, j int) bool {
+		if ints[i].from != ints[j].from {
+			return ints[i].from < ints[j].from
+		}
+		return ints[i].to < ints[j].to
+	})
+	fmt.Fprintf(&b, "ext %d\n", len(exts))
+	for _, t := range exts {
+		fmt.Fprintf(&b, "t %q %q %q\n", t.from, t.ev, t.to)
+	}
+	fmt.Fprintf(&b, "int %d\n", len(ints))
+	for _, t := range ints {
+		fmt.Fprintf(&b, "i %q %q\n", t.from, t.to)
+	}
+	return []byte(b.String())
+}
+
+// Hash returns the lowercase-hex SHA-256 of Canonical(): the specification's
+// content address. Equal machines hash equally whatever the declaration
+// order; machines differing in any state name, event, transition, or the
+// initial state hash differently (up to SHA-256 collisions).
+func (s *Spec) Hash() string {
+	sum := sha256.Sum256(s.Canonical())
+	return hex.EncodeToString(sum[:])
+}

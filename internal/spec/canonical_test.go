@@ -1,0 +1,129 @@
+package spec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildShuffled constructs one fixed machine, declaring its states, events,
+// and transitions in a random order drawn from rng. Every call must yield
+// the same canonical form and hash.
+func buildShuffled(t *testing.T, rng *rand.Rand) *Spec {
+	t.Helper()
+	type ext struct {
+		from, to string
+		ev       Event
+	}
+	exts := []ext{
+		{"s0", "s1", "acc"},
+		{"s1", "s2", "-d0"},
+		{"s2", "s0", "del"},
+		{"s2", "s3", "-d0"}, // nondeterministic on -d0
+		{"s3", "s0", "del"},
+	}
+	ints := [][2]string{{"s1", "s3"}, {"s3", "s2"}}
+	states := []string{"s0", "s1", "s2", "s3"}
+	events := []Event{"acc", "del", "-d0", "unused"}
+
+	b := NewBuilder("shuffle")
+	rng.Shuffle(len(states), func(i, j int) { states[i], states[j] = states[j], states[i] })
+	rng.Shuffle(len(events), func(i, j int) { events[i], events[j] = events[j], events[i] })
+	rng.Shuffle(len(exts), func(i, j int) { exts[i], exts[j] = exts[j], exts[i] })
+	rng.Shuffle(len(ints), func(i, j int) { ints[i], ints[j] = ints[j], ints[i] })
+	// Interleave declaration kinds as well: sometimes states first,
+	// sometimes transitions first (the Builder auto-declares states).
+	if rng.Intn(2) == 0 {
+		for _, s := range states {
+			b.State(s)
+		}
+	}
+	for _, e := range events {
+		b.Event(e)
+	}
+	for _, x := range exts {
+		b.Ext(x.from, x.ev, x.to)
+	}
+	for _, x := range ints {
+		b.Int(x[0], x[1])
+	}
+	b.Init("s0")
+	s, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return s
+}
+
+func TestHashInvariantUnderDeclarationOrder(t *testing.T) {
+	// Property: the hash is a function of the machine, not of the order
+	// states, events, or transitions were inserted.
+	rng := rand.New(rand.NewSource(1))
+	ref := buildShuffled(t, rng)
+	refCanon := string(ref.Canonical())
+	refHash := ref.Hash()
+	if refHash == "" || len(refHash) != 64 {
+		t.Fatalf("Hash() = %q, want 64 hex chars", refHash)
+	}
+	for i := 0; i < 200; i++ {
+		s := buildShuffled(t, rng)
+		if got := string(s.Canonical()); got != refCanon {
+			t.Fatalf("iteration %d: canonical form depends on declaration order:\n got:\n%s\nwant:\n%s", i, got, refCanon)
+		}
+		if got := s.Hash(); got != refHash {
+			t.Fatalf("iteration %d: hash depends on declaration order: %s vs %s", i, got, refHash)
+		}
+	}
+}
+
+func TestHashDistinguishesAcceptanceSets(t *testing.T) {
+	// Regression: two machines with the same states, the same external
+	// transitions, and therefore the same trace prefixes up to internal
+	// moves, but distinct acceptance structure (one has an internal
+	// transition splitting the ready set, the other does not) must hash
+	// differently. A hash over the trace language alone would collapse
+	// them — and serving one's converter for the other would be unsound,
+	// because the progress phase depends on acceptance sets.
+	mk := func(withInternal bool) *Spec {
+		b := NewBuilder("T")
+		b.Init("s0")
+		b.Ext("s0", "a", "s1")
+		b.Ext("s1", "b", "s0")
+		b.Ext("s2", "c", "s0")
+		if withInternal {
+			b.Int("s1", "s2") // s1 may silently commit to offering only c
+		} else {
+			b.Event("dummy") // keep a declaration in both arms
+			b.State("s2")
+		}
+		s, err := b.Build()
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		return s
+	}
+	split, flat := mk(true), mk(false)
+	if split.Hash() == flat.Hash() {
+		t.Fatalf("machines with distinct acceptance sets share a hash: %s", split.Hash())
+	}
+	// And the alphabet difference alone must also be visible.
+	if split.Hash() == "" || flat.Hash() == "" {
+		t.Fatal("empty hash")
+	}
+}
+
+func TestHashSensitiveToRenamingAndInit(t *testing.T) {
+	// The canonical form includes names and the initial state: renaming a
+	// state or moving s0 changes the address. Conservative by design — the
+	// derived converter's diagnostics (pair sets) mention environment state
+	// names, so renamed-but-isomorphic inputs are distinct cache entries.
+	base := NewBuilder("N").Init("x").Ext("x", "a", "y").Ext("y", "b", "x").MustBuild()
+	renamed := NewBuilder("N").Init("x").Ext("x", "a", "z").Ext("z", "b", "x").MustBuild()
+	moved := NewBuilder("N").Init("y").Ext("x", "a", "y").Ext("y", "b", "x").MustBuild()
+	named := NewBuilder("M").Init("x").Ext("x", "a", "y").Ext("y", "b", "x").MustBuild()
+	h := base.Hash()
+	for what, s := range map[string]*Spec{"state rename": renamed, "init move": moved, "spec rename": named} {
+		if s.Hash() == h {
+			t.Errorf("%s did not change the hash", what)
+		}
+	}
+}
