@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify fmt vet build test race benchsmoke fuzz-smoke bench loadtest
+.PHONY: verify fmt vet build test race benchsmoke fuzz-smoke bench loadtest cluster-smoke bench-cluster
 
-verify: fmt vet build test race benchsmoke fuzz-smoke loadtest
+verify: fmt vet build test race benchsmoke fuzz-smoke loadtest cluster-smoke
 	@echo "verify: OK"
 
 # gofmt compliance; fails listing the offending files.
@@ -56,6 +56,29 @@ bench:
 loadtest:
 	$(GO) run ./cmd/quotload -clients 8 -rounds 3 \
 		-families 'chain(3),chain(4),chaindrop(4)'
+
+# The sharded-cluster gate: three in-process quotd shards on one ring, a
+# Zipf-skewed keyspace, and one shard killed mid-round and restarted before
+# the final round. quotload exits non-zero on any failed request (the
+# failover client must hide the kill), a zero warm-hit ratio, key
+# instability, or more engine runs cluster-wide than the shard-loss bound
+# allows (one per distinct key while the ring is stable).
+cluster-smoke:
+	$(GO) run ./cmd/quotload -clients 12 -rounds 3 -cluster 3 \
+		-variants 6 -dist zipf -kill \
+		-families 'chain(3),chaindrop(3)'
+
+# The BENCH_pr6.json trajectory: the same skewed load at 1, 2, and 3 nodes,
+# recording client-observed warm/cold medians, hit ratio, and cluster-wide
+# dedup counters per node count (EXPERIMENTS.md reads this file).
+bench-cluster:
+	rm -f BENCH_pr6.json
+	for n in 1 2 3; do \
+		$(GO) run ./cmd/quotload -clients 12 -rounds 3 -cluster $$n \
+			-variants 6 -dist zipf -seed 7 \
+			-families 'chain(3),chain(4),chaindrop(4)' \
+			-bench-out BENCH_pr6.json -bench-label pr6-n$$n || exit 1; \
+	done
 
 # Short fuzzing bursts over the wire decoder and the DSL parser: enough to
 # catch regressions in frame bounds-checking and grammar handling without

@@ -9,14 +9,17 @@
 //
 // Endpoints:
 //
-//	POST /v1/derive    derive a converter (inline .spec DSL or uploaded refs)
-//	POST /v1/specs     upload named specifications for later reference
-//	GET  /v1/specs     list uploaded specifications
-//	GET  /v1/specs/N   fetch one uploaded specification as .spec text
-//	GET  /v1/stats     counters, cache state, latency quantiles
-//	GET  /healthz      liveness (always 200 while the process runs)
-//	GET  /readyz       readiness (503 once draining begins)
-//	GET  /debug/vars   expvar, including the "quotd" stats map
+//	POST /v1/derive           derive a converter (inline .spec DSL or uploaded refs)
+//	POST /v1/specs            upload named specifications for later reference
+//	GET  /v1/specs            list uploaded specifications
+//	GET  /v1/specs/N          fetch one uploaded specification as .spec text
+//	GET  /v1/stats            counters, cache state, latency quantiles, cluster counters
+//	POST /v1/peer/artifact    shard-internal: answer a peer's cache miss (fill)
+//	GET  /v1/peer/artifact/K  shard-internal: fetch one cached artifact by key
+//	GET  /v1/peer/keys        shard-internal: list cached keys (warm-start preload)
+//	GET  /healthz             liveness (always 200 while the process runs)
+//	GET  /readyz              readiness (503 once draining begins)
+//	GET  /debug/vars          expvar, including the "quotd" stats map
 //
 // Flags:
 //
@@ -32,6 +35,24 @@
 //	-drain d            how long SIGTERM waits for in-flight work (default 30s)
 //	-preload glob       register .spec files matching the glob at startup
 //	-quiet              suppress per-request logging
+//
+// Cluster flags (sharding; see DESIGN.md "Sharded cluster"):
+//
+//	-peers a,b,c        other nodes' addresses; enables cluster mode
+//	-advertise addr     address peers reach this node at (default: the bound
+//	                    listen address — required when listening on :0 behind
+//	                    a different routable address)
+//	-probe-interval d   peer health-probe period (default 500ms)
+//	-hot-rps n          per-key local request rate that triggers hot-key
+//	                    replication (0 = default 8; negative disables)
+//	-preload-peer addr  copy a peer's in-memory artifacts before serving
+//	                    (warm start for a fresh or rejoining shard)
+//
+// Every node is symmetric: each owns a slice of the derivation keyspace on
+// a consistent-hash ring, answers its own slice from cache or engine, and
+// fills misses on foreign-owned keys from the owning shard, so any node can
+// be queried for anything. A dead peer is routed around after one failed
+// probe (or one failed fill) and re-joins the ring when probes succeed.
 //
 // On SIGTERM (or SIGINT), quotd stops accepting connections, flips /readyz
 // to 503, waits up to -drain for in-flight requests — derivations included
@@ -54,6 +75,9 @@ import (
 	"syscall"
 	"time"
 
+	"strings"
+
+	"protoquot/internal/cluster"
 	"protoquot/internal/dsl"
 	"protoquot/internal/server"
 )
@@ -82,6 +106,12 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 		drain         = fs.Duration("drain", 30*time.Second, "SIGTERM drain budget for in-flight requests")
 		preload       = fs.String("preload", "", "register .spec files matching this glob at startup")
 		quiet         = fs.Bool("quiet", false, "suppress per-request logging")
+
+		peers         = fs.String("peers", "", "comma-separated peer addresses; enables cluster mode")
+		advertise     = fs.String("advertise", "", "address peers reach this node at (default: bound listen address)")
+		probeInterval = fs.Duration("probe-interval", 500*time.Millisecond, "peer health-probe period")
+		hotRPS        = fs.Int("hot-rps", 0, "per-key request rate triggering hot-key replication (0 = default, <0 disables)")
+		preloadPeer   = fs.String("preload-peer", "", "copy a peer's in-memory artifacts before serving (warm start)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -131,6 +161,31 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
+	if *preloadPeer != "" {
+		// Warm-start before joining the ring: a rejoining shard that serves
+		// its keyspace cold would stampede the engine it just came back for.
+		n, err := srv.PreloadFromPeer(context.Background(), *preloadPeer)
+		if err != nil {
+			logger.Printf("quotd: warm start from %s failed (serving cold): %v", *preloadPeer, err)
+		} else {
+			logger.Printf("quotd: warm-started %d artifact(s) from %s", n, *preloadPeer)
+		}
+	}
+	if *peers != "" {
+		self := *advertise
+		if self == "" {
+			self = ln.Addr().String()
+		}
+		srv.StartCluster(cluster.Config{
+			Self:          self,
+			Peers:         splitPeers(*peers),
+			ProbeInterval: *probeInterval,
+			HotKeyRPS:     *hotRPS,
+			Logf:          logf,
+		})
+		defer srv.StopCluster()
+	}
+
 	select {
 	case sig := <-sigs:
 		logger.Printf("quotd: %v: draining for up to %v", sig, *drain)
@@ -156,6 +211,17 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 		fmt.Fprintf(stderr, "quotd: %v\n", err)
 		return 1
 	}
+}
+
+// splitPeers parses the -peers list, tolerating spaces and empty slots.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // preloadSpecs registers every spec in every file matching the glob.

@@ -2,8 +2,10 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"regexp"
@@ -13,8 +15,8 @@ import (
 	"testing"
 	"time"
 
+	"protoquot/internal/api"
 	"protoquot/internal/dsl"
-	"protoquot/internal/server"
 	"protoquot/internal/specgen"
 )
 
@@ -66,14 +68,14 @@ func startDaemon(t *testing.T, extraArgs ...string) (string, chan os.Signal, cha
 	}
 }
 
-func daemonStats(t *testing.T, url string) (server.StatsResponse, error) {
+func daemonStats(t *testing.T, url string) (api.StatsResponse, error) {
 	t.Helper()
 	resp, err := http.Get(url + "/v1/stats")
 	if err != nil {
-		return server.StatsResponse{}, err
+		return api.StatsResponse{}, err
 	}
 	defer resp.Body.Close()
-	var st server.StatsResponse
+	var st api.StatsResponse
 	return st, json.NewDecoder(resp.Body).Decode(&st)
 }
 
@@ -82,16 +84,16 @@ func daemonStats(t *testing.T, url string) (server.StatsResponse, error) {
 func TestDaemonServesAndExitsCleanly(t *testing.T) {
 	url, sigs, exit, logs := startDaemon(t)
 
-	body, _ := json.Marshal(server.DeriveRequest{
-		Service: server.SpecSource{Inline: "spec S\ninit v0\next v0 acc v1\next v1 del v0\n"},
-		Envs: []server.SpecSource{{Inline: "spec B\ninit b0\next b0 acc b1\n" +
+	body, _ := json.Marshal(api.DeriveRequest{
+		Service: api.SpecSource{Inline: "spec S\ninit v0\next v0 acc v1\next v1 del v0\n"},
+		Envs: []api.SpecSource{{Inline: "spec B\ninit b0\next b0 acc b1\n" +
 			"ext b1 fwd b2\next b2 del b0\n"}},
 	})
 	resp, err := http.Post(url+"/v1/derive", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
-	var out server.DeriveResponse
+	var out api.DeriveResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
@@ -127,15 +129,15 @@ func TestDaemonSIGTERMDrainsInflightRequests(t *testing.T) {
 	// chain(8), derived lazily, runs for seconds — long enough that the
 	// signal below lands mid-derivation.
 	f := specgen.Chain(8)
-	req := server.DeriveRequest{Service: server.SpecSource{Inline: dsl.String(f.Service)}}
+	req := api.DeriveRequest{Service: api.SpecSource{Inline: dsl.String(f.Service)}}
 	for _, c := range f.Components {
-		req.Components = append(req.Components, server.SpecSource{Inline: dsl.String(c)})
+		req.Components = append(req.Components, api.SpecSource{Inline: dsl.String(c)})
 	}
 	body, _ := json.Marshal(req)
 
 	type derived struct {
 		code int
-		out  server.DeriveResponse
+		out  api.DeriveResponse
 		err  error
 		done time.Time
 	}
@@ -208,15 +210,15 @@ func TestDaemonPreload(t *testing.T) {
 		t.Errorf("preload not logged:\n%s", logs.String())
 	}
 
-	body, _ := json.Marshal(server.DeriveRequest{
-		Service: server.SpecSource{Ref: "S"},
-		Envs:    []server.SpecSource{{Ref: "B"}},
+	body, _ := json.Marshal(api.DeriveRequest{
+		Service: api.SpecSource{Ref: "S"},
+		Envs:    []api.SpecSource{{Ref: "B"}},
 	})
 	resp, err := http.Post(url+"/v1/derive", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
-	var out server.DeriveResponse
+	var out api.DeriveResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
@@ -227,6 +229,97 @@ func TestDaemonPreload(t *testing.T) {
 	sigs <- syscall.SIGTERM
 	if code := <-exit; code != 0 {
 		t.Errorf("exit code %d", code)
+	}
+}
+
+// reservePort grabs an ephemeral port and releases it, so a daemon can be
+// started on a concrete -addr its peers were told about in advance.
+func reservePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestDaemonCluster is the flag-level cluster lifecycle: two quotd
+// processes wired via -peers form a ring (one engine run for one key, the
+// non-owner peer-filled), and a third joins cold via -preload-peer and
+// serves the artifact from cache.
+func TestDaemonCluster(t *testing.T) {
+	a1, a2 := reservePort(t), reservePort(t)
+	url1, sigs1, exit1, _ := startDaemon(t, "-addr", a1, "-advertise", a1,
+		"-peers", a2, "-probe-interval", "50ms")
+	url2, sigs2, exit2, _ := startDaemon(t, "-addr", a2, "-advertise", a2,
+		"-peers", a1, "-probe-interval", "50ms")
+	stop := func(sigs chan os.Signal, exit chan int) {
+		sigs <- syscall.SIGTERM
+		select {
+		case <-exit:
+		case <-time.After(10 * time.Second):
+			t.Error("daemon did not exit after SIGTERM")
+		}
+	}
+	defer stop(sigs1, exit1)
+	defer stop(sigs2, exit2)
+
+	req := &api.DeriveRequest{
+		Service: api.SpecSource{Inline: "spec S\ninit v0\next v0 acc v1\next v1 del v0\n"},
+		Envs: []api.SpecSource{{Inline: "spec B\ninit b0\next b0 acc b1\n" +
+			"ext b1 fwd b2\next b2 del b0\n"}},
+	}
+	ctx := context.Background()
+	out1, err := api.NewClient(url1).Derive(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := api.NewClient(url2).Derive(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1.Converter != out2.Converter || out1.Key != out2.Key {
+		t.Error("nodes disagree on the artifact")
+	}
+	st1, err := daemonStats(t, url1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := daemonStats(t, url2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st1.Derives + st2.Derives; got != 1 {
+		t.Errorf("engine ran %d times across the cluster for one key, want 1", got)
+	}
+	if !st1.ClusterEnabled || !st2.ClusterEnabled {
+		t.Errorf("cluster not enabled in stats: %+v / %+v", st1, st2)
+	}
+	if (out1.Shard == "") == (out2.Shard == "") {
+		t.Errorf("exactly one response should be peer-filled: shard1=%q shard2=%q",
+			out1.Shard, out2.Shard)
+	}
+
+	// A cold node warm-starts off the owner (the only node whose cache holds
+	// the artifact — the other's fill was not hot enough to replicate) and
+	// answers without deriving.
+	owner := a1
+	if out1.Shard != "" {
+		owner = a2
+	}
+	url3, sigs3, exit3, logs3 := startDaemon(t, "-preload-peer", owner)
+	defer stop(sigs3, exit3)
+	if !strings.Contains(logs3.String(), "warm-started 1 artifact(s)") {
+		t.Errorf("warm start not logged:\n%s", logs3.String())
+	}
+	out3, err := api.NewClient(url3).Derive(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out3.Cached || out3.Converter != out1.Converter {
+		t.Errorf("preloaded node should serve the identical artifact from cache: %+v", out3)
 	}
 }
 

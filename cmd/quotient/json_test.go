@@ -1,15 +1,15 @@
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
-	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"protoquot/internal/api"
 	"protoquot/internal/dsl"
 	"protoquot/internal/server"
 )
@@ -17,7 +17,8 @@ import (
 // TestRunJSONMatchesServerEnvelope is the no-drift contract: `quotient
 // -json` must emit the same envelope POST /v1/derive returns for identical
 // inputs — same cache key, same converter bytes, same stats — modulo the
-// per-request service fields.
+// per-request service fields. The daemon side goes through api.Client, the
+// same typed client quotd itself uses between shards.
 func TestRunJSONMatchesServerEnvelope(t *testing.T) {
 	dir := t.TempDir()
 	svc := writeSpecFile(t, dir, "s.spec", serviceText)
@@ -28,14 +29,14 @@ func TestRunJSONMatchesServerEnvelope(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
-	var cli server.DeriveResponse
+	var cli api.DeriveResponse
 	if err := json.Unmarshal([]byte(out.String()), &cli); err != nil {
 		t.Fatalf("-json output is not a DeriveResponse: %v\n%s", err, out.String())
 	}
 	if !cli.Exists || cli.Converter == "" {
 		t.Fatalf("envelope missing converter: %+v", cli)
 	}
-	if cli.RequestID != "" || cli.Cached || cli.Coalesced {
+	if cli.RequestID != "" || cli.Cached || cli.Coalesced || cli.Shard != "" {
 		t.Errorf("per-request service fields must stay zero in CLI output: %+v", cli)
 	}
 	if _, err := dsl.ParseString(cli.Converter); err != nil {
@@ -53,20 +54,14 @@ func TestRunJSONMatchesServerEnvelope(t *testing.T) {
 	defer srv.Abort()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	body, _ := json.Marshal(server.DeriveRequest{
-		Service: server.SpecSource{Inline: serviceText},
-		Envs:    []server.SpecSource{{Inline: worldText}},
-		Options: server.DeriveOptions{Prune: true, Minimize: true},
+	daemon, err := api.NewClient(ts.URL).Derive(context.Background(), &api.DeriveRequest{
+		Service: api.SpecSource{Inline: serviceText},
+		Envs:    []api.SpecSource{{Inline: worldText}},
+		Options: api.DeriveOptions{Prune: true, Minimize: true},
 	})
-	resp, err := http.Post(ts.URL+"/v1/derive", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
-	var daemon server.DeriveResponse
-	if err := json.NewDecoder(resp.Body).Decode(&daemon); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
 	if daemon.Key != cli.Key {
 		t.Errorf("CLI and daemon disagree on the content address:\n cli: %s\nsrvr: %s",
 			cli.Key, daemon.Key)
@@ -76,7 +71,7 @@ func TestRunJSONMatchesServerEnvelope(t *testing.T) {
 			cli.Converter, daemon.Converter)
 	}
 	// Stats must agree exactly except for wall times, which measure the run.
-	clearWall := func(s server.WireStats) server.WireStats {
+	clearWall := func(s api.WireStats) api.WireStats {
 		s.SafetyWallMS, s.ProgressWallMS, s.EnvExpansionMS = 0, 0, 0
 		return s
 	}
@@ -103,15 +98,15 @@ ext b0 acc b0
 	if code != 2 {
 		t.Fatalf("exit %d, want 2: %s", code, errb.String())
 	}
-	var cli server.DeriveResponse
+	var cli api.DeriveResponse
 	if err := json.Unmarshal([]byte(out.String()), &cli); err != nil {
 		t.Fatalf("-json output is not a DeriveResponse: %v\n%s", err, out.String())
 	}
 	if cli.Exists {
 		t.Error("exists should be false")
 	}
-	if cli.Error == nil || cli.Error.Code != server.ErrCodeNoConverter {
-		t.Fatalf("want no_converter, got %+v", cli.Error)
+	if cli.Error == nil || cli.Error.Code != api.ErrCodeNoQuotient {
+		t.Fatalf("want no_quotient, got %+v", cli.Error)
 	}
 	if cli.Error.Phase != "safety" || len(cli.Error.Witness) == 0 {
 		t.Errorf("want safety proof with witness, got %+v", cli.Error)
@@ -139,7 +134,7 @@ func TestRunJSONToFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var cli server.DeriveResponse
+	var cli api.DeriveResponse
 	if err := json.Unmarshal(data, &cli); err != nil {
 		t.Fatalf("file is not a DeriveResponse: %v", err)
 	}

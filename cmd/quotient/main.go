@@ -27,7 +27,7 @@
 //	-omit-vacuous     drop converter states no environment behavior can reach
 //	-max-states n     abort if the safety phase exceeds n states
 //	-normalize        determinize the service if it is not in normal form
-//	-json             emit the quotd response envelope (internal/server
+//	-json             emit the quotd response envelope (internal/api
 //	                  DeriveResponse JSON) instead of bare converter text:
 //	                  content-address key, exists, converter, stats — byte
 //	                  compatible with POST /v1/derive, with the per-request
@@ -61,12 +61,12 @@ import (
 	"time"
 
 	"protoquot"
+	"protoquot/internal/api"
 	"protoquot/internal/codegen"
 	"protoquot/internal/core"
 	"protoquot/internal/dsl"
 	"protoquot/internal/render"
 	"protoquot/internal/sat"
-	"protoquot/internal/server"
 	"protoquot/internal/spec"
 )
 
@@ -193,7 +193,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// The content address of this derivation: the same key quotd would
 	// compute for an equivalent POST /v1/derive (Workers deliberately absent
 	// — the result is bit-identical for every count).
-	key := server.CacheKey(a, envs, nil, server.DeriveOptions{
+	key := api.CacheKey(a, envs, nil, api.DeriveOptions{
 		OmitVacuous: *omitVacuous,
 		SafetyOnly:  *safetyOnly,
 		MaxStates:   *maxStates,
@@ -315,7 +315,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // something inside the daemon.
 func writeEnvelope(stdout io.Writer, outPath, key string, res *core.Result,
 	c *spec.Spec, derr error, start time.Time) error {
-	env := server.ResultEnvelope(key, res, c, derr)
+	env := api.ResultEnvelope(key, res, c, derr)
 	env.ElapsedMS = float64(time.Since(start).Nanoseconds()) / 1e6
 	data, err := json.MarshalIndent(env, "", "  ")
 	if err != nil {

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultHotKeyRPS is the replication threshold when Config.HotKeyRPS is 0:
+// a foreign-owned key requested at or above this rate (per second, observed
+// at one node) gets its artifact replicated into that node's local cache,
+// so the hottest keys stop paying the peer hop. Replication is trivially
+// consistent — artifacts are immutable and bit-identical across shards.
+const DefaultHotKeyRPS = 8
+
+// HotTracker measures per-key request rates over a sliding pair of
+// one-second buckets. It answers "is this key hot right now?" with a
+// smoothed estimate (current bucket plus the previous bucket weighted by
+// its remaining overlap), which avoids the sawtooth of a plain
+// reset-every-second counter.
+type HotTracker struct {
+	threshold int
+	window    time.Duration
+	now       func() time.Time // injectable for tests
+
+	mu    sync.Mutex
+	keys  map[string]*keyRate
+	sweep time.Time
+}
+
+type keyRate struct {
+	start      time.Time // current bucket's start
+	cur, prev  int
+	lastActive time.Time
+}
+
+// NewHotTracker returns a tracker with the given requests-per-window
+// threshold (<= 0 disables: Observe always returns false).
+func NewHotTracker(threshold int) *HotTracker {
+	return &HotTracker{
+		threshold: threshold,
+		window:    time.Second,
+		now:       time.Now,
+		keys:      make(map[string]*keyRate),
+	}
+}
+
+// Observe records one request for key and reports whether the key's
+// estimated rate has reached the threshold.
+func (t *HotTracker) Observe(key string) bool {
+	if t == nil || t.threshold <= 0 {
+		return false
+	}
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := t.keys[key]
+	if r == nil {
+		r = &keyRate{start: now, lastActive: now}
+		t.keys[key] = r
+		t.maybeSweep(now)
+	}
+	for elapsed := now.Sub(r.start); elapsed >= t.window; elapsed -= t.window {
+		r.prev, r.cur = r.cur, 0
+		r.start = r.start.Add(t.window)
+		if now.Sub(r.start) >= 2*t.window {
+			// Long-idle key: skip ahead instead of looping per window.
+			r.prev, r.cur = 0, 0
+			r.start = now
+			break
+		}
+	}
+	r.cur++
+	r.lastActive = now
+	// Weight the previous bucket by how much of the sliding window it still
+	// covers: rate ≈ cur + prev·(1 − fraction of current bucket elapsed).
+	frac := float64(now.Sub(r.start)) / float64(t.window)
+	est := float64(r.cur) + float64(r.prev)*(1-frac)
+	return est >= float64(t.threshold)
+}
+
+// maybeSweep drops keys idle for several windows; called with mu held, at
+// most once per window, so tracking stays O(live keys).
+func (t *HotTracker) maybeSweep(now time.Time) {
+	if now.Sub(t.sweep) < t.window {
+		return
+	}
+	t.sweep = now
+	for k, r := range t.keys {
+		if now.Sub(r.lastActive) > 4*t.window {
+			delete(t.keys, k)
+		}
+	}
+}
+
+// Len reports how many keys are currently tracked (tests, stats).
+func (t *HotTracker) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.keys)
+}

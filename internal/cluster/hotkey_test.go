@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHotTrackerCrossesThreshold(t *testing.T) {
+	tr := NewHotTracker(5)
+	base := time.Unix(1000, 0)
+	now := base
+	tr.now = func() time.Time { return now }
+
+	for i := 0; i < 4; i++ {
+		now = base.Add(time.Duration(i) * 100 * time.Millisecond)
+		if tr.Observe("k") {
+			t.Fatalf("hot after only %d observations", i+1)
+		}
+	}
+	now = base.Add(400 * time.Millisecond)
+	if !tr.Observe("k") {
+		t.Fatal("5 observations in 400ms should cross a 5 rps threshold")
+	}
+	// A different key at low rate stays cold.
+	if tr.Observe("other") {
+		t.Fatal("single observation marked hot")
+	}
+}
+
+func TestHotTrackerCoolsDown(t *testing.T) {
+	tr := NewHotTracker(3)
+	base := time.Unix(2000, 0)
+	now := base
+	tr.now = func() time.Time { return now }
+
+	for i := 0; i < 3; i++ {
+		tr.Observe("k")
+	}
+	// Long idle gap: the estimate must reset, not carry stale heat.
+	now = base.Add(10 * time.Second)
+	if tr.Observe("k") {
+		t.Fatal("key still hot after a 10s idle gap")
+	}
+}
+
+func TestHotTrackerSmoothsAcrossBuckets(t *testing.T) {
+	tr := NewHotTracker(4)
+	base := time.Unix(3000, 0)
+	now := base
+	tr.now = func() time.Time { return now }
+
+	// 4 hits late in bucket one...
+	for i := 0; i < 4; i++ {
+		now = base.Add(900 * time.Millisecond)
+		tr.Observe("k")
+	}
+	// ...then a hit just after rollover: prev=4 weighted ~0.9 + cur=1 ≈ 4.6,
+	// still hot — a plain reset-per-second counter would have dropped to 1.
+	now = base.Add(1100 * time.Millisecond)
+	if !tr.Observe("k") {
+		t.Fatal("sliding estimate lost the previous bucket at rollover")
+	}
+}
+
+func TestHotTrackerDisabled(t *testing.T) {
+	for _, tr := range []*HotTracker{nil, NewHotTracker(0), NewHotTracker(-1)} {
+		for i := 0; i < 100; i++ {
+			if tr.Observe("k") {
+				t.Fatal("disabled tracker reported a hot key")
+			}
+		}
+	}
+}
+
+func TestHotTrackerSweepsIdleKeys(t *testing.T) {
+	tr := NewHotTracker(100)
+	base := time.Unix(4000, 0)
+	now := base
+	tr.now = func() time.Time { return now }
+
+	for i := 0; i < 50; i++ {
+		tr.Observe(keyFor(i))
+	}
+	if tr.Len() != 50 {
+		t.Fatalf("tracking %d keys, want 50", tr.Len())
+	}
+	// All 50 go idle; a new observation past the sweep horizon prunes them.
+	now = base.Add(10 * time.Second)
+	tr.Observe("fresh")
+	now = base.Add(21 * time.Second)
+	tr.Observe("fresh2")
+	if got := tr.Len(); got > 2 {
+		t.Fatalf("sweep left %d keys tracked, want <= 2", got)
+	}
+}

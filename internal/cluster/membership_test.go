@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyProbe simulates peers whose health the test controls.
+type flakyProbe struct {
+	mu   sync.Mutex
+	down map[string]bool
+}
+
+func (f *flakyProbe) set(addr string, dead bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down == nil {
+		f.down = map[string]bool{}
+	}
+	f.down[addr] = dead
+}
+
+func (f *flakyProbe) probe(_ context.Context, addr string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down[addr] {
+		return errors.New("down")
+	}
+	return nil
+}
+
+func TestMembershipLossAndRejoinRebuildRing(t *testing.T) {
+	fp := &flakyProbe{}
+	m := New(Config{
+		Self:          "a:1",
+		Peers:         []string{"b:2", "c:3"},
+		ProbeInterval: 5 * time.Millisecond,
+		Probe:         fp.probe,
+		Logf:          t.Logf,
+	})
+	m.Start()
+	defer m.Stop()
+
+	if got := m.Ring().Size(); got != 3 {
+		t.Fatalf("initial ring size %d, want 3", got)
+	}
+	fp.set("b:2", true)
+	waitFor(t, func() bool { return m.Ring().Size() == 2 }, "ring to drop the dead peer")
+	if up, down := m.PeersUpDown(); up != 1 || down != 1 {
+		t.Errorf("up/down = %d/%d, want 1/1", up, down)
+	}
+	// Every key must now be owned by a surviving member.
+	for i := 0; i < 200; i++ {
+		if o := m.Owner(keyFor(i)); o == "b:2" {
+			t.Fatalf("key routed to the dead peer")
+		}
+	}
+	fp.set("b:2", false)
+	waitFor(t, func() bool { return m.Ring().Size() == 3 }, "ring to re-add the peer")
+}
+
+func TestReportFailureIsImmediate(t *testing.T) {
+	// No probe loop at all: ReportFailure alone must rebuild.
+	m := New(Config{Self: "a:1", Peers: []string{"b:2"}, Probe: func(context.Context, string) error { return nil }})
+	if m.Ring().Size() != 2 {
+		t.Fatal("setup")
+	}
+	m.ReportFailure("b:2")
+	if m.Ring().Size() != 1 {
+		t.Fatal("ReportFailure did not rebuild the ring")
+	}
+	m.ReportFailure("nobody:9") // unknown peers are ignored
+	if m.Ring().Size() != 1 {
+		t.Fatal("unknown peer changed the ring")
+	}
+}
+
+// TestRingRebuildRace hammers Owner from many readers while the membership
+// flaps a peer up and down — the ring-rebuild race test the issue asks for;
+// run under -race this proves routing needs no locks.
+func TestRingRebuildRace(t *testing.T) {
+	fp := &flakyProbe{}
+	m := New(Config{
+		Self:          "a:1",
+		Peers:         []string{"b:2", "c:3", "d:4"},
+		ProbeInterval: time.Millisecond,
+		Probe:         fp.probe,
+	})
+	m.Start()
+	defer m.Stop()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				if o := m.Owner(keyFor(seed*1000 + i%1000)); o == "" {
+					t.Error("empty owner from a non-empty ring")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			fp.set("b:2", i%2 == 0)
+			m.ReportFailure("c:3")
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+func keyFor(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestRingDeterministicAndOrderIndependent(t *testing.T) {
+	a := NewRing([]string{"n1:1", "n2:2", "n3:3"}, 0)
+	b := NewRing([]string{"n3:3", "n1:1", "n2:2", "n2:2"}, 0)
+	if a.Size() != 3 || b.Size() != 3 {
+		t.Fatalf("sizes %d/%d, want 3", a.Size(), b.Size())
+	}
+	for i := 0; i < 500; i++ {
+		k := keyFor(i)
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %d owned by %s vs %s: ring depends on declaration order", i, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	members := []string{"n1:1", "n2:2", "n3:3", "n4:4"}
+	r := NewRing(members, 0)
+	counts := map[string]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(keyFor(i))]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / n
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("member %s owns %.0f%% of the keyspace; ring is badly unbalanced: %v",
+				m, 100*share, counts)
+		}
+	}
+}
+
+func TestRingRemovalOnlyRemapsRemovedKeys(t *testing.T) {
+	full := NewRing([]string{"n1:1", "n2:2", "n3:3"}, 0)
+	less := NewRing([]string{"n1:1", "n3:3"}, 0)
+	moved, kept := 0, 0
+	for i := 0; i < 2000; i++ {
+		k := keyFor(i)
+		was, is := full.Owner(k), less.Owner(k)
+		if was == "n2:2" {
+			if is == "n2:2" {
+				t.Fatalf("key %d still owned by the removed member", i)
+			}
+			moved++
+			continue
+		}
+		if was != is {
+			t.Fatalf("key %d moved from %s to %s although its owner stayed in the ring "+
+				"(consistent hashing must only remap the removed member's keys)", i, was, is)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate test: moved=%d kept=%d", moved, kept)
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if o := NewRing(nil, 0).Owner(keyFor(1)); o != "" {
+		t.Errorf("empty ring owner = %q", o)
+	}
+	solo := NewRing([]string{"only:1"}, 0)
+	for i := 0; i < 50; i++ {
+		if o := solo.Owner(keyFor(i)); o != "only:1" {
+			t.Fatalf("single-member ring routed to %q", o)
+		}
+	}
+}

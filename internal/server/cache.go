@@ -10,34 +10,24 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"protoquot/internal/api"
 	"protoquot/internal/codegen"
 	"protoquot/internal/dsl"
 	"protoquot/internal/render"
-	"protoquot/internal/spec"
 )
 
-// cacheEntry is one cached derivation outcome: either a converter or a
-// definitive nonexistence proof, plus the statistics of the run that
-// produced it. Entries are immutable once stored — repeat requests are
-// served from them bit-identically. Renderings (DOT, Go source) are not
-// stored; they are deterministic functions of Converter, recomputed on
-// demand and, under disk persistence, written once as sibling artifacts.
-type cacheEntry struct {
-	Key       string     `json:"key"`
-	Exists    bool       `json:"exists"`
-	Converter string     `json:"converter,omitempty"`
-	Stats     *WireStats `json:"stats,omitempty"`
-	Error     *WireError `json:"error,omitempty"`
-}
-
 // Cache is the content-addressed converter cache: an LRU-bounded in-memory
-// map keyed by CacheKey, with optional write-through persistence of
-// envelope and converter artifacts to a directory. All methods are safe for
-// concurrent use.
+// map keyed by api.CacheKey, with optional write-through persistence of
+// envelope and converter artifacts to a directory. Entries are api.Artifact
+// values — immutable once stored, so repeat requests (and shard peers) are
+// served from them bit-identically. Renderings (DOT, Go source) are not
+// stored; they are deterministic functions of the converter, recomputed on
+// demand and, under disk persistence, written once as sibling artifacts.
+// All methods are safe for concurrent use.
 type Cache struct {
 	mu    sync.Mutex
 	max   int
-	ll    *list.List // front = most recently used; values are *cacheEntry
+	ll    *list.List // front = most recently used; values are *api.Artifact
 	byKey map[string]*list.Element
 	dir   string // "" disables persistence
 	logf  func(format string, args ...any)
@@ -76,11 +66,11 @@ func NewCache(max int, dir string, logf func(format string, args ...any)) (*Cach
 
 // Get returns the entry stored under key, consulting disk on an in-memory
 // miss when persistence is enabled.
-func (c *Cache) Get(key string) (*cacheEntry, bool) {
+func (c *Cache) Get(key string) (*api.Artifact, bool) {
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
 		c.ll.MoveToFront(el)
-		e := el.Value.(*cacheEntry)
+		e := el.Value.(*api.Artifact)
 		c.mu.Unlock()
 		c.hits.Add(1)
 		return e, true
@@ -100,11 +90,11 @@ func (c *Cache) Get(key string) (*cacheEntry, bool) {
 
 // Put stores an entry, evicting the least recently used entry beyond the
 // bound and writing through to disk when persistence is enabled.
-func (c *Cache) Put(e *cacheEntry) {
+func (c *Cache) Put(e *api.Artifact) {
 	c.insert(e, c.dir != "")
 }
 
-func (c *Cache) insert(e *cacheEntry, persist bool) {
+func (c *Cache) insert(e *api.Artifact, persist bool) {
 	c.mu.Lock()
 	if el, ok := c.byKey[e.Key]; ok {
 		c.ll.MoveToFront(el)
@@ -113,7 +103,7 @@ func (c *Cache) insert(e *cacheEntry, persist bool) {
 		c.byKey[e.Key] = c.ll.PushFront(e)
 		for c.ll.Len() > c.max {
 			back := c.ll.Back()
-			old := back.Value.(*cacheEntry)
+			old := back.Value.(*api.Artifact)
 			c.ll.Remove(back)
 			delete(c.byKey, old.Key)
 			c.evictions.Add(1)
@@ -132,6 +122,19 @@ func (c *Cache) Len() int {
 	return c.ll.Len()
 }
 
+// Keys returns the in-memory keys, least recently used first — the order a
+// warm-start preload should replay them so the hottest entries end up most
+// recently used on the receiving node.
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		out = append(out, el.Value.(*api.Artifact).Key)
+	}
+	return out
+}
+
 // Counters returns the cumulative hit/miss/eviction/disk counters.
 func (c *Cache) Counters() (hits, misses, evictions, diskHits, diskErrors int64) {
 	return c.hits.Load(), c.misses.Load(), c.evictions.Load(),
@@ -148,7 +151,7 @@ func (c *Cache) entryPath(key, ext string) (string, bool) {
 	return filepath.Join(c.dir, key+ext), true
 }
 
-func (c *Cache) diskGet(key string) (*cacheEntry, bool) {
+func (c *Cache) diskGet(key string) (*api.Artifact, bool) {
 	p, ok := c.entryPath(key, ".json")
 	if !ok {
 		return nil, false
@@ -157,7 +160,7 @@ func (c *Cache) diskGet(key string) (*cacheEntry, bool) {
 	if err != nil {
 		return nil, false
 	}
-	var e cacheEntry
+	var e api.Artifact
 	if err := json.Unmarshal(data, &e); err != nil || e.Key != key {
 		c.diskErrors.Add(1)
 		c.logf("cache: corrupt entry %s: %v", p, err)
@@ -169,7 +172,7 @@ func (c *Cache) diskGet(key string) (*cacheEntry, bool) {
 // diskPut writes the envelope and the converter artifacts. Each file is
 // written atomically (temp + rename) so a crashed daemon never leaves a
 // half-written entry for its successor to trust.
-func (c *Cache) diskPut(e *cacheEntry) {
+func (c *Cache) diskPut(e *api.Artifact) {
 	data, err := json.MarshalIndent(e, "", "  ")
 	if err != nil {
 		c.diskErrors.Add(1)
@@ -214,6 +217,3 @@ func (c *Cache) writeAtomic(key, ext string, data []byte) {
 		os.Remove(tmp)
 	}
 }
-
-// specText renders a spec in the shared DSL text form.
-func specText(s *spec.Spec) string { return dsl.String(s) }

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"protoquot/internal/api"
 	"protoquot/internal/dsl"
 )
 
@@ -15,8 +16,8 @@ func hexKey(i int) string {
 	return fmt.Sprintf("%064x", i)
 }
 
-func entry(i int) *cacheEntry {
-	return &cacheEntry{Key: hexKey(i), Exists: true, Converter: "spec C\ninit c0\n"}
+func entry(i int) *api.Artifact {
+	return &api.Artifact{Key: hexKey(i), Exists: true, Converter: "spec C\ninit c0\n"}
 }
 
 func TestCacheLRUEviction(t *testing.T) {
@@ -74,8 +75,8 @@ func TestCacheDiskPersistenceAcrossInstances(t *testing.T) {
 	if _, err := dsl.ParseString(conv); err != nil {
 		t.Fatal(err)
 	}
-	e := &cacheEntry{Key: hexKey(7), Exists: true, Converter: conv,
-		Stats: &WireStats{FinalStates: 1}}
+	e := &api.Artifact{Key: hexKey(7), Exists: true, Converter: conv,
+		Stats: &api.WireStats{FinalStates: 1}}
 
 	c1, err := NewCache(4, dir, t.Logf)
 	if err != nil {
@@ -157,7 +158,7 @@ func TestCacheRejectsNonHexKeys(t *testing.T) {
 	dir := t.TempDir()
 	c, _ := NewCache(4, dir, nil)
 	// A hostile key must never reach the filesystem.
-	c.Put(&cacheEntry{Key: "../../etc/passwd", Exists: true, Converter: "x"})
+	c.Put(&api.Artifact{Key: "../../etc/passwd", Exists: true, Converter: "x"})
 	if _, err := os.Stat(filepath.Join(dir, "..", "..", "etc")); err == nil {
 		t.Fatal("path traversal")
 	}

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+
+	"protoquot/internal/api"
+)
+
+// TestBadSpecCarriesRoleAndLine pins the structured parse-error contract:
+// a malformed spec is 400 with code bad_spec, naming the offending input
+// and the line inside its DSL text.
+func TestBadSpecCarriesRoleAndLine(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		req  api.DeriveRequest
+		role string
+	}{
+		{"service", api.DeriveRequest{
+			Service: api.SpecSource{Inline: "spec X\ninit\n"},
+			Envs:    []api.SpecSource{{Inline: worldText}},
+		}, "service"},
+		{"env", api.DeriveRequest{
+			Service: api.SpecSource{Inline: serviceText},
+			Envs:    []api.SpecSource{{Inline: worldText}, {Inline: "spec Y\next b0\n"}},
+		}, "envs[1]"},
+	}
+	for _, tc := range cases {
+		out, code := postDerive(t, ts.URL, tc.req)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, code)
+		}
+		if out.Error == nil || out.Error.Code != api.ErrCodeBadSpec {
+			t.Fatalf("%s: error %+v, want bad_spec", tc.name, out.Error)
+		}
+		if out.Error.Role != tc.role {
+			t.Errorf("%s: role %q, want %q", tc.name, out.Error.Role, tc.role)
+		}
+		if out.Error.Line < 2 {
+			t.Errorf("%s: line %d, want the offending line (>= 2)", tc.name, out.Error.Line)
+		}
+	}
+}
+
+// TestSpecUploadBadSpecIs400 pins the upload path: malformed DSL is 400
+// with the structured bad_spec envelope, not a plain-text error.
+func TestSpecUploadBadSpecIs400(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body, _ := json.Marshal(api.SpecUploadRequest{Text: "spec X\ninit\n"})
+	resp, err := http.Post(ts.URL+"/v1/specs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	var werr api.Error
+	if err := json.NewDecoder(resp.Body).Decode(&werr); err != nil {
+		t.Fatal(err)
+	}
+	if werr.Code != api.ErrCodeBadSpec || werr.Line < 2 {
+		t.Errorf("want bad_spec with a line, got %+v", werr)
+	}
+}
+
+// TestQueueFullKeeps503RetryAfterAndStructuredBody pins the shedding
+// contract end to end: HTTP 503, a Retry-After header, and a queue_full
+// envelope a client can branch on.
+func TestQueueFullKeeps503RetryAfterAndStructuredBody(t *testing.T) {
+	s, ts := newTestServer(t, Config{PoolWorkers: 1, MaxQueue: -1})
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	s.preDerive = func(string) {
+		once.Do(func() { close(entered) })
+		<-release
+	}
+	defer close(release)
+	go func() {
+		hold, _ := json.Marshal(simpleRequest())
+		resp, err := http.Post(ts.URL+"/v1/derive", "application/json", bytes.NewReader(hold))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+
+	req := simpleRequest()
+	req.Options.OmitVacuous = true // distinct key: cannot coalesce, must shed
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/derive", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	if v := resp.Header.Get(api.VersionHeader); v != api.Version {
+		t.Errorf("%s = %q, want %q", api.VersionHeader, v, api.Version)
+	}
+	var out api.DeriveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Error == nil || out.Error.Code != api.ErrCodeQueueFull {
+		t.Errorf("want queue_full envelope, got %+v", out.Error)
+	}
+}
+
+// TestResponsesCarryVersionHeader: every JSON response advertises the
+// protocol version clients use to reject skew.
+func TestResponsesCarryVersionHeader(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, path := range []string{"/v1/stats", "/v1/specs", "/v1/peer/keys"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if v := resp.Header.Get(api.VersionHeader); v != api.Version {
+			t.Errorf("GET %s: %s = %q, want %q", path, api.VersionHeader, v, api.Version)
+		}
+	}
+}

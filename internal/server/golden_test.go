@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"protoquot/internal/api"
 )
 
 // TestGoldenHTTPResponses pins the exact wire shape of the HTTP API. The
@@ -47,14 +49,18 @@ func TestGoldenHTTPResponses(t *testing.T) {
 	}{
 		{"derive-ok", post("/v1/derive", simpleRequest())},
 		{"derive-minimized", post("/v1/derive", minimized)},
-		{"derive-no-converter", post("/v1/derive", DeriveRequest{
-			Service: SpecSource{Inline: serviceText},
-			Envs:    []SpecSource{{Inline: doomedWorld}},
+		{"derive-no-converter", post("/v1/derive", api.DeriveRequest{
+			Service: api.SpecSource{Inline: serviceText},
+			Envs:    []api.SpecSource{{Inline: doomedWorld}},
 		})},
-		{"derive-bad-request", post("/v1/derive", DeriveRequest{
-			Service: SpecSource{Inline: serviceText},
+		{"derive-bad-request", post("/v1/derive", api.DeriveRequest{
+			Service: api.SpecSource{Inline: serviceText},
 		})},
-		{"spec-upload", post("/v1/specs", SpecUploadRequest{Text: serviceText})},
+		{"derive-bad-spec", post("/v1/derive", api.DeriveRequest{
+			Service: api.SpecSource{Inline: "spec X\ninit\n"},
+			Envs:    []api.SpecSource{{Inline: worldText}},
+		})},
+		{"spec-upload", post("/v1/specs", api.SpecUploadRequest{Text: serviceText})},
 	}
 
 	update := os.Getenv("PROTOQUOT_GOLDEN") == "update"

@@ -1,42 +1,22 @@
 package server
 
 import (
-	"context"
 	"encoding/json"
-	"errors"
 	"expvar"
 	"fmt"
 	"net/http"
 	"strings"
 	"time"
 
+	"protoquot/internal/api"
 	"protoquot/internal/codegen"
 	"protoquot/internal/dsl"
 	"protoquot/internal/render"
 	"protoquot/internal/spec"
 )
 
-// SpecUploadRequest is the body of POST /v1/specs: .spec DSL text that may
-// contain several specifications. Each is registered under its own name;
-// re-uploading a name replaces it (last write wins).
-type SpecUploadRequest struct {
-	Text string `json:"text"`
-}
-
-// SpecInfo describes one registered specification.
-type SpecInfo struct {
-	Name        string `json:"name"`
-	Hash        string `json:"hash"`
-	States      int    `json:"states"`
-	ExtEdges    int    `json:"ext_edges"`
-	IntEdges    int    `json:"int_edges"`
-	NormalForm  bool   `json:"normal_form"`
-	Alphabet    int    `json:"alphabet"`
-	Determinist bool   `json:"deterministic"`
-}
-
-func specInfo(sp *spec.Spec) SpecInfo {
-	return SpecInfo{
+func specInfo(sp *spec.Spec) api.SpecInfo {
+	return api.SpecInfo{
 		Name:        sp.Name(),
 		Hash:        sp.Hash(),
 		States:      sp.NumStates(),
@@ -48,17 +28,15 @@ func specInfo(sp *spec.Spec) SpecInfo {
 	}
 }
 
-// SpecListResponse is the body of GET /v1/specs and POST /v1/specs.
-type SpecListResponse struct {
-	Specs []SpecInfo `json:"specs"`
-}
-
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/derive", s.handleDerive)
 	s.mux.HandleFunc("POST /v1/specs", s.handleSpecUpload)
 	s.mux.HandleFunc("GET /v1/specs", s.handleSpecList)
 	s.mux.HandleFunc("GET /v1/specs/{name}", s.handleSpecGet)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/peer/artifact", s.handlePeerFill)
+	s.mux.HandleFunc("GET /v1/peer/artifact/{key}", s.handlePeerArtifact)
+	s.mux.HandleFunc("GET /v1/peer/keys", s.handlePeerKeys)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
@@ -66,41 +44,29 @@ func (s *Server) routes() {
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(api.VersionHeader, api.Version)
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v) // the client is gone if this fails; nothing to do
 }
 
-// errStatus maps a wire error code to its HTTP status.
-func errStatus(code string) int {
-	switch code {
-	case ErrCodeBadRequest:
-		return http.StatusBadRequest
-	case ErrCodeNotFound:
-		return http.StatusNotFound
-	case ErrCodeTimeout:
-		return http.StatusGatewayTimeout
-	case ErrCodeOverloaded, ErrCodeCanceled:
-		return http.StatusServiceUnavailable
-	default:
-		return http.StatusInternalServerError
-	}
-}
-
-// handleDerive is POST /v1/derive: resolve → cache → singleflight → engine.
-// Definitive answers — a converter, or a nonexistence proof — are HTTP 200
-// with the envelope saying which; non-200 means the derivation itself did
-// not complete (bad input, overload, timeout, shutdown).
+// handleDerive is POST /v1/derive: resolve → cache → shard route → cache or
+// singleflight → engine. Definitive answers — a converter, or a nonexistence
+// proof — are HTTP 200 with the envelope saying which; non-200 means the
+// derivation itself did not complete (bad input, overload, timeout,
+// shutdown). In cluster mode a local miss for a key another shard owns is
+// filled from that owner; an unreachable owner falls back to the local
+// engine, so shard loss is never a client-visible failure.
 func (s *Server) handleDerive(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	id := fmt.Sprintf("r%06d", s.reqSeq.Add(1))
 	s.met.deriveRequests.Add(1)
 
-	var req DeriveRequest
+	var req api.DeriveRequest
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.failRequest(w, id, start, &WireError{Code: ErrCodeBadRequest,
+		s.failRequest(w, id, start, &api.Error{Code: api.ErrCodeBadRequest,
 			Message: "body: " + err.Error()})
 		return
 	}
@@ -111,72 +77,35 @@ func (s *Server) handleDerive(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if e, ok := s.cache.Get(cr.key); ok {
-		s.respondEntry(w, r, id, start, cr, &req.Options, e, true, false)
+		s.respondEntry(w, id, start, &req.Options, e, true, false, "")
 		return
 	}
 
-	fr, joined, err := s.flights.do(r.Context(), cr.key, func() flightResult {
-		// The queue wait draws down the same per-request budget the engine
-		// runs under; the derivation itself re-derives its deadline from
-		// baseCtx inside executeDerivation.
-		actx, cancel := context.WithTimeout(s.baseCtx, cr.timeout)
-		defer cancel()
-		if err := s.pool.acquire(actx); err != nil {
-			if errors.Is(err, errOverloaded) {
-				s.met.rejected.Add(1)
-				return flightResult{err: &WireError{Code: ErrCodeOverloaded,
-					Message: "derivation queue full; retry later"}}
-			}
-			s.met.timeouts.Add(1)
-			return flightResult{err: &WireError{Code: ErrCodeTimeout,
-				Message: "timed out waiting for a derivation slot"}}
-		}
-		defer s.pool.release()
-		s.met.derives.Add(1)
-		if s.preDerive != nil {
-			s.preDerive(cr.key)
-		}
-		fr := s.executeDerivation(cr)
-		if fr.entry != nil {
-			s.cache.Put(fr.entry)
-		}
-		return fr
-	})
-	if err != nil {
-		// This request gave up waiting on someone else's flight; the flight
-		// itself keeps running into the cache.
-		s.failRequest(w, id, start, &WireError{Code: ErrCodeCanceled,
-			Message: "request canceled while waiting for an identical in-flight derivation"})
+	if fill, shard := s.tryPeerFill(r.Context(), cr, &req); fill != nil {
+		s.respondEntry(w, id, start, &req.Options, fill.Artifact, fill.Cached, false, shard)
 		return
 	}
-	if joined {
-		s.met.coalesced.Add(1)
-	}
-	if fr.err != nil {
-		var we *WireError
-		if !errors.As(fr.err, &we) {
-			we = &WireError{Code: ErrCodeInternal, Message: fr.err.Error()}
-		}
-		if we.Code == ErrCodeInternal {
-			s.met.deriveErrors.Add(1)
-		}
-		s.failRequest(w, id, start, we)
+
+	e, coalesced, werr := s.deriveFlight(r.Context(), cr)
+	if werr != nil {
+		s.failRequest(w, id, start, werr)
 		return
 	}
-	s.respondEntry(w, r, id, start, cr, &req.Options, fr.entry, false, joined)
+	s.respondEntry(w, id, start, &req.Options, e, false, coalesced, "")
 }
 
 // respondEntry renders one cacheable outcome into the response envelope,
 // attaching per-request fields and any requested artifact renderings.
-func (s *Server) respondEntry(w http.ResponseWriter, r *http.Request, id string,
-	start time.Time, cr *compiledRequest, opts *DeriveOptions, e *cacheEntry,
-	cached, coalesced bool) {
+func (s *Server) respondEntry(w http.ResponseWriter, id string,
+	start time.Time, opts *api.DeriveOptions, e *api.Artifact,
+	cached, coalesced bool, shard string) {
 
-	resp := &DeriveResponse{
+	resp := &api.DeriveResponse{
 		RequestID: id,
 		Key:       e.Key,
 		Cached:    cached,
 		Coalesced: coalesced,
+		Shard:     shard,
 		Exists:    e.Exists,
 		Converter: e.Converter,
 		Stats:     e.Stats,
@@ -202,26 +131,26 @@ func (s *Server) respondEntry(w http.ResponseWriter, r *http.Request, id string,
 		}
 	}
 	elapsed := time.Since(start)
-	resp.ElapsedMS = durMS(elapsed)
+	resp.ElapsedMS = api.DurMS(elapsed)
 	if cached {
 		s.met.warm.observe(elapsed)
 	} else {
 		s.met.cold.observe(elapsed)
 	}
-	s.logf("quotd: %s POST /v1/derive 200 key=%s exists=%t cached=%t coalesced=%t %.2fms",
-		id, shortKey(e.Key), e.Exists, cached, coalesced, resp.ElapsedMS)
+	s.logf("quotd: %s POST /v1/derive 200 key=%s exists=%t cached=%t coalesced=%t shard=%s %.2fms",
+		id, shortKey(e.Key), e.Exists, cached, coalesced, shard, resp.ElapsedMS)
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) failRequest(w http.ResponseWriter, id string, start time.Time, we *WireError) {
-	status := errStatus(we.Code)
-	if we.Code == ErrCodeOverloaded {
+func (s *Server) failRequest(w http.ResponseWriter, id string, start time.Time, we *api.Error) {
+	status := api.HTTPStatus(we.Code)
+	if we.Code == api.ErrCodeQueueFull {
 		w.Header().Set("Retry-After", "1")
 	}
 	s.logf("quotd: %s POST /v1/derive %d code=%s %.2fms: %s",
-		id, status, we.Code, durMS(time.Since(start)), we.Message)
-	writeJSON(w, status, &DeriveResponse{RequestID: id, Error: we,
-		ElapsedMS: durMS(time.Since(start))})
+		id, status, we.Code, api.DurMS(time.Since(start)), we.Message)
+	writeJSON(w, status, &api.DeriveResponse{RequestID: id, Error: we,
+		ElapsedMS: api.DurMS(time.Since(start))})
 }
 
 func shortKey(k string) string {
@@ -232,20 +161,20 @@ func shortKey(k string) string {
 }
 
 func (s *Server) handleSpecUpload(w http.ResponseWriter, r *http.Request) {
-	var req SpecUploadRequest
+	var req api.SpecUploadRequest
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, &WireError{Code: ErrCodeBadRequest,
+		writeJSON(w, http.StatusBadRequest, &api.Error{Code: api.ErrCodeBadRequest,
 			Message: "body: " + err.Error()})
 		return
 	}
 	specs, err := dsl.Parse(strings.NewReader(req.Text))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, &WireError{Code: ErrCodeBadRequest,
-			Message: err.Error()})
+		werr := api.SpecError("upload", err)
+		writeJSON(w, api.HTTPStatus(werr.Code), werr)
 		return
 	}
-	resp := SpecListResponse{}
+	resp := api.SpecListResponse{}
 	for _, sp := range specs {
 		s.RegisterSpec(sp)
 		resp.Specs = append(resp.Specs, specInfo(sp))
@@ -255,14 +184,14 @@ func (s *Server) handleSpecUpload(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSpecList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, SpecListResponse{Specs: s.listSpecs()})
+	writeJSON(w, http.StatusOK, api.SpecListResponse{Specs: s.listSpecs()})
 }
 
 func (s *Server) handleSpecGet(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	sp, ok := s.lookupSpec(name)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, &WireError{Code: ErrCodeNotFound,
+		writeJSON(w, http.StatusNotFound, &api.Error{Code: api.ErrCodeNotFound,
 			Message: fmt.Sprintf("no uploaded spec named %q", name)})
 		return
 	}

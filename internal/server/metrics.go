@@ -61,16 +61,21 @@ func (w *latencyWindow) quantiles(qs ...float64) []float64 {
 
 // serverMetrics is the daemon's counter set. Everything is monotonic except
 // the gauges read live from the pool; /v1/stats and expvar both render a
-// snapshot of it.
+// snapshot of it (the wire shape is api.StatsResponse).
 type serverMetrics struct {
 	requests       atomic.Int64 // all HTTP requests
 	deriveRequests atomic.Int64 // POST /v1/derive
 	derives        atomic.Int64 // engine runs started (post-coalescing)
 	deriveErrors   atomic.Int64 // engine runs failing for non-semantic reasons
-	noConverter    atomic.Int64 // definitive nonexistence results
+	noQuotient     atomic.Int64 // definitive nonexistence results
 	coalesced      atomic.Int64 // requests that shared another's flight
 	rejected       atomic.Int64 // load-shed (queue full)
 	timeouts       atomic.Int64 // per-request deadline exceeded
+
+	peerFills       atomic.Int64 // local misses answered by the owner shard
+	peerUnavailable atomic.Int64 // owner fetches that fell back to local derivation
+	peerServed      atomic.Int64 // peer-fill requests answered for other shards
+	hotReplicated   atomic.Int64 // foreign-owned entries replicated locally (hot keys)
 
 	warm *latencyWindow // request latency on cache hits
 	cold *latencyWindow // request latency on engine runs
@@ -78,41 +83,6 @@ type serverMetrics struct {
 
 func newServerMetrics() *serverMetrics {
 	return &serverMetrics{warm: newLatencyWindow(), cold: newLatencyWindow()}
-}
-
-// StatsResponse is the body of GET /v1/stats: one JSON snapshot of the
-// daemon's counters, gauges, cache state, and latency quantiles.
-type StatsResponse struct {
-	UptimeMS float64 `json:"uptime_ms"`
-	Draining bool    `json:"draining"`
-
-	Requests       int64 `json:"requests"`
-	DeriveRequests int64 `json:"derive_requests"`
-	Derives        int64 `json:"derives"`
-	DeriveErrors   int64 `json:"derive_errors"`
-	NoConverter    int64 `json:"no_converter"`
-	Coalesced      int64 `json:"coalesced"`
-	Rejected       int64 `json:"rejected"`
-	Timeouts       int64 `json:"timeouts"`
-
-	CacheHits       int64 `json:"cache_hits"`
-	CacheMisses     int64 `json:"cache_misses"`
-	CacheEvictions  int64 `json:"cache_evictions"`
-	CacheDiskHits   int64 `json:"cache_disk_hits"`
-	CacheDiskErrors int64 `json:"cache_disk_errors"`
-	CacheEntries    int   `json:"cache_entries"`
-
-	QueueDepth  int64 `json:"queue_depth"`
-	Inflight    int64 `json:"inflight"`
-	PoolWorkers int   `json:"pool_workers"`
-	MaxQueue    int   `json:"max_queue"`
-
-	SpecsRegistered int `json:"specs_registered"`
-
-	WarmP50MS float64 `json:"warm_p50_ms"`
-	WarmP99MS float64 `json:"warm_p99_ms"`
-	ColdP50MS float64 `json:"cold_p50_ms"`
-	ColdP99MS float64 `json:"cold_p99_ms"`
 }
 
 // expvarOnce guards process-wide expvar publication: expvar names are

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+
+	"protoquot/internal/api"
 )
 
 // errOverloaded is returned by the pool when the wait queue is full; the
@@ -66,8 +68,8 @@ func (p *pool) depths() (queueDepth, inflight int64) {
 
 // flightResult is what a completed flight hands every waiter.
 type flightResult struct {
-	entry *cacheEntry // cacheable outcome (converter or nonexistence)
-	err   error       // non-cacheable failure (timeout, overload, internal)
+	entry *api.Artifact // cacheable outcome (converter or nonexistence)
+	err   error         // non-cacheable failure (timeout, overload, internal)
 }
 
 // flight is one in-progress derivation, shared by every request that asked

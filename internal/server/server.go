@@ -1,3 +1,24 @@
+// Package server implements quotd, the long-running derivation service: an
+// HTTP/JSON daemon that accepts specification uploads and derivation
+// requests, runs derivations on a bounded worker pool with per-request
+// deadlines and cancellation, deduplicates identical in-flight requests
+// (singleflight), and serves repeat requests from a content-addressed
+// converter cache keyed by the canonical hash of the inputs.
+//
+// The quotient is a pure function of its (A, B) inputs — the Calvert & Lam
+// construction is deterministic and complete — so a derivation result may
+// be cached under a key derived from the canonical serialization of every
+// input specification plus the semantic options (DESIGN.md argues the
+// soundness of this in detail). Repeat and concurrent requests then cost
+// O(lookup) instead of O(derive).
+//
+// The wire contract — request/response envelopes, error codes, the cache
+// key — lives in internal/api, shared with `quotient -json`, the load
+// harness, and quotd's own shard-to-shard traffic. Several servers form a
+// sharded cluster via StartCluster: each derivation key has one owner on a
+// consistent-hash ring, a local miss is filled from the owner before the
+// local engine runs, and the per-node singleflight then composes into a
+// cluster-wide one (see cluster.go).
 package server
 
 import (
@@ -11,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"protoquot/internal/api"
 	"protoquot/internal/compose"
 	"protoquot/internal/core"
 	"protoquot/internal/dsl"
@@ -91,6 +113,10 @@ type Server struct {
 	met     *serverMetrics
 	mux     *http.ServeMux
 	start   time.Time
+
+	// cluster is nil on a single node; StartCluster swaps in the shard
+	// state. Handlers read the snapshot once per request.
+	cluster atomic.Pointer[clusterState]
 
 	draining atomic.Bool
 	baseCtx  context.Context
@@ -176,9 +202,9 @@ func (s *Server) specCount() int {
 	return len(s.registry)
 }
 
-func (s *Server) listSpecs() []SpecInfo {
+func (s *Server) listSpecs() []api.SpecInfo {
 	s.regMu.RLock()
-	out := make([]SpecInfo, 0, len(s.registry))
+	out := make([]api.SpecInfo, 0, len(s.registry))
 	for _, sp := range s.registry {
 		out = append(out, specInfo(sp))
 	}
@@ -201,52 +227,53 @@ type compiledRequest struct {
 	timeout  time.Duration
 }
 
-// resolveSource turns one SpecSource into a parsed spec.
-func (s *Server) resolveSource(role string, src SpecSource) (*spec.Spec, *WireError) {
+// resolveSource turns one SpecSource into a parsed spec. Parse failures
+// carry the input's role and line (bad_spec); a dangling reference is
+// not_found.
+func (s *Server) resolveSource(role string, src api.SpecSource) (*spec.Spec, *api.Error) {
 	switch {
 	case src.Inline != "" && src.Ref != "":
-		return nil, &WireError{Code: ErrCodeBadRequest,
+		return nil, &api.Error{Code: api.ErrCodeBadRequest,
 			Message: fmt.Sprintf("%s: give inline or ref, not both", role)}
 	case src.Inline != "":
 		sp, err := dsl.ParseString(src.Inline)
 		if err != nil {
-			return nil, &WireError{Code: ErrCodeBadRequest,
-				Message: fmt.Sprintf("%s: %v", role, err)}
+			return nil, api.SpecError(role, err)
 		}
 		return sp, nil
 	case src.Ref != "":
 		sp, ok := s.lookupSpec(src.Ref)
 		if !ok {
-			return nil, &WireError{Code: ErrCodeNotFound,
+			return nil, &api.Error{Code: api.ErrCodeNotFound,
 				Message: fmt.Sprintf("%s: no uploaded spec named %q", role, src.Ref)}
 		}
 		return sp, nil
 	default:
-		return nil, &WireError{Code: ErrCodeBadRequest,
+		return nil, &api.Error{Code: api.ErrCodeBadRequest,
 			Message: fmt.Sprintf("%s: empty spec source", role)}
 	}
 }
 
 // compile validates and resolves a request, normalizes the service, applies
 // server-side caps, and computes the cache key from the effective inputs.
-func (s *Server) compile(req *DeriveRequest) (*compiledRequest, *WireError) {
+func (s *Server) compile(req *api.DeriveRequest) (*compiledRequest, *api.Error) {
 	a, werr := s.resolveSource("service", req.Service)
 	if werr != nil {
 		return nil, werr
 	}
 	if err := a.IsNormalForm(); err != nil {
 		if !req.Options.Normalize {
-			return nil, &WireError{Code: ErrCodeBadRequest,
+			return nil, &api.Error{Code: api.ErrCodeBadRequest,
 				Message: fmt.Sprintf("service: %v (set options.normalize)", err)}
 		}
 		a = a.Normalize()
 	}
 	if len(req.Envs) == 0 && len(req.Components) == 0 {
-		return nil, &WireError{Code: ErrCodeBadRequest,
+		return nil, &api.Error{Code: api.ErrCodeBadRequest,
 			Message: "give envs (robust variants) or components (to compose)"}
 	}
 	if len(req.Envs) > 0 && len(req.Components) > 0 {
-		return nil, &WireError{Code: ErrCodeBadRequest,
+		return nil, &api.Error{Code: api.ErrCodeBadRequest,
 			Message: "envs and components are mutually exclusive"}
 	}
 	cr := &compiledRequest{a: a}
@@ -270,7 +297,7 @@ func (s *Server) compile(req *DeriveRequest) (*compiledRequest, *WireError) {
 	case "indexed":
 		cr.engine = "indexed"
 	default:
-		return nil, &WireError{Code: ErrCodeBadRequest,
+		return nil, &api.Error{Code: api.ErrCodeBadRequest,
 			Message: fmt.Sprintf("options.engine: unknown engine %q (lazy or indexed)", req.Options.Engine)}
 	}
 
@@ -302,12 +329,12 @@ func (s *Server) compile(req *DeriveRequest) (*compiledRequest, *WireError) {
 
 	keyed := req.Options
 	keyed.MaxStates = maxStates // key on the effective bound, not the asked one
-	cr.key = CacheKey(a, cr.envs, cr.comps, keyed)
+	cr.key = api.CacheKey(a, cr.envs, cr.comps, keyed)
 	return cr, nil
 }
 
 // executeDerivation runs the engine for one compiled request and returns
-// either a cacheable entry (converter, or definitive nonexistence) or a
+// either a cacheable artifact (converter, or definitive nonexistence) or a
 // non-cacheable error. It is only ever called by a flight leader holding a
 // pool slot.
 func (s *Server) executeDerivation(cr *compiledRequest) flightResult {
@@ -320,13 +347,13 @@ func (s *Server) executeDerivation(cr *compiledRequest) flightResult {
 	case len(cr.comps) > 0 && cr.engine == "indexed":
 		x, err := compose.IndexedMany(cr.comps...)
 		if err != nil {
-			return flightResult{err: &WireError{Code: ErrCodeBadRequest, Message: err.Error()}}
+			return flightResult{err: &api.Error{Code: api.ErrCodeBadRequest, Message: err.Error()}}
 		}
 		res, derr = core.DeriveEnvContext(dctx, cr.a, x, cr.coreOpts)
 	case len(cr.comps) > 0:
 		x, err := compose.LazyMany(cr.comps...)
 		if err != nil {
-			return flightResult{err: &WireError{Code: ErrCodeBadRequest, Message: err.Error()}}
+			return flightResult{err: &api.Error{Code: api.ErrCodeBadRequest, Message: err.Error()}}
 		}
 		res, derr = core.DeriveEnvContext(dctx, cr.a, x, cr.coreOpts)
 	default:
@@ -337,22 +364,22 @@ func (s *Server) executeDerivation(cr *compiledRequest) flightResult {
 		var nq *core.NoQuotientError
 		switch {
 		case errors.As(derr, &nq):
-			env := ResultEnvelope(cr.key, res, nil, derr)
-			s.met.noConverter.Add(1)
-			return flightResult{entry: &cacheEntry{
+			env := api.ResultEnvelope(cr.key, res, nil, derr)
+			s.met.noQuotient.Add(1)
+			return flightResult{entry: &api.Artifact{
 				Key: cr.key, Exists: false, Stats: env.Stats, Error: env.Error,
 			}}
 		case errors.Is(derr, context.DeadlineExceeded):
 			s.met.timeouts.Add(1)
-			return flightResult{err: &WireError{Code: ErrCodeTimeout,
+			return flightResult{err: &api.Error{Code: api.ErrCodeDeadline,
 				Message: fmt.Sprintf("derivation exceeded %v: %v", cr.timeout, derr)}}
 		case errors.Is(derr, context.Canceled):
-			return flightResult{err: &WireError{Code: ErrCodeCanceled,
+			return flightResult{err: &api.Error{Code: api.ErrCodeCanceled,
 				Message: "derivation canceled by server shutdown"}}
 		default:
 			// Engine precondition failures (alphabet mismatches, MaxStates
 			// exceeded, …) are the client's input, not server faults.
-			return flightResult{err: &WireError{Code: ErrCodeBadRequest, Message: derr.Error()}}
+			return flightResult{err: &api.Error{Code: api.ErrCodeBadRequest, Message: derr.Error()}}
 		}
 	}
 
@@ -362,13 +389,13 @@ func (s *Server) executeDerivation(cr *compiledRequest) flightResult {
 		if len(cr.comps) > 0 {
 			b, err := compose.Many(cr.comps...)
 			if err != nil {
-				return flightResult{err: &WireError{Code: ErrCodeBadRequest, Message: err.Error()}}
+				return flightResult{err: &api.Error{Code: api.ErrCodeBadRequest, Message: err.Error()}}
 			}
 			envs = []*spec.Spec{b}
 		}
 		pruned, err := core.PruneRobust(cr.a, envs, conv)
 		if err != nil {
-			return flightResult{err: &WireError{Code: ErrCodeInternal,
+			return flightResult{err: &api.Error{Code: api.ErrCodeInternal,
 				Message: fmt.Sprintf("prune: %v", err)}}
 		}
 		conv = pruned
@@ -376,26 +403,80 @@ func (s *Server) executeDerivation(cr *compiledRequest) flightResult {
 	if cr.minimize {
 		conv = conv.Minimize()
 	}
-	env := ResultEnvelope(cr.key, res, conv, nil)
-	return flightResult{entry: &cacheEntry{
+	env := api.ResultEnvelope(cr.key, res, conv, nil)
+	return flightResult{entry: &api.Artifact{
 		Key: cr.key, Exists: true, Converter: env.Converter, Stats: env.Stats,
 	}}
 }
 
-func (s *Server) statsSnapshot() StatsResponse {
+// deriveFlight is the node-local engine path shared by client derivations
+// and peer fills: singleflight around pool + engine. The caller has already
+// missed the cache; successful (cacheable) outcomes are stored before being
+// returned.
+func (s *Server) deriveFlight(ctx context.Context, cr *compiledRequest) (e *api.Artifact, coalesced bool, werr *api.Error) {
+	fr, joined, err := s.flights.do(ctx, cr.key, func() flightResult {
+		// The queue wait draws down the same per-request budget the engine
+		// runs under; the derivation itself re-derives its deadline from
+		// baseCtx inside executeDerivation.
+		actx, cancel := context.WithTimeout(s.baseCtx, cr.timeout)
+		defer cancel()
+		if err := s.pool.acquire(actx); err != nil {
+			if errors.Is(err, errOverloaded) {
+				s.met.rejected.Add(1)
+				return flightResult{err: &api.Error{Code: api.ErrCodeQueueFull,
+					Message: "derivation queue full; retry later"}}
+			}
+			s.met.timeouts.Add(1)
+			return flightResult{err: &api.Error{Code: api.ErrCodeDeadline,
+				Message: "timed out waiting for a derivation slot"}}
+		}
+		defer s.pool.release()
+		s.met.derives.Add(1)
+		if s.preDerive != nil {
+			s.preDerive(cr.key)
+		}
+		fr := s.executeDerivation(cr)
+		if fr.entry != nil {
+			s.cache.Put(fr.entry)
+		}
+		return fr
+	})
+	if err != nil {
+		// This request gave up waiting on someone else's flight; the flight
+		// itself keeps running into the cache.
+		return nil, true, &api.Error{Code: api.ErrCodeCanceled,
+			Message: "request canceled while waiting for an identical in-flight derivation"}
+	}
+	if joined {
+		s.met.coalesced.Add(1)
+	}
+	if fr.err != nil {
+		var we *api.Error
+		if !errors.As(fr.err, &we) {
+			we = &api.Error{Code: api.ErrCodeInternal, Message: fr.err.Error()}
+		}
+		if we.Code == api.ErrCodeInternal {
+			s.met.deriveErrors.Add(1)
+		}
+		return nil, joined, we
+	}
+	return fr.entry, joined, nil
+}
+
+func (s *Server) statsSnapshot() api.StatsResponse {
 	hits, misses, evictions, diskHits, diskErrors := s.cache.Counters()
 	queue, inflight := s.pool.depths()
 	warm := s.met.warm.quantiles(50, 99)
 	cold := s.met.cold.quantiles(50, 99)
-	return StatsResponse{
-		UptimeMS: durMS(time.Since(s.start)),
+	out := api.StatsResponse{
+		UptimeMS: api.DurMS(time.Since(s.start)),
 		Draining: s.draining.Load(),
 
 		Requests:       s.met.requests.Load(),
 		DeriveRequests: s.met.deriveRequests.Load(),
 		Derives:        s.met.derives.Load(),
 		DeriveErrors:   s.met.deriveErrors.Load(),
-		NoConverter:    s.met.noConverter.Load(),
+		NoQuotient:     s.met.noQuotient.Load(),
 		Coalesced:      s.met.coalesced.Load(),
 		Rejected:       s.met.rejected.Load(),
 		Timeouts:       s.met.timeouts.Load(),
@@ -419,4 +500,16 @@ func (s *Server) statsSnapshot() StatsResponse {
 		ColdP50MS: cold[0],
 		ColdP99MS: cold[1],
 	}
+	if cs := s.cluster.Load(); cs != nil {
+		up, down := cs.mem.PeersUpDown()
+		out.ClusterEnabled = true
+		out.ClusterSelf = cs.mem.Self()
+		out.ClusterPeersUp = up
+		out.ClusterPeersDown = down
+		out.PeerFills = s.met.peerFills.Load()
+		out.PeerUnavailable = s.met.peerUnavailable.Load()
+		out.PeerServed = s.met.peerServed.Load()
+		out.HotReplicated = s.met.hotReplicated.Load()
+	}
+	return out
 }

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"protoquot/internal/api"
 	"protoquot/internal/core"
 	"protoquot/internal/dsl"
 	"protoquot/internal/specgen"
@@ -55,7 +56,7 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	return s, ts
 }
 
-func postDerive(t *testing.T, url string, req DeriveRequest) (*DeriveResponse, int) {
+func postDerive(t *testing.T, url string, req api.DeriveRequest) (*api.DeriveResponse, int) {
 	t.Helper()
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -66,31 +67,31 @@ func postDerive(t *testing.T, url string, req DeriveRequest) (*DeriveResponse, i
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var out DeriveResponse
+	var out api.DeriveResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatalf("decode response: %v", err)
 	}
 	return &out, resp.StatusCode
 }
 
-func getStats(t *testing.T, url string) StatsResponse {
+func getStats(t *testing.T, url string) api.StatsResponse {
 	t.Helper()
 	resp, err := http.Get(url + "/v1/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var out StatsResponse
+	var out api.StatsResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
 	return out
 }
 
-func simpleRequest() DeriveRequest {
-	return DeriveRequest{
-		Service: SpecSource{Inline: serviceText},
-		Envs:    []SpecSource{{Inline: worldText}},
+func simpleRequest() api.DeriveRequest {
+	return api.DeriveRequest{
+		Service: api.SpecSource{Inline: serviceText},
+		Envs:    []api.SpecSource{{Inline: worldText}},
 	}
 }
 
@@ -142,7 +143,7 @@ func TestRepeatRequestServedFromCacheBitIdentically(t *testing.T) {
 	}
 	// Bit-identical modulo per-request fields: normalize those, then the
 	// envelopes must match byte for byte.
-	norm := func(r DeriveResponse) string {
+	norm := func(r api.DeriveResponse) string {
 		r.RequestID, r.Cached, r.Coalesced, r.ElapsedMS = "", false, false, 0
 		data, err := json.Marshal(r)
 		if err != nil {
@@ -174,7 +175,7 @@ func TestConcurrentIdenticalRequestsSingleflight(t *testing.T) {
 		<-release
 	}
 	type result struct {
-		out  *DeriveResponse
+		out  *api.DeriveResponse
 		code int
 	}
 	results := make(chan result, 2)
@@ -223,9 +224,9 @@ func TestConcurrentIdenticalRequestsSingleflight(t *testing.T) {
 
 func TestNoConverterIsDefinitiveAndCached(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	req := DeriveRequest{
-		Service: SpecSource{Inline: serviceText},
-		Envs:    []SpecSource{{Inline: doomedWorld}},
+	req := api.DeriveRequest{
+		Service: api.SpecSource{Inline: serviceText},
+		Envs:    []api.SpecSource{{Inline: doomedWorld}},
 	}
 	out, code := postDerive(t, ts.URL, req)
 	if code != http.StatusOK {
@@ -234,8 +235,8 @@ func TestNoConverterIsDefinitiveAndCached(t *testing.T) {
 	if out.Exists {
 		t.Fatal("converter should not exist")
 	}
-	if out.Error == nil || out.Error.Code != ErrCodeNoConverter {
-		t.Fatalf("want no_converter error, got %+v", out.Error)
+	if out.Error == nil || out.Error.Code != api.ErrCodeNoQuotient {
+		t.Fatalf("want no_quotient error, got %+v", out.Error)
 	}
 	if out.Error.Phase != "safety" || len(out.Error.Witness) == 0 {
 		t.Errorf("want safety-phase proof with witness, got %+v", out.Error)
@@ -250,21 +251,21 @@ func TestBadRequests(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	cases := []struct {
 		name string
-		req  DeriveRequest
+		req  api.DeriveRequest
 		code int
 		werr string
 	}{
-		{"no sources", DeriveRequest{Service: SpecSource{Inline: serviceText}}, 400, ErrCodeBadRequest},
-		{"both kinds", DeriveRequest{Service: SpecSource{Inline: serviceText},
-			Envs:       []SpecSource{{Inline: worldText}},
-			Components: []SpecSource{{Inline: worldText}}}, 400, ErrCodeBadRequest},
-		{"bad dsl", DeriveRequest{Service: SpecSource{Inline: "spec"},
-			Envs: []SpecSource{{Inline: worldText}}}, 400, ErrCodeBadRequest},
-		{"unknown ref", DeriveRequest{Service: SpecSource{Ref: "nope"},
-			Envs: []SpecSource{{Inline: worldText}}}, 404, ErrCodeNotFound},
-		{"bad engine", DeriveRequest{Service: SpecSource{Inline: serviceText},
-			Components: []SpecSource{{Inline: worldText}},
-			Options:    DeriveOptions{Engine: "warp"}}, 400, ErrCodeBadRequest},
+		{"no sources", api.DeriveRequest{Service: api.SpecSource{Inline: serviceText}}, 400, api.ErrCodeBadRequest},
+		{"both kinds", api.DeriveRequest{Service: api.SpecSource{Inline: serviceText},
+			Envs:       []api.SpecSource{{Inline: worldText}},
+			Components: []api.SpecSource{{Inline: worldText}}}, 400, api.ErrCodeBadRequest},
+		{"bad dsl", api.DeriveRequest{Service: api.SpecSource{Inline: "spec"},
+			Envs: []api.SpecSource{{Inline: worldText}}}, 400, api.ErrCodeBadSpec},
+		{"unknown ref", api.DeriveRequest{Service: api.SpecSource{Ref: "nope"},
+			Envs: []api.SpecSource{{Inline: worldText}}}, 404, api.ErrCodeNotFound},
+		{"bad engine", api.DeriveRequest{Service: api.SpecSource{Inline: serviceText},
+			Components: []api.SpecSource{{Inline: worldText}},
+			Options:    api.DeriveOptions{Engine: "warp"}}, 400, api.ErrCodeBadRequest},
 	}
 	for _, tc := range cases {
 		out, code := postDerive(t, ts.URL, tc.req)
@@ -279,12 +280,12 @@ func TestBadRequests(t *testing.T) {
 
 func TestSpecUploadAndDeriveByRef(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	body, _ := json.Marshal(SpecUploadRequest{Text: serviceText + worldText})
+	body, _ := json.Marshal(api.SpecUploadRequest{Text: serviceText + worldText})
 	resp, err := http.Post(ts.URL+"/v1/specs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
-	var up SpecListResponse
+	var up api.SpecListResponse
 	if err := json.NewDecoder(resp.Body).Decode(&up); err != nil {
 		t.Fatal(err)
 	}
@@ -298,9 +299,9 @@ func TestSpecUploadAndDeriveByRef(t *testing.T) {
 		}
 	}
 
-	out, code := postDerive(t, ts.URL, DeriveRequest{
-		Service: SpecSource{Ref: "S"},
-		Envs:    []SpecSource{{Ref: "B"}},
+	out, code := postDerive(t, ts.URL, api.DeriveRequest{
+		Service: api.SpecSource{Ref: "S"},
+		Envs:    []api.SpecSource{{Ref: "B"}},
 	})
 	if code != http.StatusOK || !out.Exists {
 		t.Fatalf("derive by ref failed: %d %+v", code, out.Error)
@@ -340,14 +341,14 @@ func TestComponentsLazyAndIndexedShareCacheKey(t *testing.T) {
 	// lazy one.
 	_, ts := newTestServer(t, Config{})
 	f := specgen.Chain(2)
-	comps := make([]SpecSource, len(f.Components))
+	comps := make([]api.SpecSource, len(f.Components))
 	for i, c := range f.Components {
-		comps[i] = SpecSource{Inline: dsl.String(c)}
+		comps[i] = api.SpecSource{Inline: dsl.String(c)}
 	}
-	req := DeriveRequest{
-		Service:    SpecSource{Inline: dsl.String(f.Service)},
+	req := api.DeriveRequest{
+		Service:    api.SpecSource{Inline: dsl.String(f.Service)},
 		Components: comps,
-		Options:    DeriveOptions{Engine: "indexed"},
+		Options:    api.DeriveOptions{Engine: "indexed"},
 	}
 	first, code := postDerive(t, ts.URL, req)
 	if code != http.StatusOK {
@@ -398,8 +399,8 @@ func TestOverloadShedsWith503(t *testing.T) {
 	if code != http.StatusServiceUnavailable {
 		t.Errorf("expected 503 under overload, got %d (%+v)", code, out.Error)
 	}
-	if out.Error == nil || out.Error.Code != ErrCodeOverloaded {
-		t.Errorf("want overloaded error, got %+v", out.Error)
+	if out.Error == nil || out.Error.Code != api.ErrCodeQueueFull {
+		t.Errorf("want queue_full error, got %+v", out.Error)
 	}
 	close(release)
 	<-done
@@ -444,8 +445,8 @@ func TestDeriveTimeout(t *testing.T) {
 	if code != http.StatusGatewayTimeout {
 		t.Fatalf("status %d, want 504 (%+v)", code, out.Error)
 	}
-	if out.Error == nil || out.Error.Code != ErrCodeTimeout {
-		t.Fatalf("want timeout error, got %+v", out.Error)
+	if out.Error == nil || out.Error.Code != api.ErrCodeDeadline {
+		t.Fatalf("want deadline error, got %+v", out.Error)
 	}
 	st := getStats(t, ts.URL)
 	if st.Timeouts == 0 {
@@ -537,10 +538,10 @@ ext b1 fwd b2
 ext b2 del b0
 int b1 b0
 `
-	r1 := DeriveRequest{Service: SpecSource{Inline: serviceText},
-		Envs: []SpecSource{{Inline: worldText}, {Inline: lossy}}}
-	r2 := DeriveRequest{Service: SpecSource{Inline: serviceText},
-		Envs: []SpecSource{{Inline: lossy}, {Inline: worldText}}}
+	r1 := api.DeriveRequest{Service: api.SpecSource{Inline: serviceText},
+		Envs: []api.SpecSource{{Inline: worldText}, {Inline: lossy}}}
+	r2 := api.DeriveRequest{Service: api.SpecSource{Inline: serviceText},
+		Envs: []api.SpecSource{{Inline: lossy}, {Inline: worldText}}}
 	a, code := postDerive(t, ts.URL, r1)
 	if code != http.StatusOK {
 		t.Fatalf("robust derive failed: %+v", a.Error)

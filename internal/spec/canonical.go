@@ -24,8 +24,14 @@ import (
 //
 // The derivation engine is a pure function of its input Specs (the quotient
 // construction is deterministic and complete), so Canonical — and Hash, its
-// SHA-256 — is a sound cache key for derivation results. See DESIGN.md,
-// "Content-addressed derivation caching".
+// SHA-256 — is a sound cache key for derivation results (api.CacheKey folds
+// the role-tagged canonical forms plus the keyed options into the request's
+// content address). The same purity makes the address a sound *routing* key:
+// a quotd cluster shards the keyspace over a consistent-hash ring of these
+// addresses, and because every node computes bit-identical artifacts for a
+// given address, ring placement can only ever affect load and dedup, never
+// answers. See DESIGN.md §9 "Content-addressed derivation caching" and §10
+// "Sharded cluster".
 func (s *Spec) Canonical() []byte {
 	var b strings.Builder
 	fmt.Fprintf(&b, "protoquot-spec-v1\n")
