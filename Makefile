@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify fmt vet build test race benchsmoke fuzz-smoke bench loadtest cluster-smoke bench-cluster
+.PHONY: verify fmt vet build test race benchsmoke fuzz-smoke protosmith-smoke bench loadtest cluster-smoke bench-cluster
 
-verify: fmt vet build test race benchsmoke fuzz-smoke loadtest cluster-smoke
+verify: fmt vet build test race benchsmoke fuzz-smoke protosmith-smoke loadtest cluster-smoke
 	@echo "verify: OK"
 
 # gofmt compliance; fails listing the offending files.
@@ -80,9 +80,22 @@ bench-cluster:
 			-bench-out BENCH_pr6.json -bench-label pr6-n$$n || exit 1; \
 	done
 
-# Short fuzzing bursts over the wire decoder and the DSL parser: enough to
-# catch regressions in frame bounds-checking and grammar handling without
-# slowing the gate down. Longer campaigns: raise -fuzztime manually.
+# Short fuzzing bursts over the wire decoder, the DSL parser, and the
+# canonical-form hasher: enough to catch regressions in frame
+# bounds-checking, grammar handling, and hash stability without slowing the
+# gate down. Longer campaigns: raise -fuzztime manually.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime 5s ./internal/runtime
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 5s ./internal/dsl
+	$(GO) test -run '^$$' -fuzz '^FuzzJSON$$' -fuzztime 5s ./internal/dsl
+	$(GO) test -run '^$$' -fuzz '^FuzzCanonical$$' -fuzztime 5s ./internal/spec
+
+# The randomized differential gate: a fixed-seed protosmith campaign across
+# all three engine pipelines at workers 1, 2, and 4, cross-checked against
+# the sat checker, the raw-edge oracles, and the baseline candidate probes.
+# Fails (exit 2) on any divergence or malformed generated system; -shrink
+# reduces a failure to a minimal reproducer committed under
+# testdata/protosmith/.
+protosmith-smoke:
+	$(GO) run ./cmd/protosmith -seed 1 -count 250 -shrink \
+		-emit-fixture testdata/protosmith

@@ -31,6 +31,7 @@ import (
 
 	"protoquot/internal/compose"
 	"protoquot/internal/core"
+	_ "protoquot/internal/protosmith" // registers the rand/randwedge family kinds
 	"protoquot/internal/specgen"
 )
 

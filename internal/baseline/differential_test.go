@@ -1,0 +1,46 @@
+package baseline_test
+
+// Differential gate over the family registry: every registered specgen
+// family — the hand-written chain/chaindrop/ring instances and the
+// protosmith rand/randwedge systems alike — goes through the full
+// cross-check harness, which drives the Okumura seed candidate and the Lam
+// projection relay through the a posteriori global check and requires their
+// verdicts to agree with the core engine: a candidate that passes the
+// global check on a system the engine calls quotient-free (or that exceeds
+// the maximal safety converter C0) fails the test.
+//
+// This lives in the external test package because the harness
+// (internal/protosmith) imports internal/baseline.
+
+import (
+	"testing"
+
+	"protoquot/internal/protosmith"
+	"protoquot/internal/specgen"
+)
+
+func TestBaselinesAgreeWithEngineOnRegisteredFamilies(t *testing.T) {
+	checked := 0
+	for _, kind := range specgen.Kinds() {
+		for n := 1; n <= 3; n++ {
+			fam, err := specgen.New(kind, n)
+			if err != nil {
+				t.Errorf("%s(%d): %v", kind, n, err)
+				continue
+			}
+			sys := &protosmith.System{Service: fam.Service, Components: fam.Components}
+			rep := protosmith.Check(sys, protosmith.CheckOptions{})
+			if rep.Divergence != nil {
+				t.Errorf("%s: %v", fam.Name, rep.Divergence)
+				continue
+			}
+			if rep.BaselineProbes == 0 {
+				t.Errorf("%s: no baseline candidate was driven through the global check", fam.Name)
+			}
+			checked++
+		}
+	}
+	if checked < 9 {
+		t.Fatalf("only %d family instances checked; registry seems depleted", checked)
+	}
+}

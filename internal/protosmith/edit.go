@@ -1,0 +1,95 @@
+package protosmith
+
+import "protoquot/internal/spec"
+
+// rebuild copies s through a fresh builder, keeping only the states, edges,
+// and events the predicates accept. Edges touching a dropped state or a
+// dropped event go with them. Returns nil when the result is not buildable
+// (e.g. the initial state was dropped) — callers treat nil as "edit not
+// applicable".
+func rebuild(s *spec.Spec,
+	keepState func(spec.State) bool,
+	keepExt func(spec.State, spec.ExtEdge) bool,
+	keepInt func(from, to spec.State) bool,
+	keepEvent func(spec.Event) bool) *spec.Spec {
+	if !keepState(s.Init()) {
+		return nil
+	}
+	b := spec.NewBuilder(s.Name())
+	for _, e := range s.Alphabet() {
+		if keepEvent(e) {
+			b.Event(e)
+		}
+	}
+	b.Init(s.StateName(s.Init()))
+	for st := spec.State(0); int(st) < s.NumStates(); st++ {
+		if !keepState(st) {
+			continue
+		}
+		b.State(s.StateName(st))
+		for _, ed := range s.ExtEdges(st) {
+			if keepState(ed.To) && keepEvent(ed.Event) && keepExt(st, ed) {
+				b.Ext(s.StateName(st), ed.Event, s.StateName(ed.To))
+			}
+		}
+		for _, to := range s.IntEdges(st) {
+			if keepState(to) && keepInt(st, to) {
+				b.Int(s.StateName(st), s.StateName(to))
+			}
+		}
+	}
+	out, err := b.Build()
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+func keepAllStates(spec.State) bool            { return true }
+func keepAllExt(spec.State, spec.ExtEdge) bool { return true }
+func keepAllInt(from, to spec.State) bool      { return true }
+func keepAllEvents(spec.Event) bool            { return true }
+
+// dropState removes one state and every edge touching it.
+func dropState(s *spec.Spec, victim spec.State) *spec.Spec {
+	return rebuild(s,
+		func(st spec.State) bool { return st != victim },
+		keepAllExt, keepAllInt, keepAllEvents)
+}
+
+// dropExtEdge removes the idx-th external edge out of from.
+func dropExtEdge(s *spec.Spec, from spec.State, idx int) *spec.Spec {
+	i := 0
+	return rebuild(s, keepAllStates,
+		func(st spec.State, ed spec.ExtEdge) bool {
+			if st != from {
+				return true
+			}
+			keep := i != idx
+			i++
+			return keep
+		},
+		keepAllInt, keepAllEvents)
+}
+
+// dropIntEdge removes the idx-th internal edge out of from.
+func dropIntEdge(s *spec.Spec, from spec.State, idx int) *spec.Spec {
+	i := 0
+	return rebuild(s, keepAllStates, keepAllExt,
+		func(f, to spec.State) bool {
+			if f != from {
+				return true
+			}
+			keep := i != idx
+			i++
+			return keep
+		},
+		keepAllEvents)
+}
+
+// dropEvent removes one event from the alphabet along with every edge
+// labeled by it.
+func dropEvent(s *spec.Spec, victim spec.Event) *spec.Spec {
+	return rebuild(s, keepAllStates, keepAllExt, keepAllInt,
+		func(e spec.Event) bool { return e != victim })
+}

@@ -1,0 +1,34 @@
+package protosmith
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// Every fixture committed under testdata/protosmith/ — shrunk divergence
+// reproducers and the harness pin alike — must load, validate, and pass the
+// full cross-check harness. A reproducer that diverges again after an
+// engine fix has regressed; one that no longer loads has bit-rotted.
+func TestCommittedFixturesReplayCleanly(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "protosmith", "*.spec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no committed fixtures found under testdata/protosmith")
+	}
+	for _, path := range paths {
+		sys, lerr := LoadFixture(path)
+		if lerr != nil {
+			t.Errorf("%s: %v", path, lerr)
+			continue
+		}
+		if verr := sys.Validate(); verr != nil {
+			t.Errorf("%s: invalid system: %v", path, verr)
+			continue
+		}
+		if rep := Check(sys, CheckOptions{}); rep.Divergence != nil {
+			t.Errorf("%s: %v", path, rep.Divergence)
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package protosmith
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"protoquot/internal/spec"
+)
+
+// Generate builds the random well-formed system for the given seed and
+// knobs. The construction is deterministic — the same (seed, knobs) pair
+// always yields byte-identical specs — and the result always passes
+// (*System).Validate:
+//
+//   - An interface plan fixes the scoped alphabets first: service events
+//     "a<i>" each owned by exactly one component, link events "l<i>.<j>"
+//     shared by exactly the two components they connect (the components
+//     form a random tree, so links never touch a third machine), and
+//     converter-facing events "+g<i>"/"-g<i>" each owned by exactly one
+//     component.
+//   - The service is a deterministic skeleton over the service events,
+//     optionally τ-expanded: a skeleton state's external choices sink
+//     through an internal chain (depth ≤ TauDepth) into several λ-sinks
+//     (width ≤ AcceptWidth), each enabling a subset of the choices. The
+//     subsets jointly cover every choice, so the trace set is unchanged
+//     while the acceptance family narrows — exactly the nondeterminism
+//     normal form permits: internal-only interior states (condition i),
+//     acyclic fresh chains (condition ii), and sinks that inherit their
+//     targets from one per-state function (condition iii).
+//   - Components are random connected machines inside their scope, every
+//     scoped event used at least once. With probability PlantBias the
+//     first component instead mirrors the service skeleton, interleaving a
+//     converter or link action after each service event — systems with
+//     genuine conversion structure and (usually) a nonempty quotient.
+//   - With probability WedgeBias per component, a fresh converter-facing
+//     event leads to a dead state: safe but never live, chaindrop-style,
+//     biasing the quotient toward near-empty and the progress phase toward
+//     multi-sweep removals.
+func Generate(seed int64, knobs Knobs) *System {
+	k := knobs.normalized()
+	rng := rand.New(rand.NewSource(seed))
+
+	numComp := 1 + rng.Intn(k.Components)
+	planted := rng.Float64() < k.PlantBias
+
+	// ---- Interface plan (the "scope" of each machine). ----
+	ne := 1 + rng.Intn(k.ServiceEvents)
+	extEvents := make([]spec.Event, ne)
+	extOwner := make([]int, ne)
+	for i := range extEvents {
+		extEvents[i] = spec.Event(fmt.Sprintf("a%d", i))
+		if planted {
+			extOwner[i] = 0
+		} else {
+			extOwner[i] = rng.Intn(numComp)
+		}
+	}
+
+	parent := make([]int, numComp)
+	links := make([][]spec.Event, numComp) // links[i]: events shared by i and parent[i]
+	for i := 1; i < numComp; i++ {
+		parent[i] = rng.Intn(i)
+		nl := 1 + rng.Intn(k.LinkEvents)
+		for m := 0; m < nl; m++ {
+			links[i] = append(links[i], spec.Event(fmt.Sprintf("l%d.%d", i, m)))
+		}
+	}
+
+	nc := 1 + rng.Intn(k.ConverterEvents)
+	convEvents := make([]spec.Event, nc)
+	convOwner := make([]int, nc)
+	for i := range convEvents {
+		pol := "+"
+		if rng.Intn(2) == 1 {
+			pol = "-"
+		}
+		convEvents[i] = spec.Event(fmt.Sprintf("%sg%d", pol, i))
+		convOwner[i] = rng.Intn(numComp)
+	}
+
+	// scope[c]: every event component c may mention, in a fixed order.
+	scope := make([][]spec.Event, numComp)
+	// actions[c]: the subset of scope[c] that is converter-facing or a
+	// link — the events the planted component interleaves between service
+	// events.
+	actions := make([][]spec.Event, numComp)
+	for i, e := range extEvents {
+		scope[extOwner[i]] = append(scope[extOwner[i]], e)
+	}
+	for i := 1; i < numComp; i++ {
+		for _, e := range links[i] {
+			scope[i] = append(scope[i], e)
+			scope[parent[i]] = append(scope[parent[i]], e)
+			actions[i] = append(actions[i], e)
+			actions[parent[i]] = append(actions[parent[i]], e)
+		}
+	}
+	for i, e := range convEvents {
+		scope[convOwner[i]] = append(scope[convOwner[i]], e)
+		actions[convOwner[i]] = append(actions[convOwner[i]], e)
+	}
+	for c := 0; c < numComp; c++ {
+		sort.Slice(scope[c], func(i, j int) bool { return scope[c][i] < scope[c][j] })
+		sort.Slice(actions[c], func(i, j int) bool { return actions[c][i] < actions[c][j] })
+	}
+
+	// ---- Service skeleton: a deterministic machine over extEvents. ----
+	m := 2 + rng.Intn(k.ServiceStates-1)
+	tgt := make([][]int, m) // tgt[state][event] = successor skeleton state, or -1
+	for st := range tgt {
+		tgt[st] = make([]int, ne)
+		for e := range tgt[st] {
+			tgt[st][e] = -1
+		}
+	}
+	// Spanning structure from free (state, event) slots keeps every state
+	// reachable; with one event the skeleton degenerates to a chain, which
+	// is exactly right.
+	type slot struct{ st, ev int }
+	var open []slot
+	for e := 0; e < ne; e++ {
+		open = append(open, slot{0, e})
+	}
+	for st := 1; st < m; st++ {
+		i := rng.Intn(len(open))
+		s := open[i]
+		open[i] = open[len(open)-1]
+		open = open[:len(open)-1]
+		tgt[s.st][s.ev] = st
+		for e := 0; e < ne; e++ {
+			open = append(open, slot{st, e})
+		}
+	}
+	for st := 0; st < m; st++ {
+		for e := 0; e < ne; e++ {
+			if tgt[st][e] < 0 && rng.Float64() < k.ExtraDensity {
+				tgt[st][e] = rng.Intn(m)
+			}
+		}
+	}
+
+	// ---- Service spec, with τ-expansion of some skeleton states. ----
+	sb := spec.NewBuilder(fmt.Sprintf("S%d", seed))
+	for _, e := range extEvents {
+		sb.Event(e)
+	}
+	vname := func(st int) string { return fmt.Sprintf("v%d", st) }
+	sb.Init(vname(0))
+	for st := 0; st < m; st++ {
+		sb.State(vname(st))
+		type pair struct{ ev, to int }
+		var pairs []pair
+		for e := 0; e < ne; e++ {
+			if tgt[st][e] >= 0 {
+				pairs = append(pairs, pair{e, tgt[st][e]})
+			}
+		}
+		if len(pairs) == 0 {
+			continue // a stop state: acceptance family {∅}
+		}
+		if rng.Float64() >= k.TauBias {
+			for _, p := range pairs {
+				sb.Ext(vname(st), extEvents[p.ev], vname(p.to))
+			}
+			continue
+		}
+		// τ-expansion: v --τ--> t1 --τ--> … --τ--> {sink_0 … sink_w-1}.
+		depth := 1 + rng.Intn(k.TauDepth)
+		width := 1 + rng.Intn(k.AcceptWidth)
+		prev := vname(st)
+		for d := 1; d < depth; d++ {
+			node := fmt.Sprintf("v%d.t%d", st, d)
+			sb.Int(prev, node)
+			prev = node
+		}
+		member := make([][]bool, width)
+		covered := make([]bool, len(pairs))
+		for w := range member {
+			member[w] = make([]bool, len(pairs))
+			any := false
+			for p := range pairs {
+				if rng.Float64() < 0.6 {
+					member[w][p] = true
+					covered[p] = true
+					any = true
+				}
+			}
+			if !any {
+				p := rng.Intn(len(pairs))
+				member[w][p] = true
+				covered[p] = true
+			}
+		}
+		// Joint coverage keeps the trace set equal to the skeleton's, so
+		// τ-expansion narrows only the acceptance family.
+		for p := range pairs {
+			if !covered[p] {
+				member[rng.Intn(width)][p] = true
+			}
+		}
+		for w := 0; w < width; w++ {
+			sink := fmt.Sprintf("v%d.k%d", st, w)
+			sb.Int(prev, sink)
+			for p, in := range member[w] {
+				if in {
+					sb.Ext(sink, extEvents[pairs[p].ev], vname(pairs[p].to))
+				}
+			}
+		}
+	}
+	service := sb.MustBuild()
+
+	// ---- Components. ----
+	comps := make([]*spec.Spec, numComp)
+	for c := 0; c < numComp; c++ {
+		if c == 0 && planted {
+			comps[c] = genPlantedComponent(rng, c, scope[c], actions[c], extEvents, tgt, k)
+		} else {
+			comps[c] = genRandomComponent(rng, c, scope[c], k)
+		}
+	}
+
+	return &System{Seed: seed, Knobs: knobs, Service: service, Components: comps}
+}
+
+// genRandomComponent builds a random connected machine over its scope:
+// spanning in-edges keep every state reachable, a coverage pass uses every
+// scoped event at least once (alphabet ownership must be exercised, not
+// just declared), extra edges add density, and an optional wedge adds a
+// fresh converter-facing event into a dead state.
+func genRandomComponent(rng *rand.Rand, c int, scope []spec.Event, k Knobs) *spec.Spec {
+	b := spec.NewBuilder(fmt.Sprintf("m%d", c))
+	for _, e := range scope {
+		b.Event(e)
+	}
+	n := 2 + rng.Intn(k.MaxStates-1)
+	q := func(i int) string { return fmt.Sprintf("q%d", i) }
+	b.Init(q(0))
+	used := make(map[spec.Event]bool, len(scope))
+	for j := 1; j < n; j++ {
+		e := scope[rng.Intn(len(scope))]
+		b.Ext(q(rng.Intn(j)), e, q(j))
+		used[e] = true
+	}
+	for _, e := range scope {
+		if !used[e] {
+			b.Ext(q(rng.Intn(n)), e, q(rng.Intn(n)))
+		}
+	}
+	for st := 0; st < n; st++ {
+		for _, e := range scope {
+			if rng.Float64() < k.ExtraDensity {
+				b.Ext(q(st), e, q(rng.Intn(n)))
+			}
+		}
+	}
+	addWedge(rng, b, c, n, q, k)
+	return b.MustBuild()
+}
+
+// genPlantedComponent mirrors the service skeleton: for each skeleton edge
+// (v, a, v'), the component accepts a and then performs one of its
+// converter/link actions before continuing — the store-and-forward shape of
+// the hand-written families, with the action left for the converter (or a
+// neighboring component) to complete. Scoped actions that the plant never
+// used are attached as self-loops so the component still owns its whole
+// alphabet in a reachable way.
+func genPlantedComponent(rng *rand.Rand, c int, scope, actions []spec.Event, extEvents []spec.Event, tgt [][]int, k Knobs) *spec.Spec {
+	b := spec.NewBuilder(fmt.Sprintf("m%d", c))
+	for _, e := range scope {
+		b.Event(e)
+	}
+	p := func(st int) string { return fmt.Sprintf("p%d", st) }
+	b.Init(p(0))
+	used := make(map[spec.Event]bool, len(actions))
+	hop := 0
+	for st := range tgt {
+		b.State(p(st))
+		for ev, to := range tgt[st] {
+			if to < 0 {
+				continue
+			}
+			if len(actions) > 0 && rng.Float64() < 0.8 {
+				act := actions[rng.Intn(len(actions))]
+				h := fmt.Sprintf("p%d.h%d", st, hop)
+				hop++
+				b.Ext(p(st), extEvents[ev], h)
+				b.Ext(h, act, p(to))
+				used[act] = true
+			} else {
+				b.Ext(p(st), extEvents[ev], p(to))
+			}
+		}
+	}
+	for _, e := range actions {
+		if !used[e] {
+			st := rng.Intn(len(tgt))
+			b.Ext(p(st), e, p(st))
+		}
+	}
+	addWedge(rng, b, c, len(tgt), p, k)
+	return b.MustBuild()
+}
+
+// addWedge, with probability WedgeBias, adds a fresh converter-facing event
+// from a random existing state into a dead state with no exits. Dropping
+// into the wedge is always safe (the service never observes it) but never
+// live, so the progress phase must excise the entire post-wedge region —
+// the adversarial shape ChainDrop pins, here appearing at random places in
+// random machines.
+func addWedge(rng *rand.Rand, b *spec.Builder, c, numStates int, nameOf func(int) string, k Knobs) {
+	if rng.Float64() >= k.WedgeBias {
+		return
+	}
+	b.Ext(nameOf(rng.Intn(numStates)), spec.Event(fmt.Sprintf("-w%d", c)), "wedged")
+}

@@ -1,0 +1,143 @@
+package protosmith
+
+import (
+	"sort"
+
+	"protoquot/internal/spec"
+)
+
+// Shrink greedily reduces sys to a (locally) minimal system for which
+// failing still returns true, re-validating after every candidate edit so
+// each intermediate system is itself well-formed. The passes, repeated to a
+// fixpoint:
+//
+//	(1) remove whole components;
+//	(2) remove single states (with their incident edges) from any machine;
+//	(3) remove single external or internal edges;
+//	(4) remove whole events from the system's alphabets.
+//
+// Every accepted edit strictly decreases Size, so the loop terminates; the
+// result preserves failing(result) == true (in the degenerate case, the
+// input itself). failing is expected to be a pure predicate — typically
+// "Check still reports this divergence" — and is only ever called on
+// systems whose Validate passes.
+func Shrink(sys *System, failing func(*System) bool) *System {
+	cur := sys
+	accept := func(cand *System) bool {
+		if cand == nil || cand.Service == nil {
+			return false
+		}
+		for _, c := range cand.Components {
+			if c == nil {
+				return false
+			}
+		}
+		return cand.Validate() == nil && failing(cand)
+	}
+
+	// replaced returns cur with machine idx swapped for ns; idx -1 is the
+	// service. ns == nil (inapplicable edit) maps to a nil candidate.
+	replaced := func(idx int, ns *spec.Spec) *System {
+		if ns == nil {
+			return nil
+		}
+		cand := &System{Seed: cur.Seed, Knobs: cur.Knobs, Service: cur.Service}
+		cand.Components = append([]*spec.Spec{}, cur.Components...)
+		if idx < 0 {
+			cand.Service = ns
+		} else {
+			cand.Components[idx] = ns
+		}
+		return cand
+	}
+	machine := func(idx int) *spec.Spec {
+		if idx < 0 {
+			return cur.Service
+		}
+		return cur.Components[idx]
+	}
+
+	for improved := true; improved; {
+		improved = false
+
+		// (1) whole components, while more than one remains.
+		for i := 0; i < len(cur.Components) && len(cur.Components) > 1; i++ {
+			comps := append([]*spec.Spec{}, cur.Components[:i]...)
+			comps = append(comps, cur.Components[i+1:]...)
+			cand := &System{Seed: cur.Seed, Knobs: cur.Knobs, Service: cur.Service, Components: comps}
+			if accept(cand) {
+				cur, improved = cand, true
+				i--
+			}
+		}
+
+		for idx := -1; idx < len(cur.Components); idx++ {
+			// (2) states, highest first so earlier indices stay valid.
+			for st := machine(idx).NumStates() - 1; st >= 0; st-- {
+				if cand := replaced(idx, dropState(machine(idx), spec.State(st))); accept(cand) {
+					cur, improved = cand, true
+				}
+			}
+			// (3) edges.
+			for st := 0; st < machine(idx).NumStates(); st++ {
+				for e := len(machine(idx).ExtEdges(spec.State(st))) - 1; e >= 0; e-- {
+					if cand := replaced(idx, dropExtEdge(machine(idx), spec.State(st), e)); accept(cand) {
+						cur, improved = cand, true
+					}
+				}
+				for e := len(machine(idx).IntEdges(spec.State(st))) - 1; e >= 0; e-- {
+					if cand := replaced(idx, dropIntEdge(machine(idx), spec.State(st), e)); accept(cand) {
+						cur, improved = cand, true
+					}
+				}
+			}
+		}
+
+		// (4) whole events, dropped from every machine that mentions them.
+		for _, e := range systemEvents(cur) {
+			cand := &System{Seed: cur.Seed, Knobs: cur.Knobs, Service: cur.Service}
+			if cur.Service.HasEvent(e) {
+				cand.Service = dropEvent(cur.Service, e)
+				if cand.Service == nil {
+					continue
+				}
+			}
+			ok := true
+			for _, c := range cur.Components {
+				if c.HasEvent(e) {
+					c = dropEvent(c, e)
+					if c == nil {
+						ok = false
+						break
+					}
+				}
+				cand.Components = append(cand.Components, c)
+			}
+			if ok && accept(cand) {
+				cur, improved = cand, true
+			}
+		}
+	}
+	return cur
+}
+
+// systemEvents returns every event mentioned anywhere in the system, sorted
+// and deduplicated, so shrink passes walk them in a fixed order.
+func systemEvents(sys *System) []spec.Event {
+	seen := make(map[spec.Event]bool)
+	var out []spec.Event
+	add := func(s *spec.Spec) {
+		for _, e := range s.Alphabet() {
+			if !seen[e] {
+				seen[e] = true
+				out = append(out, e)
+			}
+		}
+	}
+	add(sys.Service)
+	for _, c := range sys.Components {
+		add(c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

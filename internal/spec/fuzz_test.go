@@ -1,0 +1,51 @@
+package spec_test
+
+// The canonical-form fuzz target lives in the external test package: the
+// natural way to produce arbitrary Specs is through the DSL parser, and
+// internal/dsl imports internal/spec.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"protoquot/internal/dsl"
+)
+
+// FuzzCanonical guards the content-address contract that the quotd cache
+// and cluster routing depend on (DESIGN.md §9): for any spec the parser
+// accepts, Hash must be stable across re-serialization — write the spec
+// out, parse it back, and the hash must not move — and Canonical must be
+// deterministic call to call. A drift here would silently split the
+// derivation cache keyspace.
+func FuzzCanonical(f *testing.F) {
+	f.Add("spec S\ninit v0\next v0 acc v1\next v1 del v0\n")
+	f.Add("spec X\nint a b\nint b a\nevent z\nevent a\n")
+	f.Add("spec A\nstate s1 s0\ninit s1\next s0 -d0 s1\next s0 +d1 s0\n")
+	f.Add("spec ok\ninit a\n\nspec two\ninit b\next b e b\nint b b\n")
+	f.Add("spec d\nstate z y x\ninit x\nevent e2 e1\next x e1 y\next x e1 z\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		specs, err := dsl.Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for _, s := range specs {
+			c1 := s.Canonical()
+			if !bytes.Equal(c1, s.Canonical()) {
+				t.Fatalf("Canonical not deterministic\ninput: %q", input)
+			}
+			h := s.Hash()
+			back, rerr := dsl.ParseString(dsl.String(s))
+			if rerr != nil {
+				t.Fatalf("serialized spec did not re-parse: %v\ninput: %q", rerr, input)
+			}
+			if got := back.Hash(); got != h {
+				t.Fatalf("hash moved across re-parse: %s -> %s\ninput: %q\ncanonical before:\n%s\ncanonical after:\n%s",
+					h, got, input, c1, back.Canonical())
+			}
+			if !bytes.Equal(back.Canonical(), c1) {
+				t.Fatalf("canonical form moved across re-parse\ninput: %q", input)
+			}
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package specgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	// The builtins are registered from init; a second registration of any
+	// of them must be an explicit error, not a silent overwrite.
+	err := Register("chain", sized("chain", Chain))
+	if err == nil {
+		t.Fatal("duplicate registration of \"chain\" should fail")
+	}
+	if !strings.Contains(err.Error(), "already registered") {
+		t.Errorf("duplicate error should say so, got: %v", err)
+	}
+	// The original constructor must still be in place.
+	f, err := ParseFamily("chain(2)")
+	if err != nil || f.Name != "chain(2)" {
+		t.Fatalf("original constructor damaged by rejected duplicate: %v", err)
+	}
+}
+
+func TestMustRegisterPanicsOnDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRegister on a duplicate kind should panic")
+		}
+	}()
+	MustRegister("ring", sized("ring", Ring))
+}
+
+func TestRegisterValidatesInputs(t *testing.T) {
+	if err := Register("", sized("x", Chain)); err == nil {
+		t.Error("empty kind should be rejected")
+	}
+	if err := Register("Bad7", sized("x", Chain)); err == nil {
+		t.Error("non-lowercase-word kind should be rejected")
+	}
+	if err := Register("nilfn", nil); err == nil {
+		t.Error("nil constructor should be rejected")
+	}
+}
+
+func TestRegistryResolvesCustomKind(t *testing.T) {
+	MustRegister("regtestonly", func(n int) (Family, error) {
+		f := Chain(1)
+		f.Name = "regtestonly(1)"
+		return f, nil
+	})
+	f, err := ParseFamily("regtestonly(1)")
+	if err != nil {
+		t.Fatalf("ParseFamily on a custom kind: %v", err)
+	}
+	if f.Name != "regtestonly(1)" || f.Service == nil || len(f.Components) == 0 {
+		t.Errorf("custom kind returned a degenerate family: %+v", f.Name)
+	}
+	found := false
+	for _, k := range Kinds() {
+		if k == "regtestonly" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Kinds() should list the custom kind")
+	}
+}
+
+func TestKindsSortedAndContainBuiltins(t *testing.T) {
+	ks := Kinds()
+	for i := 1; i < len(ks); i++ {
+		if ks[i-1] >= ks[i] {
+			t.Fatalf("Kinds() not strictly sorted: %v", ks)
+		}
+	}
+	for _, want := range []string{"chain", "chaindrop", "ring"} {
+		ok := false
+		for _, k := range ks {
+			if k == want {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("builtin kind %q missing from %v", want, ks)
+		}
+	}
+}
+
+func TestParseFamilyErrors(t *testing.T) {
+	if _, err := ParseFamily("nosuchkind(3)"); err == nil {
+		t.Error("unknown kind should fail")
+	} else if !strings.Contains(err.Error(), "registered:") {
+		t.Errorf("unknown-kind error should list registered kinds, got: %v", err)
+	}
+	if _, err := ParseFamily("chain"); err == nil {
+		t.Error("missing size should fail")
+	}
+	if _, err := ParseFamily("chain(0)"); err == nil {
+		t.Error("chain(0) should fail with an error, not panic")
+	}
+}
