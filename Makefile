@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt vet build test race benchsmoke fuzz-smoke protosmith-smoke bench loadtest cluster-smoke bench-cluster
+.PHONY: verify fmt vet build test race benchsmoke fuzz-smoke protosmith-smoke bench bench-frontier loadtest cluster-smoke bench-cluster
 
 verify: fmt vet build test race benchsmoke fuzz-smoke protosmith-smoke loadtest cluster-smoke
 	@echo "verify: OK"
@@ -47,6 +47,22 @@ bench:
 		-families 'chain(7),chaindrop(6),ring(4),ring(5)' \
 		-engine indexed,lazy -workers 1,2 -reps 6 -derivetimeout 30s \
 		-append -out BENCH_pr4.json
+
+# The million-state frontier trajectory into BENCH_pr8.json: the new
+# BenchFamilies tail (chain(8), chaindrop(7), ring(6)) under both surviving
+# engines, then chain(9) — a ~1M-state product — lazy-only. Hard per-
+# derivation caps keep a regression visible as timed_out=true instead of a
+# hung build. EXPERIMENTS.md reads this file.
+bench-frontier:
+	rm -f BENCH_pr8.json
+	$(GO) run ./cmd/quotbench -label pr8 \
+		-families 'chain(8),chaindrop(7),ring(6)' \
+		-engine indexed,lazy -workers 1,2 -reps 3 -derivetimeout 60s \
+		-out BENCH_pr8.json
+	$(GO) run ./cmd/quotbench -label pr8 \
+		-families 'chain(9)' \
+		-engine lazy -workers 1,2 -reps 2 -derivetimeout 120s \
+		-append -out BENCH_pr8.json
 
 # Concurrent load against an in-process quotd: N clients × rounds over
 # specgen families. Fails on any non-200, a zero cache-hit ratio on repeat

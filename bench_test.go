@@ -658,6 +658,19 @@ func BenchmarkDeriveChainDropIndexedEngine(b *testing.B) {
 }
 func BenchmarkDeriveChainDropLazyEngine(b *testing.B) { benchFamilyLazyEngine(b, specgen.ChainDrop(4)) }
 
+// Frontier instances (this PR's BenchFamilies tail): demand-driven engine
+// only — the eager pipelines materialize the full product and belong under
+// quotbench's -derivetimeout, not in a -benchtime 1x smoke.
+func BenchmarkDeriveChainFrontierLazyEngine(b *testing.B) {
+	benchFamilyLazyEngine(b, specgen.Chain(8))
+}
+func BenchmarkDeriveChainDropFrontierLazyEngine(b *testing.B) {
+	benchFamilyLazyEngine(b, specgen.ChainDrop(7))
+}
+func BenchmarkDeriveRingFrontierLazyEngine(b *testing.B) {
+	benchFamilyLazyEngine(b, specgen.Ring(6))
+}
+
 // Composition alone, eager fold vs fused index space. Ring components share
 // events pairwise around a cycle, the worst case for the left fold's
 // intermediate products.

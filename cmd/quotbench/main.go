@@ -69,6 +69,18 @@ type Run struct {
 	EnvStatesTotal    int   `json:"env_states_total,omitempty"`
 	EnvExpansionNs    int64 `json:"env_expansion_ns,omitempty"`
 
+	// Arena/row accounting for the demand-driven engine (zero for eager
+	// engines) and progress-sweep steal counts (zero for workers=1).
+	ArenaBytes   int64 `json:"arena_bytes,omitempty"`
+	PeakRowBytes int64 `json:"peak_row_bytes,omitempty"`
+	SweepSteals  int   `json:"sweep_steals,omitempty"`
+
+	// PeakRSSBytes is the process's high-water resident set after the run
+	// (getrusage ru_maxrss) — a whole-process figure, monotone across runs
+	// in one quotbench invocation, so within a file compare it per family
+	// in invocation order.
+	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
+
 	// TimedOut marks a run whose derivation hit -derivetimeout; its times
 	// cover only the work done before cancellation.
 	TimedOut bool `json:"timed_out,omitempty"`
@@ -253,7 +265,11 @@ func run(label, families, workers, engines string, reps int, timeout time.Durati
 					r.EnvStatesExpanded = m.stats.Metrics.EnvStatesExpanded
 					r.EnvStatesTotal = m.stats.Metrics.EnvStatesTotal
 					r.EnvExpansionNs = m.stats.Metrics.EnvExpansionNs
+					r.ArenaBytes = m.stats.Metrics.ArenaBytes
+					r.PeakRowBytes = m.stats.Metrics.PeakRowBytes
+					r.SweepSteals = m.stats.Metrics.SweepSteals
 				}
+				r.PeakRSSBytes = peakRSSBytes()
 				if !r.TimedOut {
 					// One instrumented repetition for allocation figures.
 					var before, after runtime.MemStats

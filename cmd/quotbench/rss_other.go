@@ -1,0 +1,7 @@
+//go:build !linux
+
+package main
+
+// peakRSSBytes is unavailable off Linux; runs report peak_rss_bytes as 0
+// (the field is omitempty).
+func peakRSSBytes() int64 { return 0 }

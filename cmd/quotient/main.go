@@ -349,7 +349,27 @@ func printStats(w io.Writer, s core.Stats) {
 		if m.EnvExpansionNs > 0 {
 			fmt.Fprintf(w, " (%s on demand)", time.Duration(m.EnvExpansionNs).Round(time.Microsecond))
 		}
+		if m.ArenaBytes > 0 {
+			fmt.Fprintf(w, ", %s row arenas (peak row %s)", fmtBytes(m.ArenaBytes), fmtBytes(m.PeakRowBytes))
+		}
 		fmt.Fprintln(w)
+	}
+	if m.SweepSteals > 0 {
+		fmt.Fprintf(w, "sweep sched:    %d stolen SCC tasks\n", m.SweepSteals)
+	}
+}
+
+// fmtBytes renders a byte count with a binary-unit suffix, one decimal.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
 	}
 }
 

@@ -131,6 +131,9 @@ type WireStats struct {
 	EnvStatesExpanded  int     `json:"env_states_expanded"`
 	EnvStatesTotal     int     `json:"env_states_total"`
 	EnvExpansionMS     float64 `json:"env_expansion_ms,omitempty"`
+	ArenaBytes         int64   `json:"arena_bytes,omitempty"`
+	PeakRowBytes       int64   `json:"peak_row_bytes,omitempty"`
+	SweepSteals        int     `json:"sweep_steals,omitempty"`
 }
 
 // StatsFromCore flattens engine statistics into the wire form.
@@ -158,6 +161,9 @@ func StatsFromCore(s core.Stats) *WireStats {
 		EnvStatesExpanded:  m.EnvStatesExpanded,
 		EnvStatesTotal:     m.EnvStatesTotal,
 		EnvExpansionMS:     float64(m.EnvExpansionNs) / 1e6,
+		ArenaBytes:         m.ArenaBytes,
+		PeakRowBytes:       m.PeakRowBytes,
+		SweepSteals:        m.SweepSteals,
 	}
 }
 

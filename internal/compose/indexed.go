@@ -67,59 +67,20 @@ func IndexedMany(components ...*spec.Spec) (*Indexed, error) {
 	}
 	allEvents, partner, cext, cintl := tb.allEvents, tb.partner, tb.cext, tb.cintl
 
-	// Tuple interning: mixed-radix uint64 when the full product fits,
-	// otherwise a string key over the raw tuple bytes.
+	// Tuple interning: the shared tiered scheme (intern.go) — paged
+	// direct-mapped mixed-radix key, uint64 hash map, or string key.
 	k := len(components)
-	radixOK := tb.radixOK
-	seenU := make(map[uint64]int32)
-	var seenD []int32
-	if radixOK && tb.product <= denseInternLimit {
-		seenD = make([]int32, tb.product)
-		for i := range seenD {
-			seenD[i] = -1
-		}
+	numStates := make([]int, k)
+	for i, c := range components {
+		numStates[i] = c.NumStates()
 	}
-	var seenS map[string]int32
-	if !radixOK {
-		seenS = make(map[string]int32)
-	}
-	keyBuf := make([]byte, 4*k)
+	ti := newTupleIntern(tb, numStates)
 	intern := func(tuple []int32) (int32, bool) {
-		if radixOK {
-			key := uint64(0)
-			for ci, s := range tuple {
-				key = key*uint64(components[ci].NumStates()) + uint64(s)
-			}
-			if seenD != nil {
-				if id := seenD[key]; id >= 0 {
-					return id, false
-				}
-				id := int32(len(x.tuples) / k)
-				seenD[key] = id
-				x.tuples = append(x.tuples, tuple...)
-				return id, true
-			}
-			if id, ok := seenU[key]; ok {
-				return id, false
-			}
-			id := int32(len(x.tuples) / k)
-			seenU[key] = id
+		id, isNew := ti.intern(tuple, int32(len(x.tuples)/k))
+		if isNew {
 			x.tuples = append(x.tuples, tuple...)
-			return id, true
 		}
-		for ci, s := range tuple {
-			keyBuf[4*ci] = byte(s)
-			keyBuf[4*ci+1] = byte(s >> 8)
-			keyBuf[4*ci+2] = byte(s >> 16)
-			keyBuf[4*ci+3] = byte(s >> 24)
-		}
-		if id, ok := seenS[string(keyBuf)]; ok {
-			return id, false
-		}
-		id := int32(len(x.tuples) / k)
-		seenS[string(keyBuf)] = id
-		x.tuples = append(x.tuples, tuple...)
-		return id, true
+		return id, isNew
 	}
 
 	initTuple := make([]int32, k)

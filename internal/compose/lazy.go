@@ -81,16 +81,16 @@ type Lazy struct {
 	discovered atomic.Int64
 	expandNs   atomic.Int64
 
-	// mu guards discovery and expansion: the tuple intern maps, the tuple
-	// arena, the lazily materialized names, and the scratch buffers.
+	// mu guards discovery and expansion: the tuple intern, the tuple
+	// arena, the row arenas, the lazily materialized names, and the
+	// scratch buffers.
 	mu      sync.Mutex
 	tuples  []int32
-	seenD   []int32 // direct-mapped intern by radix key, -1 = unseen (small products)
-	seenU   map[uint64]int32
-	seenS   map[string]int32
-	keyBuf  []byte
+	ti      *tupleIntern
+	arena   rowArena
+	peakRow int64 // largest single published row, in bytes
 	succBuf []int32
-	extBuf  []Edge // expansion staging; published rows are exact-size copies
+	extBuf  []Edge // expansion staging; published rows are arena sub-slices
 	intlBuf []int32
 	names   []string
 }
@@ -107,26 +107,21 @@ func LazyMany(components ...*spec.Spec) (*Lazy, error) {
 	if err != nil {
 		return nil, err
 	}
+	numStates := make([]int, len(components))
+	for i, c := range components {
+		numStates[i] = c.NumStates()
+	}
 	x := &Lazy{
 		comps:    components,
 		name:     foldName(components),
 		k:        len(components),
 		tb:       tb,
 		eventSet: make(map[spec.Event]struct{}, len(tb.external)),
-		seenU:    make(map[uint64]int32),
-		keyBuf:   make([]byte, 4*len(components)),
+		ti:       newTupleIntern(tb, numStates),
 		succBuf:  make([]int32, len(components)),
 	}
 	for _, e := range tb.external {
 		x.eventSet[e] = struct{}{}
-	}
-	if !tb.radixOK {
-		x.seenS = make(map[string]int32)
-	} else if tb.product <= denseInternLimit {
-		x.seenD = make([]int32, tb.product)
-		for i := range x.seenD {
-			x.seenD[i] = -1
-		}
 	}
 	empty := []*lazyPage{}
 	x.dir.Store(&empty)
@@ -153,41 +148,14 @@ func MustLazyMany(components ...*spec.Spec) *Lazy {
 // component tuple, discovering (and allocating a row slot for) it if new.
 // Caller holds mu.
 func (x *Lazy) internLocked(tuple []int32) int32 {
-	if x.tb.radixOK {
-		key := uint64(0)
-		for ci, s := range tuple {
-			key = key*uint64(x.comps[ci].NumStates()) + uint64(s)
-		}
-		if x.seenD != nil {
-			if id := x.seenD[key]; id >= 0 {
-				return id
-			}
-			id := x.addLocked(tuple)
-			x.seenD[key] = id
-			return id
-		}
-		if id, ok := x.seenU[key]; ok {
-			return id
-		}
-		id := x.addLocked(tuple)
-		x.seenU[key] = id
-		return id
+	id, isNew := x.ti.intern(tuple, int32(len(x.tuples)/x.k))
+	if isNew {
+		x.addLocked(tuple)
 	}
-	for ci, s := range tuple {
-		x.keyBuf[4*ci] = byte(s)
-		x.keyBuf[4*ci+1] = byte(s >> 8)
-		x.keyBuf[4*ci+2] = byte(s >> 16)
-		x.keyBuf[4*ci+3] = byte(s >> 24)
-	}
-	if id, ok := x.seenS[string(x.keyBuf)]; ok {
-		return id
-	}
-	id := x.addLocked(tuple)
-	x.seenS[string(x.keyBuf)] = id
 	return id
 }
 
-func (x *Lazy) addLocked(tuple []int32) int32 {
+func (x *Lazy) addLocked(tuple []int32) {
 	id := int32(len(x.tuples) / x.k)
 	x.tuples = append(x.tuples, tuple...)
 	x.names = append(x.names, "")
@@ -201,7 +169,6 @@ func (x *Lazy) addLocked(tuple []int32) int32 {
 		x.dir.Store(&grown)
 	}
 	x.discovered.Store(int64(id) + 1)
-	return id
 }
 
 func (x *Lazy) row(st int32) *lazyRow {
@@ -283,15 +250,21 @@ func (x *Lazy) expand(st int32) ([]Edge, []int32) {
 	ext = dedupeEdges(ext)
 	slices.Sort(intl)
 	intl = dedupeInt32s(intl)
-	// Publish exact-size copies; the staging buffers (and their grown
-	// capacity) are reused by the next expansion, so they must never leak
-	// to a caller.
-	x.extBuf, x.intlBuf = ext[:0], intl[:0]
+	// Publish arena-backed sub-slices; the staging buffers (and their
+	// grown capacity) are reused by the next expansion, so they must never
+	// leak to a caller. Arena chunks never move, so the published headers
+	// stay valid for the Lazy's lifetime without per-row allocations.
 	if len(ext) > 0 {
-		r.ext = append([]Edge(nil), ext...)
+		r.ext = x.arena.allocEdges(len(ext))
+		copy(r.ext, ext)
 	}
 	if len(intl) > 0 {
-		r.intl = append([]int32(nil), intl...)
+		r.intl = x.arena.allocInts(len(intl))
+		copy(r.intl, intl)
+	}
+	x.extBuf, x.intlBuf = ext[:0], intl[:0]
+	if rb := int64(len(ext))*8 + int64(len(intl))*4; rb > x.peakRow {
+		x.peakRow = rb
 	}
 	r.done.Store(true) // publish: must follow the ext/intl writes
 	x.expanded.Add(1)
@@ -330,6 +303,16 @@ func dedupeInt32s(xs []int32) []int32 {
 // plus the frontier they revealed), and total nanoseconds spent expanding.
 func (x *Lazy) ExpansionStats() (expanded, discovered int, ns int64) {
 	return int(x.expanded.Load()), int(x.discovered.Load()), x.expandNs.Load()
+}
+
+// MemStats reports the row-storage footprint: total bytes reserved by the
+// row arenas and the size in bytes of the largest single published row
+// (ext edges at 8 bytes each plus internal successors at 4). The deriver
+// surfaces both through core.Metrics.
+func (x *Lazy) MemStats() (arenaBytes, peakRowBytes int64) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.arena.bytes, x.peakRow
 }
 
 // Name returns the composite name, matching what Many would produce.

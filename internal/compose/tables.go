@@ -8,6 +8,8 @@
 package compose
 
 import (
+	"fmt"
+	"math/bits"
 	"sort"
 
 	"protoquot/internal/spec"
@@ -43,10 +45,14 @@ type compTables struct {
 }
 
 // denseInternLimit is the largest mixed-radix product for which tuple
-// interning uses a direct-mapped array (product × 4 bytes, so ≤ 16 MiB)
-// instead of a hash map. Successor interning is the hottest loop of both
-// composition engines; the array turns each lookup into one indexed load.
-const denseInternLimit = 1 << 22
+// interning uses the paged direct-mapped array (intern.go) instead of a
+// hash map. Successor interning is the hottest loop of both composition
+// engines; the array turns each lookup into one indexed load. Pages are
+// allocated only for touched key ranges, so the limit is bounded by the
+// page-directory size (a 2^30 product needs a 16K-pointer directory, and
+// only the explored slice pays for pages), not by product × 4 bytes as the
+// pre-paging flat array was.
+const denseInternLimit = 1 << 30
 
 // compileComponents validates the component list (pairwise-disjoint
 // interfaces, as Many requires) and builds the shared tables.
@@ -112,11 +118,22 @@ func compileComponents(components []*spec.Spec) (*compTables, error) {
 	prod := uint64(1)
 	for _, c := range components {
 		n := uint64(c.NumStates())
-		if prod > (1<<63)/n {
+		if n == 0 {
+			// The old guard (prod > (1<<63)/n) divided by zero here; a
+			// zero-state component has no initial state and no product to
+			// speak of, so reject it outright.
+			return nil, fmt.Errorf("compose: component %s has no states", c.Name())
+		}
+		hi, lo := bits.Mul64(prod, n)
+		if hi != 0 {
+			// Product overflows uint64: fall back to string-keyed tuple
+			// interning. (The old guard also under-approximated the radix
+			// range by one bit; exact detection keeps 2^63..2^64-1 products
+			// on the fast integer key.)
 			t.radixOK = false
 			break
 		}
-		prod *= n
+		prod = lo
 	}
 	t.product = prod
 	return t, nil

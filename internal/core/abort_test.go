@@ -107,7 +107,8 @@ func TestNoQuotientErrorDiagnostic(t *testing.T) {
 		t.Errorf("Witness() = %v, want [bad]", nq.Witness())
 	}
 
-	// Progress-phase nonexistence names its phase, without a witness.
+	// Progress-phase nonexistence names its phase and carries a trace to
+	// the blamed configuration (Theorem 2's stuck run prefix).
 	bDoomed := build(t, spec.NewBuilder("B").Event("del").
 		Init("b0").Ext("b0", "acc", "b1").Ext("b1", "x", "b2"))
 	_, err = Derive(altService(t), bDoomed, Options{})
@@ -117,8 +118,8 @@ func TestNoQuotientErrorDiagnostic(t *testing.T) {
 	if nq.Phase() != "progress" {
 		t.Errorf("Phase() = %q, want progress", nq.Phase())
 	}
-	if nq.Witness() != nil {
-		t.Errorf("progress nonexistence should have no witness, got %v", nq.Witness())
+	if nq.Witness() == nil {
+		t.Errorf("progress nonexistence should carry a witness trace")
 	}
 }
 

@@ -207,10 +207,15 @@ type NoQuotientError struct {
 	// ok(h.ε) already fails, "progress" when the progress phase removed
 	// the initial state.
 	FailedPhase string
-	// WitnessTrace is a witness for the failure when one is available: for
-	// a safety failure, an external event B can emit immediately that the
-	// service forbids. It may be empty — nonexistence by progress is a
-	// global property without a single witness trace.
+	// WitnessTrace is a witness for the failure when one is available. For
+	// a safety failure it is a shortest external trace B can drive without
+	// any converter action, ending with the event the service forbids. For
+	// a progress failure it is an external trace leading h.ε to a blamed
+	// composite configuration — one whose ready sets cannot cover any of
+	// the service's acceptance sets no matter what the converter offers
+	// (the progress phase proved the violation unavoidable from there;
+	// Theorem 2). It may still be empty when no single-trace witness
+	// exists.
 	WitnessTrace []spec.Event
 }
 
@@ -679,6 +684,9 @@ func (d *deriver) fillEnvMetrics() {
 		d.met.EnvStatesExpanded = expanded
 		d.met.EnvStatesTotal = discovered
 		d.met.EnvExpansionNs = ns
+		if ms, ok := d.lazy.(interface{ MemStats() (int64, int64) }); ok {
+			d.met.ArenaBytes, d.met.PeakRowBytes = ms.MemStats()
+		}
 		return
 	}
 	total := 0
@@ -698,13 +706,14 @@ func (d *deriver) safetyPhase() error {
 	for v, b := range d.bs {
 		seeds[v] = d.encode(v, int32(d.a.Init()), int32(b.Init()))
 	}
-	h0, ok, offend := d.closure(d.getScratch(0), seeds)
+	h0, ok, _ := d.closure(d.getScratch(0), seeds)
 	if !ok {
+		// The closure aborted at the first violation; the witness search
+		// re-walks the same ball breadth-first for a shortest offending run.
 		return &NoQuotientError{
-			Reason: fmt.Sprintf(
-				"ok(h.ε) fails: B can emit an external event the service forbids before any converter action (h.ε has %d pairs)", h0.count()),
+			Reason:       "ok(h.ε) fails: B can emit an external event the service forbids before any converter action",
 			FailedPhase:  "safety",
-			WitnessTrace: []spec.Event{offend},
+			WitnessTrace: d.safetyWitness(seeds),
 		}
 	}
 	d.table.intern(h0) // ID 0 = initial state

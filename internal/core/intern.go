@@ -81,6 +81,31 @@ func (ps pairset) forEachUntil(f func(p int32) bool) {
 	}
 }
 
+// runs returns the number of (wordIndex, bits) runs in the set — the unit
+// the sharded verdict scan partitions work by.
+func (ps pairset) runs() int { return len(ps) / 2 }
+
+// runStart returns the first (lowest) pair index of run r; runs hold
+// nonzero words, so every run has one.
+func (ps pairset) runStart(r int) int32 {
+	return int32(ps[2*r])<<6 + int32(bits.TrailingZeros64(ps[2*r+1]))
+}
+
+// forEachRunRange visits the pair indices of runs [lo, hi) in ascending
+// order, stopping early when f returns true.
+func (ps pairset) forEachRunRange(lo, hi int, f func(p int32) bool) {
+	for r := lo; r < hi; r++ {
+		base := int32(ps[2*r]) << 6
+		w := ps[2*r+1]
+		for w != 0 {
+			if f(base + int32(bits.TrailingZeros64(w))) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
 // hash is FNV-1a over the representation; canonical form makes it a set
 // hash. Deterministic across runs (no seed) so state numbering never
 // depends on hash randomization.

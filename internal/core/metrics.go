@@ -57,6 +57,17 @@ type Metrics struct {
 	// expanding environment states on demand during the derivation; always
 	// 0 for eager environments (their compose cost is paid before Derive).
 	EnvExpansionNs int64
+	// ArenaBytes / PeakRowBytes describe a demand-driven environment's row
+	// storage: the bytes reserved by compose.Lazy's append-only row arenas,
+	// and the largest single state's row footprint. Both are 0 for eager
+	// environments (their tables are materialized before derivation).
+	ArenaBytes   int64
+	PeakRowBytes int64
+	// SweepSteals counts task migrations in the progress phase's
+	// work-stealing SCC scheduler: SCC tasks executed by a worker other
+	// than the one whose deque they were enqueued on. Always 0 when
+	// Workers <= 1 (the scheduler only runs multi-worker sweeps).
+	SweepSteals int
 }
 
 // InternHitRate returns the fraction of intern lookups that found an

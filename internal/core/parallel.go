@@ -47,18 +47,16 @@ type phiResult struct {
 // only ever cleared word-by-word via the dirty list, so a closure touching
 // k pairs costs O(k) regardless of how large the domain is (or grows to,
 // under a demand-driven environment).
+//
+// There is deliberately no per-worker row cache here. compose.Lazy's read
+// path is a single atomic load against arena-backed rows that never move,
+// so caching slice headers per worker bought nothing but a doubling-copy
+// churn that dominated large-derivation profiles.
 type scratch struct {
 	stack []int32   // closure DFS stack
 	seeds [][]int32 // φ seed pairs, bucketed by Int-event index
 	dense []uint64  // dense scratch bits over the pair domain
 	dirty []int32   // word indices with at least one bit set in dense
-
-	// rext/rint cache demand-driven row lookups by packed-b id, so the hot
-	// closure loop pays compose.Lazy's atomic published-row check once per
-	// (worker, state) instead of once per pair visit. Rows are immutable
-	// once published, so a per-worker copy of the slice headers is safe.
-	rext [][]bedge
-	rint [][]int32
 }
 
 func newScratch(d *deriver) *scratch {
@@ -109,35 +107,14 @@ func (sc *scratch) extract() pairset {
 	return out
 }
 
-// emptyBedges is the cached-row sentinel for states with no external edges,
-// distinguishing "expanded, empty" from "not yet cached" (nil).
-var emptyBedges = []bedge{}
-
-// rowsCached is rowsOf routed through the worker's row cache. Only the
-// demand-driven path caches; the eager tables are already direct loads.
-func (d *deriver) rowsCached(sc *scratch, v int, pb int32) ([]bedge, []int32) {
-	if d.lazy == nil {
-		b := pb - d.boff[v]
-		return d.bext[v][b], d.bintl[v][b]
+// rowsPacked returns the rows of a packed-b id: the demand-driven path goes
+// straight to the environment (lazy ids are packed ids), the eager path
+// indexes the per-variant tables.
+func (d *deriver) rowsPacked(v int, pb int32) ([]bedge, []int32) {
+	if d.lazy != nil {
+		return d.lazy.Rows(spec.State(pb))
 	}
-	if int(pb) < len(sc.rext) {
-		if e := sc.rext[pb]; e != nil {
-			return e, sc.rint[pb]
-		}
-	} else {
-		n := max(2*len(sc.rext), int(pb)+64)
-		ge := make([][]bedge, n)
-		copy(ge, sc.rext)
-		gi := make([][]int32, n)
-		copy(gi, sc.rint)
-		sc.rext, sc.rint = ge, gi
-	}
-	ext, ints := d.lazy.Rows(spec.State(pb))
-	if ext == nil {
-		ext = emptyBedges
-	}
-	sc.rext[pb], sc.rint[pb] = ext, ints
-	return ext, ints
+	return d.bext[v][pb-d.boff[v]], d.bintl[v][pb-d.boff[v]]
 }
 
 // closure computes the smallest pair set containing seeds that is closed
@@ -146,6 +123,12 @@ func (d *deriver) rowsCached(sc *scratch, v int, pb int32) ([]bedge, []int32) {
 // h.ε and φ. ok reports the ok.J predicate: it is false when some reached
 // pair lets B emit an external event the service does not then allow;
 // offend is the first such event encountered (meaningful only when !ok).
+//
+// The walk aborts on the first violation: a failed set is discarded by
+// every caller (φ omits the transition, h.ε fails the derivation), so
+// nothing downstream ever observes the partially built set, and the
+// counterexample machinery (witness.go) re-derives a shortest offending
+// run independently of how far this walk got.
 func (d *deriver) closure(sc *scratch, seeds []int32) (out pairset, ok bool, offend spec.Event) {
 	numA := int32(d.numA)
 	stack := sc.stack[:0]
@@ -155,13 +138,14 @@ func (d *deriver) closure(sc *scratch, seeds []int32) (out pairset, ok bool, off
 			stack = append(stack, p)
 		}
 	}
+walk:
 	for len(stack) > 0 {
 		p := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		a := p % numA
 		pb := p / numA
 		v := d.variantOf(pb)
-		ext, ints := d.rowsCached(sc, v, pb)
+		ext, ints := d.rowsPacked(v, pb)
 		for _, t := range ints {
 			q := (d.boff[v]+t)*numA + a
 			if sc.setBit(q) {
@@ -175,11 +159,9 @@ func (d *deriver) closure(sc *scratch, seeds []int32) (out pairset, ok bool, off
 			}
 			a2 := d.psi[arow+int(ed.Ev)]
 			if a2 < 0 {
-				if ok {
-					offend = d.events[ed.Ev]
-				}
+				offend = d.events[ed.Ev]
 				ok = false
-				continue
+				break walk
 			}
 			q := (d.boff[v]+ed.To)*numA + a2
 			if sc.setBit(q) {
@@ -204,7 +186,7 @@ func (d *deriver) expandState(sc *scratch, si int, out []phiResult) {
 		a := p % numA
 		pb := p / numA
 		v := d.variantOf(pb)
-		ext, _ := d.rowsCached(sc, v, pb)
+		ext, _ := d.rowsPacked(v, pb)
 		for _, ed := range ext {
 			if ii := d.intlIndex[ed.Ev]; ii >= 0 {
 				sc.seeds[ii] = append(sc.seeds[ii], (d.boff[v]+ed.To)*numA+a)

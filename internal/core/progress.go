@@ -2,7 +2,7 @@
 //
 // A sweep removes every converter state containing a pair whose composite
 // ready sets cannot satisfy A's acceptance sets; removal changes
-// reachability, so sweeps repeat to a fixpoint. Four ideas keep the phase
+// reachability, so sweeps repeat to a fixpoint. Five ideas keep the phase
 // cheap on large instances:
 //
 //   - Incrementality (PR 1): deleting state r only changes verdicts of
@@ -21,25 +21,34 @@
 //     computation runs Tarjan SCC condensation over the combo graph and a
 //     reverse-topological DP, with edges into still-valid columns consumed
 //     as memoized leaves (the τ-closure cache hits of core.Metrics).
-//   - Resolved-successor arenas and O(1) slot lookup (this PR): each Tarjan
-//     node's successor list — row enumeration, Int-edge redirection through
-//     the converter graph, combo-slot binary search — used to be recomputed
-//     three times (SCC pass, level pass, mask DP); it is now resolved once
-//     at node creation into a flat arena the later passes iterate. Slot
-//     lookup itself switches from binary search to a per-column rank bitmap
-//     (popcount prefix sums) once a column is large enough, and the verdict
-//     scan exploits the pb-major pair encoding: pairs arrive in packed-b
-//     order, so a single merge-walk cursor replaces a per-pair search.
-//     Together these removed the dominant flat cost of chain-family
-//     derivations. Under a demand-driven environment the tables cover only
-//     the states the safety phase expanded — the phase never forces
-//     expansion of product states the derivation did not touch.
-//   - Parallelism: the condensation DP processes SCCs level by level
-//     (levels are antichains, so same-level SCCs are independent) and the
-//     verdict scan fans over Options.Workers goroutines; both write
-//     disjoint slots and merge deterministically, so removal order — and
-//     therefore every downstream artifact — is bit-identical for every
-//     worker count.
+//   - The wide, pb-major sweep (this PR): a sweep's Tarjan graph used to
+//     have one node per (column, slot) — on chain-scale instances, millions
+//     of nodes whose construction dominated the phase. But the graph's
+//     τ-edges are column-independent and its Int-edges only redirect the
+//     column, so when a sweep touches at most 64 columns the engine instead
+//     runs ONE Tarjan over the packed-b states (refreshReadyWide): each pb
+//     carries a 64-bit membership mask over the affected columns, masks for
+//     all member columns are computed together in a dense node-major
+//     scratch, and within-SCC fixpoint iteration absorbs the (sound,
+//     order-only) overapproximation of collapsing per-column edges onto the
+//     pb graph. The mask system is monotone, so its least fixpoint — the
+//     exact τ*-reachability closure — is what both paths compute: the wide
+//     sweep is bit-identical to the narrow one. Sweeps touching more
+//     columns keep the narrow per-(column, slot) Tarjan with successor
+//     arenas and rank-bitmap slot lookup (PR 5).
+//   - Work-stealing sweep scheduling (this PR): both paths used to process
+//     the condensation level by level with a barrier per level; skewed
+//     levels serialized the sweep. The DP now runs on per-SCC atomic
+//     dependency counters with per-worker stealing deques (sched.go);
+//     single-worker sweeps simply walk Tarjan's emission order, which is
+//     already reverse-topological. The verdict scan fans over workers too,
+//     sharding large pair sets by runs so a handful of huge columns cannot
+//     serialize it, and switches to the batched sat.ProgBlock kernel on
+//     dense columns.
+//   - Determinism everywhere: every SCC writes only its members' slots and
+//     each mask is the unique least fixpoint of a monotone union system, so
+//     removal order — and therefore every downstream artifact — is
+//     bit-identical for every worker count and for both sweep paths.
 //
 // The prog verdict itself is sat.AcceptanceIndex.Prog: A's acceptance sets
 // precompiled to minimal bitmasks, one subset test per candidate.
@@ -60,6 +69,22 @@ import (
 // bitmap for O(1) slot lookup instead of binary search. Below it the bitmap
 // (totalB bits + prefix counts) costs more to build than it saves.
 const rankThreshold = 128
+
+// wideColumnLimit is the most affected columns a sweep may have and still
+// take the wide pb-major path: one bit per column in a pb's membership
+// mask. A variable, not a constant, so tests can force the narrow path and
+// cross-check the two (TestNarrowWideSweepsAgree).
+var wideColumnLimit = 64
+
+// wideMemWords caps the wide path's dense mask scratch, in uint64 words
+// (32M words = 256 MiB); sweeps that would exceed it fall back to the
+// narrow path, which allocates per live slot instead of per (pb, column).
+var wideMemWords = 32 << 20
+
+// minSchedSCCs is the condensation size below which a sweep computes masks
+// inline even with workers available — scheduling overhead would exceed
+// the work.
+const minSchedSCCs = 64
 
 // progTables is the progress phase's per-derivation state, kept on the
 // deriver so repeated sweeps share the combo tables and memoized masks.
@@ -93,7 +118,8 @@ type progTables struct {
 	// first sweep's capacity instead of re-growing it allocation by
 	// allocation (the first sweep visits every column; later sweeps a
 	// shrinking closure). SCC membership is stored flat: SCC si's members
-	// are sccMembers[sccOff[si]:sccOff[si+1]].
+	// are sccMembers[sccOff[si]:sccOff[si+1]]. The narrow path stores
+	// (column, slot) node ids in these arrays, the wide path pb node ids.
 	tnodes     []tnode
 	tarena     []succRef
 	tlow       []int32
@@ -103,8 +129,25 @@ type progTables struct {
 	tframes    []tframe
 	sccMembers []int32
 	sccOff     []int32
-	sccLevel   []int32
-	sccOrder   []int32
+
+	// Condensation dependency scratch for the work-stealing scheduler
+	// (sched.go), rebuilt per multi-worker sweep.
+	sccDeps    []int32
+	sccStamp   []int32
+	sccFill    []int32
+	sccDepOff  []int32
+	sccDepList []int32
+
+	// Wide-sweep (pb-major) state; see refreshReadyWide. wMember and wNode
+	// span the packed-b domain and are restored to all-zero / all -1 after
+	// every wide sweep, so only the touched entries are ever paid for.
+	wMember []uint64 // per pb: membership bitmask over the sweep's columns
+	wNode   []int32  // per pb: dense node id this sweep, or -1
+	wActive []int32  // node id → pb
+	wReady  []uint64 // node-major mask scratch: [(node*m + j) * words]
+	wDfn    []int32  // per node: Tarjan DFS number, or -1
+	wSelf   []bool   // per node: has a pb-graph self-edge (needs fixpoint)
+	colOf   []int32  // converter state → index into the sweep's cols, or -1
 }
 
 // initProgTables builds the acceptance index, base ready masks, and empty
@@ -134,19 +177,28 @@ func (d *deriver) initProgTables() error {
 	pt.bready = make([]uint64, int(pt.totalB)*pt.words)
 	pt.ext = make([][]bedge, pt.totalB)
 	pt.ints = make([][]int32, pt.totalB)
-	fill := func(pb int32, ext []bedge) error {
+	// bitOf is the vectorized ReadyIndex rebuild table: the mask bit of
+	// every Σ_B event id, resolved through the index's map exactly once
+	// instead of once per edge of every row.
+	bitOf := make([]int32, d.nev)
+	for ei := 0; ei < d.nev; ei++ {
+		bitOf[ei] = -1
+		if !d.isExt[ei] {
+			continue
+		}
+		pos, ok := readyIx.Bit(d.events[ei])
+		if !ok { // Ext = Σ_A, so every external event has a bit
+			return fmt.Errorf("quotient: progress phase: event %q missing from ready universe", d.events[ei])
+		}
+		bitOf[ei] = int32(pos)
+	}
+	fill := func(pb int32, ext []bedge) {
 		row := pt.bready[int(pb)*pt.words:]
 		for _, ed := range ext {
-			if !d.isExt[ed.Ev] {
-				continue
+			if pos := bitOf[ed.Ev]; pos >= 0 {
+				row[pos>>6] |= 1 << (uint(pos) & 63)
 			}
-			pos, ok := readyIx.Bit(d.events[ed.Ev])
-			if !ok { // Ext = Σ_A, so every external event has a bit
-				return fmt.Errorf("quotient: progress phase: event %q missing from ready universe", d.events[ed.Ev])
-			}
-			row[pos>>6] |= 1 << (uint(pos) & 63)
 		}
-		return nil
 	}
 	if d.lazy != nil {
 		for pb := int32(0); pb < pt.totalB; pb++ {
@@ -155,18 +207,14 @@ func (d *deriver) initProgTables() error {
 				continue // frontier-only state: zero mask, empty rows, never consulted
 			}
 			pt.ext[pb], pt.ints[pb] = ext, ints
-			if err := fill(pb, ext); err != nil {
-				return err
-			}
+			fill(pb, ext)
 		}
 	} else {
 		for v := range d.bs {
 			for b := int32(0); b < d.numBs[v]; b++ {
 				pb := d.boff[v] + b
 				pt.ext[pb], pt.ints[pb] = d.bext[v][b], d.bintl[v][b]
-				if err := fill(pb, d.bext[v][b]); err != nil {
-					return err
-				}
+				fill(pb, d.bext[v][b])
 			}
 		}
 	}
@@ -321,11 +369,17 @@ func (d *deriver) progressPhase(res *Result, alive []bool) error {
 	}
 	res.Stats.RemovedStates = removedTotal
 	if !alive[0] {
+		// State 0's masks are still current (the sweep that blamed it just
+		// refreshed them and nothing has been invalidated since), so the
+		// first failing pair can be re-identified deterministically — the
+		// sharded scan itself records only a per-state flag — and a witness
+		// trace driven to it.
 		return &NoQuotientError{
 			Reason: fmt.Sprintf(
 				"progress phase removed the initial state after %d iterations (%d states removed): every candidate behavior risks a progress violation of the service",
 				res.Stats.ProgressIterations, removedTotal),
-			FailedPhase: "progress",
+			FailedPhase:  "progress",
+			WitnessTrace: d.progressWitness(d.firstBadPair(0)),
 		}
 	}
 	return nil
@@ -359,10 +413,11 @@ func predClosure(preds [][]int32, removed []int32, alive []bool) []int32 {
 	return out
 }
 
-// tnode is one Tarjan node: a (column, slot) composite state scheduled for
-// ready-mask recomputation this sweep. Its successor references live in the
-// shared arena at [succStart, succEnd) — resolved exactly once, at node
-// creation, then iterated by the SCC walk, the level pass, and the mask DP.
+// tnode is one narrow-path Tarjan node: a (column, slot) composite state
+// scheduled for ready-mask recomputation this sweep. Its successor
+// references live in the shared arena at [succStart, succEnd) — resolved
+// exactly once, at node creation, then iterated by the SCC walk, the
+// dependency builder, and the mask DP.
 type tnode struct {
 	ci, slot           int32
 	succStart, succEnd int32
@@ -377,9 +432,8 @@ type succRef struct {
 	memo     bool
 }
 
-// tframe is one iterative-DFS frame of the Tarjan walk: a node, the resume
-// position within its arena range, and the range end (cached so the inner
-// loop never re-reads the node record).
+// tframe is one iterative-DFS frame of a Tarjan walk: a node, the resume
+// position within its successor range, and the range end.
 type tframe struct {
 	node int32
 	ei   int32
@@ -389,22 +443,46 @@ type tframe struct {
 // refreshReady brings the ready masks of every affected live column up to
 // date. It first invalidates the affected columns (the memo-soundness
 // obligation: these are exactly the states whose composite reachability
-// changed), then runs an iterative Tarjan SCC pass over the invalid combo
-// graph — edges into valid columns are consumed as memoized leaves — and a
-// level-parallel reverse-topological DP over the condensation.
+// changed), then dispatches on sweep shape: at most wideColumnLimit
+// affected columns takes the wide pb-major path, anything bigger (or a
+// wide sweep that would blow the memory cap) the narrow per-slot path.
+// Both compute the same masks — see the package comment.
 func (d *deriver) refreshReady(alive []bool, affected []int32) {
 	pt := d.prog
-	want := 0 // exact Tarjan node count: one per invalidated slot
+	cols := make([]int32, 0, len(affected))
 	for _, ci := range affected {
 		if !alive[ci] {
 			continue
 		}
 		combos := pt.column(d, ci)
-		want += len(combos)
 		if pt.valid[ci] {
 			pt.valid[ci] = false
 			d.met.TauInvalidated += len(combos)
 		}
+		cols = append(cols, ci)
+	}
+	if len(cols) == 0 {
+		return
+	}
+	if len(cols) > wideColumnLimit || !d.refreshReadyWide(alive, cols) {
+		d.refreshReadyNarrow(alive, cols)
+	}
+	for _, ci := range cols {
+		pt.valid[ci] = true
+	}
+}
+
+// refreshReadyNarrow is the per-(column, slot) sweep: an iterative Tarjan
+// SCC pass over the invalid combo graph — edges into valid columns are
+// consumed as memoized leaves — followed by a reverse-topological DP over
+// the condensation, work-stolen across workers when the sweep is big
+// enough (sequential sweeps just follow Tarjan's emission order, which is
+// successors-first).
+func (d *deriver) refreshReadyNarrow(alive []bool, cols []int32) {
+	pt := d.prog
+	want := 0 // exact Tarjan node count: one per invalidated slot
+	for _, ci := range cols {
+		want += len(pt.combos[ci])
 		sn := pt.slotNode[ci]
 		for i := range sn {
 			sn[i] = -1
@@ -518,60 +596,16 @@ func (d *deriver) refreshReady(alive []bool, affected []int32) {
 			}
 		}
 	}
-	for _, ci := range affected {
-		if !alive[ci] {
-			continue
-		}
+	for _, ci := range cols {
 		for slot := range pt.combos[ci] {
 			visit(ci, int32(slot))
 		}
 	}
 	d.met.ReadySetRebuilds += len(nodes)
 
-	// Condensation levels: Tarjan emits SCCs successors-first, so each
-	// SCC's cross-edges point at already-levelled SCCs. Same-level SCCs
-	// have no edges between them (an edge forces a level gap), so each
-	// level is processed in parallel; every SCC writes only its members'
-	// slots, and reads only lower-level slots or valid memos, making the
-	// result independent of scheduling.
 	w := pt.words
 	var hits int64
 	nsccs := len(sccOff) - 1
-	level := growCap(pt.sccLevel, nsccs)[:nsccs]
-	maxLevel := int32(0)
-	for si := 0; si < nsccs; si++ {
-		lvl := int32(0)
-		for _, m := range sccMembers[sccOff[si]:sccOff[si+1]] {
-			nd := nodes[m]
-			for _, r := range arena[nd.succStart:nd.succEnd] {
-				if r.memo {
-					continue
-				}
-				ts := sccOf[pt.slotNode[r.ci][r.slot]]
-				if int(ts) != si && level[ts]+1 > lvl {
-					lvl = level[ts] + 1
-				}
-			}
-		}
-		level[si] = lvl
-		if lvl > maxLevel {
-			maxLevel = lvl
-		}
-	}
-	// Counting sort by level into a flat order; levelOff brackets each level.
-	levelOff := make([]int32, maxLevel+2)
-	for si := 0; si < nsccs; si++ {
-		levelOff[level[si]+1]++
-	}
-	for l := int32(1); l <= maxLevel+1; l++ {
-		levelOff[l] += levelOff[l-1]
-	}
-	order := growCap(pt.sccOrder, nsccs)[:nsccs]
-	fillCursor := append([]int32(nil), levelOff[:maxLevel+1]...)
-	for si := 0; si < nsccs; si++ {
-		order[fillCursor[level[si]]] = int32(si)
-		fillCursor[level[si]]++
-	}
 	computeSCC := func(si int32, mask []uint64) {
 		members := sccMembers[sccOff[si]:sccOff[si+1]]
 		localHits := int64(0)
@@ -604,10 +638,7 @@ func (d *deriver) refreshReady(alive []bool, affected []int32) {
 		for _, m := range members {
 			nd := nodes[m]
 			pb := pt.combos[nd.ci][nd.slot]
-			base := pt.bready[int(pb)*w : int(pb)*w+w]
-			for i := range mask {
-				mask[i] |= base[i]
-			}
+			sat.OrInto(mask, pt.bready[int(pb)*w:int(pb)*w+w])
 			for _, r := range arena[nd.succStart:nd.succEnd] {
 				if !r.memo && sccOf[pt.slotNode[r.ci][r.slot]] == si {
 					continue // intra-SCC edge: same mask by definition
@@ -615,10 +646,7 @@ func (d *deriver) refreshReady(alive []bool, affected []int32) {
 				if r.memo {
 					localHits++
 				}
-				tm := pt.ready[r.ci][int(r.slot)*w : int(r.slot)*w+w]
-				for i := range mask {
-					mask[i] |= tm[i]
-				}
+				sat.OrInto(mask, pt.ready[r.ci][int(r.slot)*w:int(r.slot)*w+w])
 			}
 		}
 		for _, m := range members {
@@ -627,48 +655,436 @@ func (d *deriver) refreshReady(alive []bool, affected []int32) {
 		}
 		atomic.AddInt64(&hits, localHits)
 	}
-	workers := d.workers
-	for l := int32(0); l <= maxLevel; l++ {
-		bucket := order[levelOff[l]:levelOff[l+1]]
-		if workers <= 1 || len(bucket) < 2*workers {
-			mask := make([]uint64, w)
-			for _, si := range bucket {
-				computeSCC(si, mask)
-			}
-			continue
-		}
-		var cursor int64
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for wk := 0; wk < workers; wk++ {
-			go func() {
-				defer wg.Done()
-				mask := make([]uint64, w)
-				for {
-					i := int(atomic.AddInt64(&cursor, 1)) - 1
-					if i >= len(bucket) {
-						return
+	if workers := d.workers; workers > 1 && nsccs >= minSchedSCCs {
+		forEach := func(si int32, emit func(ts int32)) {
+			for _, m := range sccMembers[sccOff[si]:sccOff[si+1]] {
+				nd := nodes[m]
+				for _, r := range arena[nd.succStart:nd.succEnd] {
+					if !r.memo {
+						emit(sccOf[pt.slotNode[r.ci][r.slot]])
 					}
-					computeSCC(bucket[i], mask)
 				}
-			}()
+			}
 		}
-		wg.Wait()
+		deps, depOff, depList := pt.buildSCCDeps(nsccs, forEach)
+		masks := make([][]uint64, workers)
+		for i := range masks {
+			masks[i] = make([]uint64, w)
+		}
+		steals := runSCCSched(nsccs, workers, deps, depOff, depList,
+			func(si int32, wk int) { computeSCC(si, masks[wk]) })
+		d.met.SweepSteals += int(steals)
+	} else {
+		// Tarjan emits an SCC only after every SCC reachable from it, so
+		// ascending emission order is a valid reverse-topological schedule.
+		mask := make([]uint64, w)
+		for si := 0; si < nsccs; si++ {
+			computeSCC(int32(si), mask)
+		}
 	}
 	d.met.TauCacheHits += int(hits)
-
-	for _, ci := range affected {
-		if alive[ci] {
-			pt.valid[ci] = true
-		}
-	}
 
 	// Park the scratch (at its grown capacity) for the next sweep.
 	pt.tnodes, pt.tarena = nodes, arena
 	pt.tlow, pt.tonStack, pt.tsccOf, pt.tstack = low, onStack, sccOf, stack
 	pt.tframes = callStack
 	pt.sccMembers, pt.sccOff = sccMembers, sccOff
-	pt.sccLevel, pt.sccOrder = level, order
+}
+
+// refreshReadyWide is the pb-major sweep for narrow-column shapes (at most
+// wideColumnLimit affected columns): one Tarjan over the packed-b states
+// that appear in any affected column, with per-pb membership masks and a
+// dense node-major mask scratch holding one ready mask per (pb, member
+// column). Collapsing per-column edges onto the pb graph can only merge
+// SCCs, never split an order constraint — the τ-edges are genuinely
+// column-independent, and every Int-edge some column needs maps to a pb
+// edge that is present whenever its target participates in the sweep — so
+// the condensation order is valid for every column, and within-SCC
+// fixpoint iteration converges each mask to the unique least fixpoint the
+// narrow path computes slot by slot. Returns false (leaving all state
+// restored) when the scratch would exceed wideMemWords.
+func (d *deriver) refreshReadyWide(alive []bool, cols []int32) bool {
+	pt := d.prog
+	m := len(cols)
+	w := pt.words
+	if pt.wMember == nil {
+		pt.wMember = make([]uint64, pt.totalB)
+		pt.wNode = make([]int32, pt.totalB)
+		for i := range pt.wNode {
+			pt.wNode[i] = -1
+		}
+		pt.colOf = make([]int32, len(d.states))
+		for i := range pt.colOf {
+			pt.colOf[i] = -1
+		}
+	}
+	// Membership pass: one bit per affected column per pb; node ids are
+	// assigned in first-touch order. Everything set here is undone before
+	// returning (on both the bail-out and the success path), keeping the
+	// domain-sized arrays at their zero state between sweeps.
+	active := pt.wActive[:0]
+	slots := 0
+	for j, ci := range cols {
+		bit := uint64(1) << uint(j)
+		for _, pb := range pt.combos[ci] {
+			if pt.wMember[pb] == 0 {
+				pt.wNode[pb] = int32(len(active))
+				active = append(active, pb)
+			}
+			pt.wMember[pb] |= bit
+		}
+		slots += len(pt.combos[ci])
+		pt.colOf[ci] = int32(j)
+	}
+	nAct := len(active)
+	cleanup := func() {
+		for _, pb := range active {
+			pt.wMember[pb] = 0
+			pt.wNode[pb] = -1
+		}
+		for _, ci := range cols {
+			pt.colOf[ci] = -1
+		}
+		pt.wActive = active[:0]
+	}
+	if nAct*m*w > wideMemWords {
+		cleanup()
+		return false
+	}
+
+	// Iterative Tarjan over the pb graph, successors resolved on the fly
+	// (τ targets stay in-sweep by closure; Int targets join when any member
+	// column could redirect into them). Self-edges don't affect SCC
+	// structure but flag the node for fixpoint iteration: an Int self-edge
+	// can carry a cross-column dependency (pb, j) → (pb, j').
+	dfn := resizeSlice(pt.wDfn, nAct)
+	low := resizeSlice(pt.tlow, nAct)
+	sccOf := resizeSlice(pt.tsccOf, nAct)
+	onStack := resizeSlice(pt.tonStack, nAct)
+	self := resizeSlice(pt.wSelf, nAct)
+	for i := 0; i < nAct; i++ {
+		dfn[i] = -1
+		onStack[i] = false
+		self[i] = false
+	}
+	stack := pt.tstack[:0]
+	frames := pt.tframes[:0]
+	sccMembers := growCap(pt.sccMembers, nAct)
+	sccOff := append(pt.sccOff[:0], 0)
+
+	var dfc int32
+	push := func(nid int32) {
+		dfn[nid], low[nid] = dfc, dfc
+		dfc++
+		onStack[nid] = true
+		stack = append(stack, nid)
+		pb := active[nid]
+		frames = append(frames, tframe{node: nid, ei: 0, end: int32(len(pt.ints[pb]) + len(pt.ext[pb]))})
+	}
+	for _, root := range active {
+		if dfn[pt.wNode[root]] >= 0 {
+			continue
+		}
+		push(pt.wNode[root])
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			nid := f.node
+			if f.ei >= f.end {
+				if low[nid] == dfn[nid] {
+					si := int32(len(sccOff)) - 1
+					for {
+						mn := stack[len(stack)-1]
+						stack = stack[:len(stack)-1]
+						onStack[mn] = false
+						sccOf[mn] = si
+						sccMembers = append(sccMembers, mn)
+						if mn == nid {
+							break
+						}
+					}
+					sccOff = append(sccOff, int32(len(sccMembers)))
+				}
+				frames = frames[:len(frames)-1]
+				if len(frames) > 0 {
+					p := &frames[len(frames)-1]
+					if low[nid] < low[p.node] {
+						low[p.node] = low[nid]
+					}
+				}
+				continue
+			}
+			pb := active[nid]
+			ints := pt.ints[pb]
+			q := int32(-1)
+			if int(f.ei) < len(ints) {
+				q = d.boff[d.variantOf(pb)] + ints[f.ei]
+			} else {
+				ed := pt.ext[pb][int(f.ei)-len(ints)]
+				if d.intlIndex[ed.Ev] >= 0 {
+					t := d.boff[d.variantOf(pb)] + ed.To
+					if pt.wMember[t] != 0 {
+						q = t
+					}
+				}
+			}
+			f.ei++
+			if q < 0 {
+				continue
+			}
+			if q == pb {
+				self[nid] = true
+				continue
+			}
+			tn := pt.wNode[q]
+			if dfn[tn] < 0 {
+				push(tn) // f is stale after this; the loop refetches it
+			} else if onStack[tn] && dfn[tn] < low[nid] {
+				low[nid] = dfn[tn]
+			}
+		}
+	}
+	d.met.ReadySetRebuilds += slots
+
+	// Dense mask scratch, node-major: all member columns of a pb are
+	// adjacent, so the DP streams each row's edges once and updates every
+	// column in cache order. Masks start at ⊥; monotone union iteration
+	// makes the final content the least fixpoint regardless of order.
+	need := nAct * m * w
+	if cap(pt.wReady) < need {
+		pt.wReady = make([]uint64, need)
+	} else {
+		pt.wReady = pt.wReady[:need]
+		for i := range pt.wReady {
+			pt.wReady[i] = 0
+		}
+	}
+	wr := pt.wReady
+
+	var hits int64
+	computeWide := func(si int32, acc []uint64) {
+		members := sccMembers[sccOff[si]:sccOff[si+1]]
+		pass := func(count bool) bool {
+			changed := false
+			localHits := int64(0)
+			for _, nid := range members {
+				pb := active[nid]
+				v := d.variantOf(pb)
+				ints, ext := pt.ints[pb], pt.ext[pb]
+				if w == 1 {
+					base := pt.bready[pb]
+					for rest := pt.wMember[pb]; rest != 0; {
+						j := bits.TrailingZeros64(rest)
+						rest &^= 1 << uint(j)
+						ci := cols[j]
+						acc0 := base
+						for _, t := range ints {
+							acc0 |= wr[int(pt.wNode[d.boff[v]+t])*m+j]
+						}
+						succ := d.states[ci].succ
+						for _, ed := range ext {
+							ii := d.intlIndex[ed.Ev]
+							if ii < 0 {
+								continue
+							}
+							t := succ[ii]
+							if t < 0 || !alive[t] {
+								continue
+							}
+							q := d.boff[v] + ed.To
+							if jj := pt.colOf[t]; jj >= 0 {
+								acc0 |= wr[int(pt.wNode[q])*m+int(jj)]
+							} else if s := pt.slotOf(t, q); s >= 0 {
+								acc0 |= pt.ready[t][s]
+								if count {
+									localHits++
+								}
+							}
+						}
+						if idx := int(nid)*m + j; wr[idx] != acc0 {
+							wr[idx] = acc0
+							changed = true
+						}
+					}
+					continue
+				}
+				base := pt.bready[int(pb)*w : int(pb)*w+w]
+				for rest := pt.wMember[pb]; rest != 0; {
+					j := bits.TrailingZeros64(rest)
+					rest &^= 1 << uint(j)
+					ci := cols[j]
+					copy(acc, base)
+					for _, t := range ints {
+						o := (int(pt.wNode[d.boff[v]+t])*m + j) * w
+						sat.OrInto(acc, wr[o:o+w])
+					}
+					succ := d.states[ci].succ
+					for _, ed := range ext {
+						ii := d.intlIndex[ed.Ev]
+						if ii < 0 {
+							continue
+						}
+						t := succ[ii]
+						if t < 0 || !alive[t] {
+							continue
+						}
+						q := d.boff[v] + ed.To
+						if jj := pt.colOf[t]; jj >= 0 {
+							o := (int(pt.wNode[q])*m + int(jj)) * w
+							sat.OrInto(acc, wr[o:o+w])
+						} else if s := pt.slotOf(t, q); s >= 0 {
+							sat.OrInto(acc, pt.ready[t][int(s)*w:int(s)*w+w])
+							if count {
+								localHits++
+							}
+						}
+					}
+					o := (int(nid)*m + j) * w
+					dst := wr[o : o+w]
+					same := true
+					for i := range acc {
+						if acc[i] != dst[i] {
+							same = false
+							break
+						}
+					}
+					if !same {
+						copy(dst, acc)
+						changed = true
+					}
+				}
+			}
+			if count {
+				atomic.AddInt64(&hits, localHits)
+			}
+			return changed
+		}
+		// A singleton SCC without self-edges is already final after one
+		// pass; anything else iterates to the fixpoint. Memo hits are
+		// counted on the first pass only, matching the narrow path's
+		// one-count-per-edge accounting.
+		if len(members) == 1 && !self[members[0]] {
+			pass(true)
+			return
+		}
+		if pass(true) {
+			for pass(false) {
+			}
+		}
+	}
+	nsccs := len(sccOff) - 1
+	if workers := d.workers; workers > 1 && nsccs >= minSchedSCCs {
+		forEach := func(si int32, emit func(ts int32)) {
+			for _, nid := range sccMembers[sccOff[si]:sccOff[si+1]] {
+				pb := active[nid]
+				v := d.variantOf(pb)
+				for _, t := range pt.ints[pb] {
+					emit(sccOf[pt.wNode[d.boff[v]+t]])
+				}
+				for _, ed := range pt.ext[pb] {
+					if d.intlIndex[ed.Ev] < 0 {
+						continue
+					}
+					if q := d.boff[v] + ed.To; pt.wMember[q] != 0 {
+						emit(sccOf[pt.wNode[q]])
+					}
+				}
+			}
+		}
+		deps, depOff, depList := pt.buildSCCDeps(nsccs, forEach)
+		accs := make([][]uint64, workers)
+		for i := range accs {
+			accs[i] = make([]uint64, w)
+		}
+		steals := runSCCSched(nsccs, workers, deps, depOff, depList,
+			func(si int32, wk int) { computeWide(si, accs[wk]) })
+		d.met.SweepSteals += int(steals)
+	} else {
+		acc := make([]uint64, w)
+		for si := 0; si < nsccs; si++ {
+			computeWide(int32(si), acc)
+		}
+	}
+	d.met.TauCacheHits += int(hits)
+
+	// Scatter the node-major masks back into the column-major memo the
+	// verdict scan and future sweeps' memo leaves read.
+	for j, ci := range cols {
+		combos := pt.combos[ci]
+		dst := pt.ready[ci]
+		if w == 1 {
+			for s, pb := range combos {
+				dst[s] = wr[int(pt.wNode[pb])*m+j]
+			}
+			continue
+		}
+		for s, pb := range combos {
+			o := (int(pt.wNode[pb])*m + j) * w
+			copy(dst[s*w:(s+1)*w], wr[o:o+w])
+		}
+	}
+
+	cleanup()
+	// Park the scratch for the next sweep.
+	pt.wDfn, pt.tlow, pt.tsccOf = dfn, low, sccOf
+	pt.tonStack, pt.wSelf = onStack, self
+	pt.tstack, pt.tframes = stack[:0], frames[:0]
+	pt.sccMembers, pt.sccOff = sccMembers, sccOff
+	return true
+}
+
+// buildSCCDeps builds the dependency counters and dependents CSR the
+// scheduler (sched.go) consumes. forEach must enumerate the successor SCCs
+// of an SCC, repeats allowed and identically on every call; dedup happens
+// here via stamps. deps[si] counts si's distinct cross successors;
+// depList[depOff[ts]:depOff[ts+1]] lists the SCCs waiting on ts.
+func (pt *progTables) buildSCCDeps(nsccs int, forEach func(si int32, emit func(ts int32))) (deps, depOff, depList []int32) {
+	deps = resizeSlice(pt.sccDeps, nsccs)
+	stamp := resizeSlice(pt.sccStamp, nsccs)
+	depOff = resizeSlice(pt.sccDepOff, nsccs+1)
+	for i := 0; i < nsccs; i++ {
+		deps[i] = 0
+		stamp[i] = -1
+		depOff[i+1] = 0
+	}
+	depOff[0] = 0
+	total := 0
+	for si := 0; si < nsccs; si++ {
+		s32 := int32(si)
+		stamp[si] = s32 // intra-SCC edges are not dependencies
+		forEach(s32, func(ts int32) {
+			if stamp[ts] == s32 {
+				return
+			}
+			stamp[ts] = s32
+			deps[si]++
+			depOff[ts+1]++
+			total++
+		})
+	}
+	for i := 1; i <= nsccs; i++ {
+		depOff[i] += depOff[i-1]
+	}
+	depList = resizeSlice(pt.sccDepList, total)
+	fill := resizeSlice(pt.sccFill, nsccs)
+	copy(fill, depOff[:nsccs])
+	for i := 0; i < nsccs; i++ {
+		stamp[i] = -1 // pass 1 left its own stamps; they'd alias pass 2's
+	}
+	for si := 0; si < nsccs; si++ {
+		s32 := int32(si)
+		stamp[si] = s32
+		forEach(s32, func(ts int32) {
+			if stamp[ts] == s32 {
+				return
+			}
+			stamp[ts] = s32
+			depList[fill[ts]] = s32
+			fill[ts]++
+		})
+	}
+	pt.sccDeps, pt.sccStamp, pt.sccFill = deps, stamp, fill
+	pt.sccDepOff, pt.sccDepList = depOff, depList
+	return deps, depOff, depList
 }
 
 // growCap returns s emptied for reuse, reallocating only when its capacity
@@ -680,81 +1096,211 @@ func growCap[T any](s []T, n int) []T {
 	return s[:0]
 }
 
-// verdictScan evaluates prog for every pair of every affected live state,
-// fanning across workers; the removal list is assembled from per-state
-// flags in affected order, so it is identical for every worker count. The
-// pb-major encoding delivers a state's pairs in nondecreasing packed-b
+// resizeSlice returns s resized to exactly n elements, reallocating only
+// when the capacity is insufficient; contents are unspecified.
+func resizeSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// Verdict-scan shape thresholds: pair sets with at least shardRuns sparse
+// runs are split into run-range shards so a few huge columns cannot
+// serialize a multi-worker scan; columns at least 3/4-dense in (a, pb)
+// pairs use the batched ProgBlock kernel instead of per-pair Prog calls.
+const shardRuns = 512
+
+// scanTask is one unit of verdict-scan work: a state (by index into the
+// affected list) and a run range of its pair set.
+type scanTask struct {
+	idx    int32
+	lo, hi int32
+}
+
+// verdictScan evaluates prog for every pair of every affected live state.
+// The pb-major encoding delivers a state's pairs in nondecreasing packed-b
 // order — the same order as its combo table — so a merge-walk cursor finds
-// each pair's ready-mask slot without any per-pair lookup.
+// each pair's ready-mask slot without per-pair lookup (shards re-anchor
+// their cursor once via slotOf). The removal list is assembled from
+// per-state flags in affected order, so it is identical for every worker
+// count and sharding.
 func (d *deriver) verdictScan(alive []bool, affected []int32) []int32 {
 	pt := d.prog
 	w := pt.words
 	numA := int32(d.numA)
-	bad := make([]bool, len(affected))
-	scan := func(i int) {
+	bad := make([]int32, len(affected))
+
+	// scanRange walks runs [lo, hi) of state i's pair set; a set flag from
+	// any shard short-circuits the others.
+	scanRange := func(i int, lo, hi int) {
 		ci := affected[i]
-		if !alive[ci] {
-			return
-		}
+		set := d.table.get(ci)
 		combos := pt.combos[ci]
 		cursor := 0
-		isBad := false
-		d.table.get(ci).forEachUntil(func(p int32) bool {
+		if lo > 0 {
+			if c := pt.slotOf(ci, set.runStart(lo)/numA); c >= 0 {
+				cursor = int(c)
+			}
+		}
+		set.forEachRunRange(lo, hi, func(p int32) bool {
+			if atomic.LoadInt32(&bad[i]) != 0 {
+				return true
+			}
 			a := p % numA
 			pb := p / numA
 			for cursor < len(combos) && combos[cursor] < pb {
 				cursor++
 			}
 			if cursor == len(combos) || combos[cursor] != pb {
-				isBad = true // cannot happen: combos are the pair-set projection
+				atomic.StoreInt32(&bad[i], 1) // cannot happen: combos are the projection
 				return true
 			}
-			mask := pt.ready[ci][cursor*w : cursor*w+w]
-			if !pt.accIx.Prog(spec.State(a), mask) {
-				isBad = true
+			if !pt.accIx.Prog(spec.State(a), pt.ready[ci][cursor*w:cursor*w+w]) {
+				atomic.StoreInt32(&bad[i], 1)
+				return true
 			}
-			return isBad
+			return false
 		})
-		bad[i] = isBad
 	}
+	// scanBlock is the dense-column path: evaluate every A-state against
+	// the whole mask column with one ProgBlock stream each, then walk the
+	// pairs testing verdict bits.
+	scanBlock := func(i int) {
+		ci := affected[i]
+		combos := pt.combos[ci]
+		nslots := len(combos)
+		vw := (nslots + 63) / 64
+		out := make([]uint64, d.numA*vw)
+		for a := 0; a < d.numA; a++ {
+			pt.accIx.ProgBlock(spec.State(a), pt.ready[ci], nslots, out[a*vw:(a+1)*vw])
+		}
+		cursor := 0
+		d.table.get(ci).forEachUntil(func(p int32) bool {
+			a := p % numA
+			pb := p / numA
+			for cursor < len(combos) && combos[cursor] < pb {
+				cursor++
+			}
+			if cursor == len(combos) || combos[cursor] != pb ||
+				out[int(a)*vw+cursor>>6]&(1<<(uint(cursor)&63)) == 0 {
+				atomic.StoreInt32(&bad[i], 1)
+				return true
+			}
+			return false
+		})
+	}
+	// blockEligible: the block path pays numA×slots candidate tests up
+	// front to make each pair check O(1), so it wins only on columns dense
+	// enough in (a, pb) pairs that the pair walk dominates.
+	blockEligible := func(ci int32) bool {
+		nslots := len(pt.combos[ci])
+		return nslots >= rankThreshold && d.numA > 1 &&
+			4*d.table.get(ci).count() >= 3*d.numA*nslots
+	}
+	scanState := func(i int) {
+		if ci := affected[i]; blockEligible(ci) {
+			scanBlock(i)
+		} else {
+			scanRange(i, 0, d.table.get(ci).runs())
+		}
+	}
+
 	workers := d.workers
 	scanned := 0
-	if workers > 1 && len(affected) >= 2*workers {
-		var cursor int64
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for wk := 0; wk < workers; wk++ {
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(atomic.AddInt64(&cursor, 1)) - 1
-					if i >= len(affected) {
-						return
-					}
-					scan(i)
-				}
-			}()
-		}
-		wg.Wait()
-		for _, ci := range affected {
-			if alive[ci] {
-				scanned++
+	if workers > 1 {
+		var tasks []scanTask
+		for i, ci := range affected {
+			if !alive[ci] {
+				continue
 			}
+			scanned++
+			if nr := d.table.get(ci).runs(); nr >= shardRuns && !blockEligible(ci) {
+				for lo := 0; lo < nr; lo += shardRuns {
+					hi := min(lo+shardRuns, nr)
+					tasks = append(tasks, scanTask{idx: int32(i), lo: int32(lo), hi: int32(hi)})
+				}
+			} else {
+				tasks = append(tasks, scanTask{idx: int32(i), lo: -1})
+			}
+		}
+		if len(tasks) < 2*workers {
+			for _, t := range tasks {
+				if t.lo < 0 {
+					scanState(int(t.idx))
+				} else {
+					scanRange(int(t.idx), int(t.lo), int(t.hi))
+				}
+			}
+		} else {
+			var cursor int64
+			var wg sync.WaitGroup
+			wg.Add(workers)
+			for wk := 0; wk < workers; wk++ {
+				go func() {
+					defer wg.Done()
+					for {
+						ti := int(atomic.AddInt64(&cursor, 1)) - 1
+						if ti >= len(tasks) {
+							return
+						}
+						t := tasks[ti]
+						if t.lo < 0 {
+							scanState(int(t.idx))
+						} else {
+							scanRange(int(t.idx), int(t.lo), int(t.hi))
+						}
+					}
+				}()
+			}
+			wg.Wait()
 		}
 	} else {
 		for i, ci := range affected {
-			if alive[ci] {
-				scanned++
+			if !alive[ci] {
+				continue
 			}
-			scan(i)
+			scanned++
+			scanState(i)
 		}
 	}
 	d.met.ProgressScans += scanned
 	var removed []int32
 	for i, ci := range affected {
-		if bad[i] && alive[ci] {
+		if bad[i] != 0 && alive[ci] {
 			removed = append(removed, ci)
 		}
 	}
 	return removed
+}
+
+// firstBadPair re-identifies the first pair (in ascending pair order) of
+// converter state ci whose prog verdict fails, or -1 if none does. The
+// sharded scan records only a per-state flag — which shard tripped it is
+// schedule-dependent — so the failure path recomputes the blame
+// deterministically from the still-valid masks.
+func (d *deriver) firstBadPair(ci int32) int32 {
+	pt := d.prog
+	w := pt.words
+	numA := int32(d.numA)
+	combos := pt.combos[ci]
+	cursor := 0
+	blame := int32(-1)
+	d.table.get(ci).forEachUntil(func(p int32) bool {
+		a := p % numA
+		pb := p / numA
+		for cursor < len(combos) && combos[cursor] < pb {
+			cursor++
+		}
+		if cursor == len(combos) || combos[cursor] != pb {
+			blame = p
+			return true
+		}
+		if !pt.accIx.Prog(spec.State(a), pt.ready[ci][cursor*w:cursor*w+w]) {
+			blame = p
+			return true
+		}
+		return false
+	})
+	return blame
 }

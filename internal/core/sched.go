@@ -1,0 +1,114 @@
+// Work-stealing scheduler for progress-phase SCC sweeps.
+//
+// A sweep's mask computation is a reverse-topological pass over the
+// condensation of the combo graph. The previous engine ran it level by
+// level with a full barrier between levels, which wastes workers whenever a
+// level is skewed — one deep SCC chain serializes the whole sweep while the
+// other workers idle at the barrier. This scheduler replaces the barrier
+// with per-SCC atomic dependency counters: an SCC becomes runnable the
+// moment its last successor SCC finishes, independent of anything else in
+// flight. Each worker owns a deque seeded round-robin with the initially
+// ready SCCs; owners pop LIFO (depth-first, cache-warm), idle workers steal
+// FIFO from the other ends (oldest tasks, likely to fan out widest).
+//
+// Scheduling freedom cannot change results: every SCC writes only its own
+// members' masks, reads only masks of SCCs it depends on (complete before
+// it runs, by the counters) or still-valid memo columns (stable all sweep),
+// and each mask is the unique least fixpoint of a monotone union system —
+// so any execution order yields bit-identical masks, and the removal
+// verdicts derived from them are worker-count-independent.
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// sccDeque is one worker's task queue. A mutex keeps it simple and correct;
+// contention is low because owners mostly hit their own deque and steals
+// are rare outside skewed sweeps (Metrics.SweepSteals counts them).
+type sccDeque struct {
+	mu    sync.Mutex
+	tasks []int32
+}
+
+func (q *sccDeque) push(si int32) {
+	q.mu.Lock()
+	q.tasks = append(q.tasks, si)
+	q.mu.Unlock()
+}
+
+// pop takes the newest task (owner side, LIFO).
+func (q *sccDeque) pop() (int32, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.tasks) == 0 {
+		return 0, false
+	}
+	si := q.tasks[len(q.tasks)-1]
+	q.tasks = q.tasks[:len(q.tasks)-1]
+	return si, true
+}
+
+// steal takes the oldest task (thief side, FIFO).
+func (q *sccDeque) steal() (int32, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.tasks) == 0 {
+		return 0, false
+	}
+	si := q.tasks[0]
+	q.tasks = q.tasks[1:]
+	return si, true
+}
+
+// runSCCSched executes compute(si, worker) once for every SCC 0..nsccs-1,
+// respecting the condensation order: deps[si] holds si's count of distinct
+// unfinished successor SCCs (0 = ready now), and depList[depOff[ts]:
+// depOff[ts+1]] lists the SCCs whose counter drops when ts finishes. deps
+// is decremented atomically in place. Returns the number of stolen tasks.
+func runSCCSched(nsccs, workers int, deps, depOff, depList []int32, compute func(si int32, worker int)) int64 {
+	deques := make([]sccDeque, workers)
+	next := 0
+	for si := 0; si < nsccs; si++ {
+		if deps[si] == 0 {
+			deques[next%workers].push(int32(si))
+			next++
+		}
+	}
+	remaining := int64(nsccs)
+	var steals int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for wk := 0; wk < workers; wk++ {
+		go func(wk int) {
+			defer wg.Done()
+			for {
+				si, ok := deques[wk].pop()
+				if !ok {
+					for off := 1; off < workers && !ok; off++ {
+						si, ok = deques[(wk+off)%workers].steal()
+					}
+					if !ok {
+						if atomic.LoadInt64(&remaining) == 0 {
+							return
+						}
+						runtime.Gosched()
+						continue
+					}
+					atomic.AddInt64(&steals, 1)
+				}
+				compute(si, wk)
+				for _, dep := range depList[depOff[si]:depOff[si+1]] {
+					if atomic.AddInt32(&deps[dep], -1) == 0 {
+						deques[wk].push(dep)
+					}
+				}
+				atomic.AddInt64(&remaining, -1)
+			}
+		}(wk)
+	}
+	wg.Wait()
+	return steals
+}

@@ -93,15 +93,8 @@ func (ix *ReadyIndex) EventsOf(mask []uint64) []spec.Event {
 	return out
 }
 
-// maskSubset reports a ⊆ b for equal-stride masks.
-func maskSubset(a, b []uint64) bool {
-	for w := range a {
-		if a[w]&^b[w] != 0 {
-			return false
-		}
-	}
-	return true
-}
+// maskSubset and popcount live in kernels.go alongside the other
+// word-parallel mask primitives.
 
 // AcceptanceIndex precompiles prog for a normal-form specification A: for
 // every A-state, the bitmasks of its acceptance sets, minimized (a mask that
@@ -209,10 +202,4 @@ func minimizeMasks(cands [][]uint64) [][]uint64 {
 	return keep
 }
 
-func popcount(m []uint64) int {
-	n := 0
-	for _, w := range m {
-		n += bits.OnesCount64(w)
-	}
-	return n
-}
+func popcount(m []uint64) int { return Popcount(m) }

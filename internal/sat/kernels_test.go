@@ -1,0 +1,188 @@
+package sat
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"protoquot/internal/spec"
+)
+
+// naiveSubset is the per-bit reference for MaskSubset.
+func naiveSubset(a, b []uint64, nbits int) bool {
+	for i := 0; i < nbits; i++ {
+		if a[i>>6]&(1<<(uint(i)&63)) != 0 && b[i>>6]&(1<<(uint(i)&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// naivePopcount is the per-bit reference for Popcount.
+func naivePopcount(m []uint64, nbits int) int {
+	n := 0
+	for i := 0; i < nbits; i++ {
+		if m[i>>6]&(1<<(uint(i)&63)) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// randMask fills nbits random bits at the given density; bits beyond nbits
+// in the trailing word stay zero, matching how the engine builds masks.
+func randMask(rng *rand.Rand, nbits int, density float64) []uint64 {
+	m := make([]uint64, (nbits+63)/64)
+	for i := 0; i < nbits; i++ {
+		if rng.Float64() < density {
+			m[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	return m
+}
+
+// TestMaskKernelsAgainstNaive cross-checks MaskSubset / Popcount / OrInto
+// against per-bit references over randomized masks at several strides,
+// including multi-word masks and trailing-word edge bits (nbits 63/64/65,
+// where off-by-one word handling shows up).
+func TestMaskKernelsAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, nbits := range []int{1, 7, 63, 64, 65, 127, 128, 129, 300} {
+		for trial := 0; trial < 200; trial++ {
+			density := []float64{0.1, 0.5, 0.9}[trial%3]
+			a := randMask(rng, nbits, density)
+			b := randMask(rng, nbits, density)
+			if got, want := MaskSubset(a, b), naiveSubset(a, b, nbits); got != want {
+				t.Fatalf("nbits=%d trial=%d: MaskSubset=%v, naive=%v (a=%x b=%x)", nbits, trial, got, want, a, b)
+			}
+			// Forced-subset case, so both branches of the verdict are hit.
+			sub := make([]uint64, len(a))
+			for w := range a {
+				sub[w] = a[w] & b[w]
+			}
+			if !MaskSubset(sub, a) || !MaskSubset(sub, b) {
+				t.Fatalf("nbits=%d trial=%d: a∩b not ⊆ both operands", nbits, trial)
+			}
+			if got, want := Popcount(a), naivePopcount(a, nbits); got != want {
+				t.Fatalf("nbits=%d trial=%d: Popcount=%d, naive=%d", nbits, trial, got, want)
+			}
+			dst := append([]uint64(nil), a...)
+			OrInto(dst, b)
+			for w := range dst {
+				if dst[w] != a[w]|b[w] {
+					t.Fatalf("nbits=%d trial=%d word=%d: OrInto=%x, want %x", nbits, trial, w, dst[w], a[w]|b[w])
+				}
+			}
+		}
+	}
+}
+
+// TestEventsOfRoundTrip checks mask → events → mask round-trips over
+// randomized masks at universe sizes spanning word boundaries.
+func TestEventsOfRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, nev := range []int{1, 5, 63, 64, 65, 130} {
+		events := make([]spec.Event, nev)
+		for i := range events {
+			events[i] = spec.Event(fmt.Sprintf("ev%03d", i))
+		}
+		ix, err := NewReadyIndex(events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 100; trial++ {
+			m := randMask(rng, nev, 0.4)
+			back, err := ix.MaskOf(ix.EventsOf(m))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for w := range m {
+				if back[w] != m[w] {
+					t.Fatalf("nev=%d trial=%d: round trip %x -> %x", nev, trial, m, back)
+				}
+			}
+		}
+	}
+}
+
+// randNormalForm builds a random normal-form service over the given event
+// universe: a root state with λ-edges to sink states, each sink carrying a
+// random τ*-set (self external edges). Normal form needs the ψ-step to be
+// deterministic from the root's λ-closure, so the universe is partitioned
+// among the sinks — each event self-loops on exactly one sink. This is the
+// acceptance-structure shape AcceptanceIndex compiles.
+func randNormalForm(t *testing.T, rng *rand.Rand, events []spec.Event, sinks int) *spec.Spec {
+	t.Helper()
+	if sinks > len(events) {
+		sinks = len(events)
+	}
+	b := spec.NewBuilder("randA")
+	for _, e := range events {
+		b.Event(e)
+	}
+	b.Init("root")
+	perm := rng.Perm(len(events))
+	for s := 0; s < sinks; s++ {
+		name := fmt.Sprintf("k%d", s)
+		b.Int("root", name)
+		// Sink s owns every event whose permuted index ≡ s mod sinks, plus
+		// nothing else: disjoint τ*-sets, so determinism holds trivially
+		// and every sink survives mask minimization as its own candidate.
+		for i := s; i < len(events); i += sinks {
+			b.Ext(name, events[perm[i]], name)
+		}
+	}
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.IsNormalForm(); err != nil {
+		t.Fatalf("generated spec not normal form: %v", err)
+	}
+	return a
+}
+
+// TestProgBlockAgainstScalarProg cross-checks the batched ProgBlock kernel
+// against per-mask Prog (itself pinned against the event-set reference by
+// the sat tests) over randomized acceptance structures and mask blocks,
+// at single- and multi-word strides and with block lengths that exercise
+// trailing-word verdict bits.
+func TestProgBlockAgainstScalarProg(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, nev := range []int{3, 10, 63, 64, 70, 130} {
+		events := make([]spec.Event, nev)
+		for i := range events {
+			events[i] = spec.Event(fmt.Sprintf("ev%03d", i))
+		}
+		ready, err := NewReadyIndex(events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			a := randNormalForm(t, rng, events, 1+rng.Intn(4))
+			ix, err := NewAcceptanceIndex(a, ready)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := ready.Words()
+			for _, n := range []int{1, 3, 63, 64, 65, 100} {
+				readys := make([]uint64, n*w)
+				for i := 0; i < n; i++ {
+					copy(readys[i*w:(i+1)*w], randMask(rng, nev, 0.5))
+				}
+				out := make([]uint64, (n+63)/64)
+				for as := 0; as < a.NumStates(); as++ {
+					ix.ProgBlock(spec.State(as), readys, n, out)
+					for i := 0; i < n; i++ {
+						got := out[i>>6]&(1<<(uint(i)&63)) != 0
+						want := ix.Prog(spec.State(as), readys[i*w:(i+1)*w])
+						if got != want {
+							t.Fatalf("nev=%d trial=%d as=%d n=%d mask=%d: ProgBlock=%v, Prog=%v",
+								nev, trial, as, n, i, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
