@@ -54,15 +54,19 @@ bench:
 # derivation caps keep a regression visible as timed_out=true instead of a
 # hung build. EXPERIMENTS.md reads this file.
 bench-frontier:
-	rm -f BENCH_pr8.json
-	$(GO) run ./cmd/quotbench -label pr8 \
+	rm -f BENCH_pr9.json
+	$(GO) run ./cmd/quotbench -label pr9 \
 		-families 'chain(8),chaindrop(7),ring(6)' \
 		-engine indexed,lazy -workers 1,2 -reps 3 -derivetimeout 60s \
-		-out BENCH_pr8.json
-	$(GO) run ./cmd/quotbench -label pr8 \
+		-out BENCH_pr9.json
+	$(GO) run ./cmd/quotbench -label pr9 \
 		-families 'chain(9)' \
 		-engine lazy -workers 1,2 -reps 2 -derivetimeout 120s \
-		-append -out BENCH_pr8.json
+		-append -out BENCH_pr9.json
+	$(GO) run ./cmd/quotbench -label pr9 \
+		-families 'chain(10)' \
+		-engine lazy -workers 1 -reps 1 -derivetimeout 600s \
+		-append -out BENCH_pr9.json
 
 # Concurrent load against an in-process quotd: N clients × rounds over
 # specgen families. Fails on any non-200, a zero cache-hit ratio on repeat

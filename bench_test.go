@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	goruntime "runtime"
 	"testing"
 	"time"
 
@@ -669,6 +670,43 @@ func BenchmarkDeriveChainDropFrontierLazyEngine(b *testing.B) {
 }
 func BenchmarkDeriveRingFrontierLazyEngine(b *testing.B) {
 	benchFamilyLazyEngine(b, specgen.Ring(6))
+}
+
+// BenchmarkDeriveAllocBudgetChain7 is the allocation-regression smoke: a
+// chain(7) demand-driven derivation must stay under a pinned heap budget.
+// The ceiling is ~1.5× the measured cost (chain(7) allocates ~61 MB
+// end-to-end), so ordinary drift passes and a lost arena-reuse or
+// growth-policy regression — the class of bug that once cost +190 MB on
+// chain(9) — fails the benchsmoke gate instead of landing silently. The
+// process-wide Sys check is a gross leak backstop; it is process-global
+// (earlier benchmarks in the same run contribute), hence the slack.
+func BenchmarkDeriveAllocBudgetChain7(b *testing.B) {
+	const (
+		allocCeiling = 96 << 20
+		sysCeiling   = 2 << 30
+	)
+	f := specgen.Chain(7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env, err := compose.LazyMany(f.Components...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var before, after goruntime.MemStats
+		goruntime.GC()
+		goruntime.ReadMemStats(&before)
+		if _, err := core.DeriveEnv(f.Service, env, core.Options{OmitVacuous: true}); err != nil {
+			b.Fatal(err)
+		}
+		goruntime.ReadMemStats(&after)
+		if got := after.TotalAlloc - before.TotalAlloc; got > allocCeiling {
+			b.Fatalf("chain(7) derivation allocated %d MB, budget is %d MB",
+				got>>20, allocCeiling>>20)
+		}
+		if after.Sys > sysCeiling {
+			b.Fatalf("process Sys grew to %d MB, ceiling is %d MB", after.Sys>>20, sysCeiling>>20)
+		}
+	}
 }
 
 // Composition alone, eager fold vs fused index space. Ring components share

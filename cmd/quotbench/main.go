@@ -75,6 +75,13 @@ type Run struct {
 	PeakRowBytes int64 `json:"peak_row_bytes,omitempty"`
 	SweepSteals  int   `json:"sweep_steals,omitempty"`
 
+	// Safety-phase storage and memoization accounting (see core.Metrics):
+	// intern-shard + closure-memo + successor-row arena bytes, the resolved
+	// shard count, and closures skipped via the seed-set memo.
+	PairArenaBytes  int64 `json:"pair_arena_bytes,omitempty"`
+	InternShards    int   `json:"intern_shards,omitempty"`
+	ClosureMemoHits int   `json:"closure_memo_hits,omitempty"`
+
 	// PeakRSSBytes is the process's high-water resident set after the run
 	// (getrusage ru_maxrss) — a whole-process figure, monotone across runs
 	// in one quotbench invocation, so within a file compare it per family
@@ -268,6 +275,9 @@ func run(label, families, workers, engines string, reps int, timeout time.Durati
 					r.ArenaBytes = m.stats.Metrics.ArenaBytes
 					r.PeakRowBytes = m.stats.Metrics.PeakRowBytes
 					r.SweepSteals = m.stats.Metrics.SweepSteals
+					r.PairArenaBytes = m.stats.Metrics.PairArenaBytes
+					r.InternShards = m.stats.Metrics.InternShards
+					r.ClosureMemoHits = m.stats.Metrics.ClosureMemoHits
 				}
 				r.PeakRSSBytes = peakRSSBytes()
 				if !r.TimedOut {

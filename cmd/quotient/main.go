@@ -340,8 +340,18 @@ func printStats(w io.Writer, s core.Stats) {
 	fmt.Fprintf(w, "engine:         %d worker(s), safety %s (%d levels, peak frontier %d), progress %s (%d scans)\n",
 		m.Workers, m.SafetyWall.Round(time.Microsecond), m.SafetyLevels, m.PeakFrontier,
 		m.ProgressWall.Round(time.Microsecond), m.ProgressScans)
-	fmt.Fprintf(w, "interning:      %d lookups, %d hits (%.1f%% hit rate)\n",
+	fmt.Fprintf(w, "interning:      %d lookups, %d hits (%.1f%% hit rate)",
 		m.InternLookups, m.InternHits, 100*m.InternHitRate())
+	if m.InternShards > 1 {
+		fmt.Fprintf(w, ", %d shards", m.InternShards)
+	}
+	if m.ClosureMemoHits > 0 {
+		fmt.Fprintf(w, ", %d closure memo hits", m.ClosureMemoHits)
+	}
+	if m.PairArenaBytes > 0 {
+		fmt.Fprintf(w, ", %s pair arenas", fmtBytes(m.PairArenaBytes))
+	}
+	fmt.Fprintln(w)
 	fmt.Fprintf(w, "progress memo:  %d ready-set rebuilds, %d τ-closure cache hits, %d invalidated\n",
 		m.ReadySetRebuilds, m.TauCacheHits, m.TauInvalidated)
 	if m.EnvStatesTotal > 0 {

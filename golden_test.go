@@ -139,6 +139,11 @@ func TestGoldenParallelEqualsSequentialOnSpecs(t *testing.T) {
 				t.Errorf("%s / %s: lazy pipeline differs from spec pipeline:\nspec: %+v\nlazy: %+v",
 					an, bn, abbreviate(seq), abbreviate(lz))
 			}
+			sh := deriveWith(a, []*Spec{b}, Options{MaxStates: bound, Workers: 4, InternShards: 8})
+			if seq != sh {
+				t.Errorf("%s / %s: sharded intern run differs from sequential:\nseq:   %+v\nshard: %+v",
+					an, bn, abbreviate(seq), abbreviate(sh))
+			}
 			if seq.exists || strings.Contains(seq.err, "no converter exists") {
 				reached++
 			}

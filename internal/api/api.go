@@ -134,6 +134,9 @@ type WireStats struct {
 	ArenaBytes         int64   `json:"arena_bytes,omitempty"`
 	PeakRowBytes       int64   `json:"peak_row_bytes,omitempty"`
 	SweepSteals        int     `json:"sweep_steals,omitempty"`
+	PairArenaBytes     int64   `json:"pair_arena_bytes,omitempty"`
+	InternShards       int     `json:"intern_shards,omitempty"`
+	ClosureMemoHits    int     `json:"closure_memo_hits,omitempty"`
 }
 
 // StatsFromCore flattens engine statistics into the wire form.
@@ -164,6 +167,9 @@ func StatsFromCore(s core.Stats) *WireStats {
 		ArenaBytes:         m.ArenaBytes,
 		PeakRowBytes:       m.PeakRowBytes,
 		SweepSteals:        m.SweepSteals,
+		PairArenaBytes:     m.PairArenaBytes,
+		InternShards:       m.InternShards,
+		ClosureMemoHits:    m.ClosureMemoHits,
 	}
 }
 

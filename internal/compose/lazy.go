@@ -157,7 +157,22 @@ func (x *Lazy) internLocked(tuple []int32) int32 {
 
 func (x *Lazy) addLocked(tuple []int32) {
 	id := int32(len(x.tuples) / x.k)
+	// Grow the tuple spine and name table by explicit doubling: append's
+	// ~1.25× growth curve for large slices costs ~5× the final size in
+	// cumulative allocation, and at a million discovered states these two
+	// slices dominate the composition's alloc_bytes. Readers that captured
+	// a sub-slice keep the old backing array, exactly as under append.
+	if need := len(x.tuples) + x.k; need > cap(x.tuples) {
+		grown := make([]int32, len(x.tuples), max(2*cap(x.tuples), need, 256*x.k))
+		copy(grown, x.tuples)
+		x.tuples = grown
+	}
 	x.tuples = append(x.tuples, tuple...)
+	if len(x.names) == cap(x.names) {
+		grown := make([]string, len(x.names), max(2*cap(x.names), 256))
+		copy(grown, x.names)
+		x.names = grown
+	}
 	x.names = append(x.names, "")
 	cur := *x.dir.Load()
 	if need := (int(id) >> lazyPageShift) + 1; need > len(cur) {

@@ -132,6 +132,15 @@ type Options struct {
 	// level-synchronous with a deterministic merge, so the result is
 	// bit-identical (state numbering included) for every worker count.
 	Workers int
+	// InternShards is the hash shard count of the safety phase's pair-set
+	// intern table; the merge gives each shard to one goroutine, so this
+	// bounds merge parallelism the way Workers bounds expansion
+	// parallelism. 0 picks a power of two matching Workers; other values
+	// round up to the next power of two (capped at 64). Sharding changes
+	// only how the merge parallelizes: a deterministic renumbering pass
+	// keeps the derived converter — state numbering included —
+	// bit-identical at every shard count.
+	InternShards int
 	// Trace, when non-nil, receives structured derivation events: frontier
 	// levels during the safety phase, per-state removals and sweep
 	// summaries during the progress phase. Events carrying a non-empty
@@ -269,10 +278,22 @@ type deriver struct {
 	numA      int
 	nev       int
 
-	table  *internTable
-	states []cstate
-	met    *Metrics
-	prog   *progTables // progress-phase memo tables; nil until that phase
+	// Mask-closure tables, built when useMask (numA ≤ 64): psiBit[a*nev+e]
+	// is the one-bit mask of ψ(a, e)'s target A-state (0 when ψ is
+	// undefined there), badA[e] the mask of A-states where ψ(·, e) is
+	// undefined — reaching one of those with an external B-edge on e is an
+	// ok.J violation.
+	useMask bool
+	psiBit  []uint64
+	badA    []uint64
+
+	nshards   int
+	table     *internTable
+	memo      *seedMemo
+	succArena *int32Arena
+	states    []cstate
+	met       *Metrics
+	prog      *progTables // progress-phase memo tables; nil until that phase
 
 	scratches []*scratch // persistent per-worker arenas
 }
@@ -521,7 +542,46 @@ func (d *deriver) prepare() {
 	// Under a demand-driven environment no edge tables are copied (the
 	// environment is the table, expanded as the safety phase walks it) and
 	// the packed-b domain stays open-ended: boff = [0], numBs[0] = 0.
-	d.table = newInternTable()
+
+	d.useMask = maskClosureEnabled && d.numA <= 64
+	if d.useMask {
+		d.psiBit = make([]uint64, d.numA*d.nev)
+		d.badA = make([]uint64, d.nev)
+		for a := 0; a < d.numA; a++ {
+			for ei := 0; ei < d.nev; ei++ {
+				if !d.isExt[ei] {
+					continue
+				}
+				if a2 := d.psi[a*d.nev+ei]; a2 >= 0 {
+					d.psiBit[a*d.nev+ei] = 1 << uint(a2)
+				} else {
+					d.badA[ei] |= 1 << uint(a)
+				}
+			}
+		}
+	}
+	d.nshards = resolveInternShards(d.opts.InternShards, d.workers)
+	d.table = newInternTable(d.nshards)
+	d.memo = newSeedMemo()
+	d.succArena = newInt32Arena()
+}
+
+// resolveInternShards maps the InternShards option to an effective shard
+// count: a power of two (internTable masks the hash) in [1, 64], matching
+// Workers when unset — one shard per merge goroutine.
+func resolveInternShards(req, workers int) int {
+	n := req
+	if n <= 0 {
+		n = workers
+	}
+	if n > 64 {
+		n = 64
+	}
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
 }
 
 // encode maps a (variant, a, b) triple to its pair-domain index
@@ -568,8 +628,7 @@ func (d *deriver) run() (*Result, error) {
 	t0 := time.Now()
 	err := d.safetyPhase()
 	d.met.SafetyWall = time.Since(t0)
-	d.met.InternLookups = d.table.lookups
-	d.met.InternHits = d.table.hits
+	d.fillSafetyMetrics()
 	d.fillEnvMetrics()
 	if err != nil {
 		if nq, ok := err.(*NoQuotientError); ok {
@@ -672,6 +731,27 @@ func (d *deriver) run() (*Result, error) {
 	return res, nil
 }
 
+// fillSafetyMetrics records the safety phase's interning, memoization, and
+// arena accounting. PairArenaBytes covers the storage that persists for the
+// derivation — shard arenas, the closure-memo arena, the successor rows —
+// and deliberately excludes the per-worker scratch arenas, which are
+// transient (reset every merge batch) and whose footprint would vary with
+// the worker count while this figure is deterministic for a given input.
+func (d *deriver) fillSafetyMetrics() {
+	d.met.InternLookups, d.met.InternHits = d.table.counts()
+	d.met.InternShards = d.nshards
+	d.met.PairArenaBytes = d.table.bytes() + d.memo.bytes() + d.succArena.reserved
+	d.met.ClosureMemoHits = 0
+	for _, sc := range d.scratches {
+		d.met.ClosureMemoHits += sc.memoHits
+		// A memo hit resolving to a state is "φ produced a set already
+		// seen" — fold it into the intern counters so they keep the exact
+		// values the memo-less engine reported (see scratch.memoOK).
+		d.met.InternLookups += sc.memoOK
+		d.met.InternHits += sc.memoOK
+	}
+}
+
 // fillEnvMetrics records how much of the environment the derivation
 // touched. Under a demand-driven environment this is the reachable-slice
 // accounting (expanded « total possible when the derivation is selective);
@@ -698,15 +778,22 @@ func (d *deriver) fillEnvMetrics() {
 }
 
 // safetyPhase grows the largest safe converter C0 by level-synchronous
-// frontier expansion. Each level's φ results are computed (in parallel when
-// Options.Workers > 1) and then merged single-threaded in frontier order,
-// which reproduces exactly the state numbering of a plain worklist run.
+// frontier expansion. Each level is processed in merge batches of
+// safetyMergeBatch states: a batch's φ results are computed (in parallel
+// when Options.Workers > 1), interned into the sharded table (one goroutine
+// per shard), and renumbered in frontier order by mergeBatch — which
+// reproduces exactly the state numbering of a plain worklist run, so the
+// converter is bit-identical at every worker count, shard count, and batch
+// size. Batching also bounds the MaxStates overshoot: the cap is checked
+// after every batch, so a single huge frontier level can no longer run
+// arbitrarily far past the configured limit before the abort fires.
 func (d *deriver) safetyPhase() error {
 	seeds := make([]int32, len(d.bs))
 	for v, b := range d.bs {
 		seeds[v] = d.encode(v, int32(d.a.Init()), int32(b.Init()))
 	}
-	h0, ok, _ := d.closure(d.getScratch(0), seeds)
+	sc0 := d.getScratch(0)
+	h0, ok, _ := d.closure(sc0, seeds)
 	if !ok {
 		// The closure aborted at the first violation; the witness search
 		// re-walks the same ball breadth-first for a shortest offending run.
@@ -716,10 +803,16 @@ func (d *deriver) safetyPhase() error {
 			WitnessTrace: d.safetyWitness(seeds),
 		}
 	}
-	d.table.intern(h0) // ID 0 = initial state
+	d.table.internCanonical(h0, h0.hash()) // ID 0 = initial state
+	sc0.arena.reset()                      // h0 now lives in shard storage
 	d.states = append(d.states, cstate{})
 
 	ne := len(d.intl)
+	batch := safetyMergeBatch
+	if batch < 1 {
+		batch = 1
+	}
+	results := make([]phiResult, batch*ne)
 	lo, hi := 0, 1
 	for level := 0; lo < hi; level++ {
 		if err := d.ctx.Err(); err != nil {
@@ -732,38 +825,106 @@ func (d *deriver) safetyPhase() error {
 		}
 		d.met.SafetyLevels = level + 1
 		d.emit(TraceEvent{Phase: "safety", Level: level, Frontier: frontier, States: len(d.states)})
-		results := d.expandLevel(lo, hi)
-		for si := lo; si < hi; si++ {
+		for blo := lo; blo < hi; blo += batch {
+			bhi := min(blo+batch, hi)
+			res := results[:(bhi-blo)*ne]
+			d.expandBatch(blo, bhi, res)
+			d.mergeBatch(blo, bhi, res)
+			for _, sc := range d.scratches {
+				sc.arena.reset() // surviving sets were copied into shard/memo storage
+			}
 			if d.opts.MaxStates > 0 && len(d.states) > d.opts.MaxStates {
-				return fmt.Errorf("quotient: safety phase exceeded MaxStates=%d", d.opts.MaxStates)
+				return fmt.Errorf("quotient: safety phase exceeded MaxStates=%d (aborted at %d states)",
+					d.opts.MaxStates, len(d.states))
 			}
-			succ := make([]int32, ne)
-			for ei := 0; ei < ne; ei++ {
-				succ[ei] = -1
-				r := &results[(si-lo)*ne+ei]
-				if !r.ok {
-					continue // ok.J fails: omit the transition (and the state)
-				}
-				set, hash := r.set, r.hash
-				if set == nil { // vacuously safe: no trace of B matches
-					if d.opts.OmitVacuous {
-						continue
-					}
-					set = pairset{}
-					hash = set.hash()
-				}
-				id, hit := d.table.internHashed(set, hash)
-				if !hit {
-					d.states = append(d.states, cstate{})
-				}
-				succ[ei] = id
-			}
-			d.states[si].succ = succ
-			d.met.StatesExpanded++
 		}
 		lo, hi = hi, len(d.states)
 	}
 	return nil
+}
+
+// mergeBatch interns one batch of φ results and assigns canonical state
+// IDs, in two passes.
+//
+// M1 (parallel): every shard walks the whole result slice and claims the
+// results whose set hashes into it — probing its buckets and, on a miss,
+// copying the set into its arena as an unnumbered entry. A shard is touched
+// by exactly one goroutine, so shard state needs no locks; a claiming
+// goroutine writes only the .entry field of results it claimed, so result
+// writes are disjoint too.
+//
+// M2 (sequential): a single renumbering walk over the results in frontier
+// (state, Int-event) order assigns the next canonical ID to each entry at
+// its first occurrence. First-occurrence-in-frontier-order is precisely the
+// discovery order of the sequential worklist engine, which is what makes
+// the numbering — and everything downstream of it — independent of worker
+// and shard counts. M2 also records each computed closure in the seed memo
+// (successor ID, or memoFail for an ok.J failure), the only memo write
+// path; workers read the memo lock-free during expansion because merges and
+// expansions never overlap.
+func (d *deriver) mergeBatch(lo, hi int, results []phiResult) {
+	ne := len(d.intl)
+	omit := d.opts.OmitVacuous
+	runSharded(d.nshards, d.workers, func(shard int) {
+		s := &d.table.shards[shard]
+		for i := range results {
+			r := &results[i]
+			if !r.ok || r.memoGID >= 0 || (r.set == nil && omit) {
+				continue // omitted transition, memoized, or omitted vacuous
+			}
+			if d.table.shardOf(r.hash) != shard {
+				continue
+			}
+			set := r.set
+			if set == nil {
+				set = pairset{} // vacuous successor, kept: the empty set
+			}
+			s.lookups++
+			if e, ok := s.find(set, r.hash); ok {
+				s.hits++
+				r.entry = e
+			} else {
+				r.entry = s.add(set, r.hash)
+			}
+		}
+	})
+	i := 0
+	for si := lo; si < hi; si++ {
+		succ := d.succArena.alloc(ne)
+		for ei := 0; ei < ne; ei++ {
+			r := &results[i]
+			i++
+			succ[ei] = -1
+			if !r.ok {
+				// ok.J fails: omit the transition (and the state); memoize
+				// the failure so repeats skip the closure too.
+				if r.seedSet != nil {
+					d.memo.put(r.seedSet, r.seedHash, memoFail)
+				}
+				continue
+			}
+			if r.memoGID >= 0 {
+				succ[ei] = r.memoGID
+				continue
+			}
+			if r.set == nil && omit {
+				continue // vacuously safe: no trace of B matches
+			}
+			s := &d.table.shards[d.table.shardOf(r.hash)]
+			e := &s.entries[r.entry]
+			if e.gid < 0 {
+				e.gid = int32(len(d.table.byGID))
+				d.table.byGID = append(d.table.byGID, e.set)
+				d.states = append(d.states, cstate{})
+			}
+			succ[ei] = e.gid
+			if r.seedSet != nil {
+				d.memo.put(r.seedSet, r.seedHash, e.gid)
+			}
+		}
+		d.states[si].succ = succ
+		d.met.StatesExpanded++
+	}
 }
 
 // Verify checks end to end that B‖C satisfies A, using the composition

@@ -63,6 +63,22 @@ type Metrics struct {
 	// environments (their tables are materialized before derivation).
 	ArenaBytes   int64
 	PeakRowBytes int64
+	// PairArenaBytes is the safety phase's arena-backed pair-set storage:
+	// bytes reserved by the intern-table shard arenas, the closure-memo
+	// arena, and the converter successor rows. Per-worker scratch arenas
+	// are excluded — they rewind every merge batch, and counting them would
+	// make the figure vary with Workers where this one is deterministic for
+	// a given input. Complements ArenaBytes, which covers the demand-driven
+	// environment's row storage on the compose side.
+	PairArenaBytes int64
+	// InternShards is the resolved shard count of the safety phase's
+	// pair-set intern table (Options.InternShards after rounding; defaults
+	// to a power of two matching Workers).
+	InternShards int
+	// ClosureMemoHits counts φ-step closures skipped entirely because the
+	// seed set was already mapped to its closure's canonical state (or to a
+	// known ok.J failure) by an earlier expansion.
+	ClosureMemoHits int
 	// SweepSteals counts task migrations in the progress phase's
 	// work-stealing SCC scheduler: SCC tasks executed by a worker other
 	// than the one whose deque they were enqueued on. Always 0 when

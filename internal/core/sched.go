@@ -63,6 +63,40 @@ func (q *sccDeque) steal() (int32, bool) {
 	return si, true
 }
 
+// runSharded executes f(shard) once for every shard 0..nshards-1, using up
+// to workers goroutines. The safety phase's parallel merge uses it to give
+// each intern-table shard to exactly one goroutine: a shard's maps and
+// arena are then single-owner for the duration, so the merge needs no
+// locks. With workers <= 1 (or a single shard) it degenerates to a plain
+// loop on the caller's goroutine.
+func runSharded(nshards, workers int, f func(shard int)) {
+	if workers > nshards {
+		workers = nshards
+	}
+	if workers <= 1 {
+		for s := 0; s < nshards; s++ {
+			f(s)
+		}
+		return
+	}
+	var cursor int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(atomic.AddInt64(&cursor, 1)) - 1
+				if s >= nshards {
+					return
+				}
+				f(s)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // runSCCSched executes compute(si, worker) once for every SCC 0..nsccs-1,
 // respecting the condensation order: deps[si] holds si's count of distinct
 // unfinished successor SCCs (0 = ready now), and depList[depOff[ts]:

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"protoquot/internal/protocols"
+	"protoquot/internal/spec"
+	"protoquot/internal/specgen"
+)
+
+// withSafetyKnobs runs f with the safety-phase package knobs overridden,
+// restoring them afterwards. Every combination must be invisible in the
+// derivation outcome: the knobs steer storage layout and skipped work, not
+// results.
+func withSafetyKnobs(chunkWords, batch int, memo, mask bool, f func()) {
+	savedChunk, savedBatch := pairArenaChunkWords, safetyMergeBatch
+	savedMemo, savedMask := closureMemoEnabled, maskClosureEnabled
+	pairArenaChunkWords, safetyMergeBatch = chunkWords, batch
+	closureMemoEnabled, maskClosureEnabled = memo, mask
+	defer func() {
+		pairArenaChunkWords, safetyMergeBatch = savedChunk, savedBatch
+		closureMemoEnabled, maskClosureEnabled = savedMemo, savedMask
+	}()
+	f()
+}
+
+// TestShardedInternDifferential is the bit-identity suite for the sharded
+// safety phase: the paper's conversion systems and small specgen families
+// derived at every shard count × worker count, under each storage/engine
+// leg — tiny arena chunks (every chunk-boundary path), a tiny merge batch
+// (many merges per level), the closure memo disabled, and the scalar
+// closure forced — must reproduce the reference outcome exactly:
+// converter text, stats, existence verdict, and error string.
+func TestShardedInternDifferential(t *testing.T) {
+	type system struct {
+		name string
+		a    *spec.Spec
+		bs   []*spec.Spec
+	}
+	systems := []system{
+		{"paper-symmetric", protocols.Service(), []*spec.Spec{protocols.SymmetricB()}},
+		{"paper-weak-service", protocols.AtLeastOnceService(), []*spec.Spec{protocols.SymmetricB()}},
+		{"paper-colocated", protocols.Service(), []*spec.Spec{protocols.ColocatedB()}},
+	}
+	for _, fn := range []string{"chain(4)", "chaindrop(4)", "ring(3)"} {
+		fam, err := specgen.ParseFamily(fn)
+		if err != nil {
+			t.Fatalf("%s: %v", fn, err)
+		}
+		systems = append(systems, system{fam.Name, fam.Service, fam.Components})
+	}
+
+	type leg struct {
+		name  string
+		chunk int
+		batch int
+		memo  bool
+		mask  bool
+	}
+	legs := []leg{
+		{"default", pairArenaChunkWords, safetyMergeBatch, true, true},
+		{"tiny-chunk", 4, safetyMergeBatch, true, true},
+		{"tiny-batch", pairArenaChunkWords, 2, true, true},
+		{"no-memo", pairArenaChunkWords, safetyMergeBatch, false, true},
+		{"scalar-closure", pairArenaChunkWords, safetyMergeBatch, true, false},
+	}
+
+	for _, sys := range systems {
+		opts := Options{OmitVacuous: true}
+		refText, refStats, refExists, refErr := deriveOutcome(t, sys.a, sys.bs, opts)
+		for _, lg := range legs {
+			for _, shards := range []int{1, 2, 8} {
+				for _, workers := range []int{1, 2, 4} {
+					o := opts
+					o.Workers, o.InternShards = workers, shards
+					withSafetyKnobs(lg.chunk, lg.batch, lg.memo, lg.mask, func() {
+						text, stats, exists, errs := deriveOutcome(t, sys.a, sys.bs, o)
+						if text != refText || stats != refStats || exists != refExists || errs != refErr {
+							t.Errorf("%s leg=%s shards=%d workers=%d diverges from reference:\n%s\nstats %+v exists=%v err %q\n--- vs ---\n%s\nstats %+v exists=%v err %q",
+								sys.name, lg.name, shards, workers,
+								text, stats, exists, errs, refText, refStats, refExists, refErr)
+						}
+					})
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package protosmith
+
+import (
+	"testing"
+
+	"protoquot/internal/compose"
+	"protoquot/internal/core"
+)
+
+// TestShardedInternAcrossSeeds drives the sharded safety phase through the
+// randomized corpus: 50 generated systems, each derived through the
+// demand-driven pipeline at every shard count × worker count, must
+// reproduce the single-shard single-worker outcome exactly — converter,
+// verdict, stats, and error alike. This is the fuzzed counterpart of
+// core's TestShardedInternDifferential, which covers the same matrix on
+// fixed systems with the engine knobs forced.
+func TestShardedInternAcrossSeeds(t *testing.T) {
+	const maxStates = 50000
+	derive := func(sys *System, workers, shards int) outcome {
+		lz, err := compose.LazyMany(sys.Components...)
+		if err != nil {
+			return outcome{err: err.Error()}
+		}
+		res, derr := core.DeriveEnv(sys.Service, lz, core.Options{
+			OmitVacuous: true, MaxStates: maxStates,
+			Workers: workers, InternShards: shards,
+		})
+		return outcomeOf(res, derr)
+	}
+	for seed := int64(1); seed <= 50; seed++ {
+		sys := Generate(seed, DefaultKnobs())
+		if err := sys.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ref := derive(sys, 1, 1)
+		for _, shards := range []int{1, 2, 8} {
+			for _, workers := range []int{1, 2, 4} {
+				if shards == 1 && workers == 1 {
+					continue
+				}
+				if got := derive(sys, workers, shards); got != ref {
+					t.Errorf("seed %d shards=%d workers=%d diverges:\n%s\n--- vs shards=1 workers=1 ---\n%s",
+						seed, shards, workers, got, ref)
+				}
+			}
+		}
+	}
+}

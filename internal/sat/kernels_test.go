@@ -186,3 +186,82 @@ func TestProgBlockAgainstScalarProg(t *testing.T) {
 		}
 	}
 }
+
+// TestWordsEqualAgainstNaive cross-checks the unrolled comparison against
+// the obvious loop at lengths that straddle the 8-word unroll boundary
+// (0..9, 15..17, 64), including single-word flips at every position —
+// a wrong lane in the XOR-OR reduction shows up as a missed difference.
+func TestWordsEqualAgainstNaive(t *testing.T) {
+	naive := func(a, b []uint64) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	rng := rand.New(rand.NewSource(7))
+	lengths := []int{0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 64}
+	for _, n := range lengths {
+		a := make([]uint64, n)
+		for i := range a {
+			a[i] = rng.Uint64()
+		}
+		b := append([]uint64(nil), a...)
+		if !WordsEqual(a, b) || !naive(a, b) {
+			t.Fatalf("len=%d: equal slices compare unequal", n)
+		}
+		for i := 0; i < n; i++ {
+			b[i] ^= 1 << (uint(rng.Intn(64)))
+			if WordsEqual(a, b) != naive(a, b) {
+				t.Fatalf("len=%d flip@%d: WordsEqual=%v naive=%v", n, i, WordsEqual(a, b), naive(a, b))
+			}
+			b[i] = a[i]
+		}
+		if n > 0 && WordsEqual(a, b[:n-1]) {
+			t.Fatalf("len=%d: length mismatch compared equal", n)
+		}
+	}
+}
+
+// TestHashWordsProperties pins the contract HashWords' callers rely on:
+// deterministic across calls, sensitive to every word position and to
+// length (a zero-padded extension must not collide), and with no
+// systematic low-bit collisions across near-identical inputs — the intern
+// table shards by the low bits, so a weak finalizer would pile every set
+// into one shard.
+func TestHashWordsProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 8, 13, 64, 1000} {
+		ws := make([]uint64, n)
+		for i := range ws {
+			ws[i] = rng.Uint64()
+		}
+		h := HashWords(ws)
+		if h != HashWords(ws) {
+			t.Fatalf("len=%d: HashWords is not deterministic", n)
+		}
+		if HashWords(append(append([]uint64(nil), ws...), 0)) == h {
+			t.Errorf("len=%d: zero-padded extension collides", n)
+		}
+		for i := 0; i < n; i++ {
+			ws[i] ^= 1
+			if HashWords(ws) == h {
+				t.Errorf("len=%d: single-bit flip at word %d does not change the hash", n, i)
+			}
+			ws[i] ^= 1
+		}
+	}
+	// Low-bit spread: hash sequential single-word sets and require every
+	// value of the low 3 bits (an 8-shard table's shard index) to occur.
+	seen := make(map[uint64]int)
+	for i := uint64(0); i < 256; i++ {
+		seen[HashWords([]uint64{i})&7]++
+	}
+	if len(seen) != 8 {
+		t.Errorf("low-3-bit shard index covers %d of 8 values over 256 sequential words", len(seen))
+	}
+}

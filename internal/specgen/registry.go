@@ -118,14 +118,14 @@ func init() {
 }
 
 // BenchFamilies is the registered benchmark sweep, smallest to largest per
-// kind. The tail instances — chain(8) (~262k-state product), chaindrop(7),
-// ring(6) — are sized for the demand-driven engine with arena row storage;
-// eager engines should run them under a derivation timeout. chain(9)
-// (~1M-state product) is deliberately left out of the default sweep and run
-// explicitly by the bench-frontier target.
+// kind. The tail instances — chain(9) (~1M-state product), chaindrop(7),
+// ring(6) — are sized for the demand-driven engine with arena row storage
+// and the word-parallel safety phase; eager engines should run them under a
+// derivation timeout. chain(10) (~4.2M-state product) is deliberately left
+// out of the default sweep and run explicitly by the bench-frontier target.
 func BenchFamilies() []string {
 	return []string{
-		"chain(4)", "chain(5)", "chain(6)", "chain(7)", "chain(8)",
+		"chain(4)", "chain(5)", "chain(6)", "chain(7)", "chain(8)", "chain(9)",
 		"chaindrop(4)", "chaindrop(5)", "chaindrop(6)", "chaindrop(7)",
 		"ring(2)", "ring(3)", "ring(4)", "ring(5)", "ring(6)",
 	}
