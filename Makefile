@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify fmt vet build test race benchsmoke fuzz-smoke protosmith-smoke bench bench-frontier loadtest cluster-smoke bench-cluster
+.PHONY: verify fmt vet build test race benchsmoke fuzz-smoke protosmith-smoke bench bench-frontier loadtest cluster-smoke bench-cluster convrt-smoke bench-convrt
 
-verify: fmt vet build test race benchsmoke fuzz-smoke protosmith-smoke loadtest cluster-smoke
+verify: fmt vet build test race benchsmoke fuzz-smoke protosmith-smoke loadtest cluster-smoke convrt-smoke
 	@echo "verify: OK"
 
 # gofmt compliance; fails listing the offending files.
@@ -99,6 +99,35 @@ bench-cluster:
 			-families 'chain(3),chain(4),chaindrop(4)' \
 			-bench-out BENCH_pr6.json -bench-label pr6-n$$n || exit 1; \
 	done
+
+# The execution-runtime gate: 1000 concurrent converter sessions through
+# the table-compiled runtime under a seeded fault schedule, with online
+# conformance checking against the spec tracker. -assert-clean exits
+# non-zero unless every session completes with zero conformance
+# violations and zero lost sessions.
+convrt-smoke:
+	$(GO) run ./cmd/convrt -sessions 1000 -steps 300 -seed 1 \
+		-faults 'loss=0.05,dup=0.05,reorder=0.05,corrupt=0.02' \
+		-assert-clean
+
+# The execution-runtime trajectory into BENCH_pr10.json: throughput and
+# step-latency quantiles for the paper converter and a derived chain(2)
+# converter, on a perfect wire and under the smoke-test fault schedule
+# (EXPERIMENTS.md reads this file).
+bench-convrt:
+	rm -f BENCH_pr10.json
+	$(GO) run ./cmd/convrt -sessions 2000 -steps 500 -seed 1 \
+		-bench-out BENCH_pr10.json -label pr10-paper-clean
+	$(GO) run ./cmd/convrt -sessions 2000 -steps 500 -seed 1 \
+		-faults 'loss=0.05,dup=0.05,reorder=0.05,corrupt=0.02' \
+		-bench-out BENCH_pr10.json -label pr10-paper-faults
+	$(GO) run ./cmd/convrt -family 'chain(2)' -sessions 2000 -steps 500 -seed 1 \
+		-bench-out BENCH_pr10.json -label pr10-chain2-clean
+	$(GO) run ./cmd/convrt -family 'chain(2)' -sessions 2000 -steps 500 -seed 1 \
+		-faults 'loss=0.05,dup=0.05,reorder=0.05,corrupt=0.02' \
+		-bench-out BENCH_pr10.json -label pr10-chain2-faults
+	$(GO) run ./cmd/convrt -sessions 2000 -steps 500 -seed 1 -no-conform \
+		-bench-out BENCH_pr10.json -label pr10-paper-noconform
 
 # Short fuzzing bursts over the wire decoder, the DSL parser, and the
 # canonical-form hasher: enough to catch regressions in frame

@@ -91,6 +91,13 @@ type DeriveOptions struct {
 	IncludeDOT bool   `json:"include_dot,omitempty"`
 	IncludeGo  bool   `json:"include_go,omitempty"`
 	GoPackage  string `json:"go_package,omitempty"`
+	// IncludeTable additionally returns the compiled-table artifact: the
+	// convrt wire encoding ("convrt-table/v1") of the converter's
+	// integer-indexed execution form, ready for convrt.Decode and the
+	// cmd/convrt load harness. Like the other renderings it is a
+	// deterministic function of the converter and excluded from the cache
+	// key.
+	IncludeTable bool `json:"include_table,omitempty"`
 }
 
 // DeriveRequest is the body of POST /v1/derive. Exactly one of Envs or
@@ -281,9 +288,12 @@ type DeriveResponse struct {
 	Exists bool `json:"exists"`
 	// Converter is the derived converter in .spec DSL text.
 	Converter string `json:"converter,omitempty"`
-	// DOT / GoSource are optional renderings (Options.IncludeDOT/IncludeGo).
+	// DOT / GoSource / Table are optional renderings
+	// (Options.IncludeDOT/IncludeGo/IncludeTable); Table is the compiled
+	// converter in the convrt wire encoding.
 	DOT      string `json:"dot,omitempty"`
 	GoSource string `json:"go_source,omitempty"`
+	Table    string `json:"table,omitempty"`
 	// Stats describes the derivation that produced the artifact.
 	Stats *WireStats `json:"stats,omitempty"`
 	// Error is set on any non-success, including definitive nonexistence.
@@ -299,11 +309,17 @@ type DeriveResponse struct {
 // bit-identical wherever it is served from, because the derivation is a
 // pure function of the key's preimage.
 type Artifact struct {
-	Key       string     `json:"key"`
-	Exists    bool       `json:"exists"`
-	Converter string     `json:"converter,omitempty"`
-	Stats     *WireStats `json:"stats,omitempty"`
-	Error     *Error     `json:"error,omitempty"`
+	Key       string `json:"key"`
+	Exists    bool   `json:"exists"`
+	Converter string `json:"converter,omitempty"`
+	// Table is the converter's compiled-table rendering in the convrt wire
+	// encoding ("convrt-table/v1") — the artifact class the execution
+	// runtime consumes. It is derived from Converter at derivation time, so
+	// peers may omit it and holders may rebuild it; a missing or corrupt
+	// table never invalidates the artifact itself.
+	Table string     `json:"table,omitempty"`
+	Stats *WireStats `json:"stats,omitempty"`
+	Error *Error     `json:"error,omitempty"`
 }
 
 // PeerFillRequest is the body of POST /v1/peer/artifact: a node that is not

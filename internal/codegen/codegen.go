@@ -23,6 +23,9 @@ type Config struct {
 	Type string
 	// Comment is an optional provenance note included in the file header.
 	Comment string
+	// Backend selects the output shape: BackendSwitch (default) or
+	// BackendTable.
+	Backend string
 }
 
 // Generate renders Go source implementing s, which must be a converter-like
@@ -39,6 +42,14 @@ type Config struct {
 //
 // The source is returned gofmt-formatted.
 func Generate(s *spec.Spec, cfg Config) ([]byte, error) {
+	switch cfg.Backend {
+	case "", BackendSwitch:
+		// The switch backend below.
+	case BackendTable:
+		return GenerateTable(s, cfg)
+	default:
+		return nil, fmt.Errorf("codegen: unknown backend %q (want %q or %q)", cfg.Backend, BackendSwitch, BackendTable)
+	}
 	if s.NumInternalTransitions() > 0 {
 		return nil, fmt.Errorf("codegen: %s has internal transitions; generate from a converter, not a raw spec", s.Name())
 	}

@@ -1,0 +1,197 @@
+package codegen
+
+import (
+	"fmt"
+	"go/format"
+	"strings"
+
+	"protoquot/internal/convrt"
+	"protoquot/internal/spec"
+)
+
+// Backends. The switch backend (the default, and the original output of
+// this package) emits a string-switch machine that is auditable line by
+// line against the specification; the table backend emits the same
+// compiled representation internal/convrt executes — dense event ids in
+// alphabet order, a flat row-major transition array — as plain Go arrays,
+// for embedding a converter on a data path without strings, maps, or this
+// library.
+const (
+	BackendSwitch = "switch"
+	BackendTable  = "table"
+)
+
+// GenerateTable renders the table-backend Go source for s: the identical
+// integer-indexed form convrt.Compile builds at runtime, embedded as
+// array literals with an allocation-free StepID/EnabledIDs API plus
+// string-level conveniences. Preconditions are Generate's: no internal
+// transitions and a deterministic spec.
+func GenerateTable(s *spec.Spec, cfg Config) ([]byte, error) {
+	t, err := convrt.Compile(s)
+	if err != nil {
+		return nil, fmt.Errorf("codegen: %w", err)
+	}
+	if cfg.Package == "" {
+		cfg.Package = "converter"
+	}
+	if cfg.Type == "" {
+		cfg.Type = exportedIdent(s.Name(), "Converter")
+	}
+	T := cfg.Type
+	lt := lowerFirst(T)
+
+	evNames := make([]string, t.NumEvents())
+	for i := range evNames {
+		evNames[i] = string(t.EventName(int32(i)))
+	}
+	evIdents := disambiguate(evNames, eventIdent, "Event")
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Code generated from specification %q; DO NOT EDIT.\n", s.Name())
+	if cfg.Comment != "" {
+		fmt.Fprintf(&b, "// %s\n", cfg.Comment)
+	}
+	fmt.Fprintf(&b, "\npackage %s\n\n", cfg.Package)
+	fmt.Fprintf(&b, "import \"fmt\"\n\n")
+
+	fmt.Fprintf(&b, "// Event ids of %s, dense in alphabet order. %sNoEvent/%sNoState are the\n", s.Name(), T, T)
+	fmt.Fprintf(&b, "// failed-lookup sentinels.\n")
+	fmt.Fprintf(&b, "const (\n")
+	for i, id := range evIdents {
+		fmt.Fprintf(&b, "\t%sEv%s int32 = %d // %q\n", T, id, i, evNames[i])
+	}
+	fmt.Fprintf(&b, ")\n\n")
+	fmt.Fprintf(&b, "const (\n")
+	fmt.Fprintf(&b, "\t%sNumStates int32 = %d\n", T, t.NumStates())
+	fmt.Fprintf(&b, "\t%sNumEvents int32 = %d\n", T, t.NumEvents())
+	fmt.Fprintf(&b, "\t%sInit      int32 = %d\n", T, t.Init())
+	fmt.Fprintf(&b, "\t%sNoEvent   int32 = -1\n", T)
+	fmt.Fprintf(&b, "\t%sNoState   int32 = -1\n", T)
+	fmt.Fprintf(&b, ")\n\n")
+
+	fmt.Fprintf(&b, "var %sEventNames = [...]string{\n", lt)
+	for _, e := range evNames {
+		fmt.Fprintf(&b, "\t%q,\n", e)
+	}
+	fmt.Fprintf(&b, "}\n\n")
+	fmt.Fprintf(&b, "var %sStateNames = [...]string{\n", lt)
+	for st := 0; st < t.NumStates(); st++ {
+		fmt.Fprintf(&b, "\t%q,\n", t.StateName(int32(st)))
+	}
+	fmt.Fprintf(&b, "}\n\n")
+
+	fmt.Fprintf(&b, "// %sNext is the row-major (state × event) transition table; %sNoState\n", lt, T)
+	fmt.Fprintf(&b, "// marks a not-enabled pair.\n")
+	fmt.Fprintf(&b, "var %sNext = [...]int32{\n", lt)
+	for st := 0; st < t.NumStates(); st++ {
+		fmt.Fprintf(&b, "\t")
+		for ev := 0; ev < t.NumEvents(); ev++ {
+			nxt, ok := t.Step(int32(st), int32(ev))
+			if !ok {
+				nxt = -1
+			}
+			if ev > 0 {
+				fmt.Fprintf(&b, " ")
+			}
+			fmt.Fprintf(&b, "%d,", nxt)
+		}
+		fmt.Fprintf(&b, " // %s\n", t.StateName(int32(st)))
+	}
+	fmt.Fprintf(&b, "}\n\n")
+
+	fmt.Fprintf(&b, "// %s is the table-compiled machine. The zero value starts at the\n", T)
+	fmt.Fprintf(&b, "// initial state.\n")
+	fmt.Fprintf(&b, "type %s struct {\n\tstate       int32\n\tinitialized bool\n}\n\n", T)
+	fmt.Fprintf(&b, "// New%s returns a machine at the initial state.\n", T)
+	fmt.Fprintf(&b, "func New%s() *%s { m := &%s{}; m.Reset(); return m }\n\n", T, T, T)
+	fmt.Fprintf(&b, "// Reset returns the machine to the initial state.\n")
+	fmt.Fprintf(&b, "func (m *%s) Reset() { m.state = %sInit; m.initialized = true }\n\n", T, T)
+	fmt.Fprintf(&b, "func (m *%s) ensure() {\n\tif !m.initialized {\n\t\tm.Reset()\n\t}\n}\n\n", T)
+	fmt.Fprintf(&b, "// StateIndex returns the current state's dense index.\n")
+	fmt.Fprintf(&b, "func (m *%s) StateIndex() int32 {\n\tm.ensure()\n\treturn m.state\n}\n\n", T)
+	fmt.Fprintf(&b, "// State returns the current state's name.\n")
+	fmt.Fprintf(&b, "func (m *%s) State() string {\n\tm.ensure()\n\treturn %sStateNames[m.state]\n}\n\n", T, lt)
+
+	fmt.Fprintf(&b, "// EventID interns an event name by binary search over the sorted\n")
+	fmt.Fprintf(&b, "// alphabet; %sNoEvent if unknown. It never allocates.\n", T)
+	fmt.Fprintf(&b, "func (m *%s) EventID(event string) int32 {\n", T)
+	fmt.Fprintf(&b, "\tlo, hi := int32(0), %sNumEvents\n", T)
+	fmt.Fprintf(&b, "\tfor lo < hi {\n\t\tmid := (lo + hi) / 2\n")
+	fmt.Fprintf(&b, "\t\tif %sEventNames[mid] < event {\n\t\t\tlo = mid + 1\n\t\t} else {\n\t\t\thi = mid\n\t\t}\n\t}\n", lt)
+	fmt.Fprintf(&b, "\tif lo < %sNumEvents && %sEventNames[lo] == event {\n\t\treturn lo\n\t}\n", T, lt)
+	fmt.Fprintf(&b, "\treturn %sNoEvent\n}\n\n", T)
+
+	fmt.Fprintf(&b, "// StepID advances by an interned event id; false (state unchanged) if\n")
+	fmt.Fprintf(&b, "// it is not enabled. The steady-state path: one bounds check and one\n")
+	fmt.Fprintf(&b, "// table load, no allocation.\n")
+	fmt.Fprintf(&b, "func (m *%s) StepID(ev int32) bool {\n\tm.ensure()\n", T)
+	fmt.Fprintf(&b, "\tif ev < 0 || ev >= %sNumEvents {\n\t\treturn false\n\t}\n", T)
+	fmt.Fprintf(&b, "\tnxt := %sNext[m.state*%sNumEvents+ev]\n", lt, T)
+	fmt.Fprintf(&b, "\tif nxt == %sNoState {\n\t\treturn false\n\t}\n", T)
+	fmt.Fprintf(&b, "\tm.state = nxt\n\treturn true\n}\n\n")
+
+	fmt.Fprintf(&b, "// Step advances the machine by one named event; it returns an error\n")
+	fmt.Fprintf(&b, "// (and leaves the state unchanged) if the event is not enabled.\n")
+	fmt.Fprintf(&b, "func (m *%s) Step(event string) error {\n", T)
+	fmt.Fprintf(&b, "\tif m.StepID(m.EventID(event)) {\n\t\treturn nil\n\t}\n")
+	fmt.Fprintf(&b, "\treturn fmt.Errorf(\"%s: event %%q not enabled in state %%s\", event, m.State())\n}\n\n", T)
+
+	fmt.Fprintf(&b, "// EnabledIDs appends the event ids enabled in the current state to buf\n")
+	fmt.Fprintf(&b, "// and returns it; with a caller-reused buffer it never allocates.\n")
+	fmt.Fprintf(&b, "func (m *%s) EnabledIDs(buf []int32) []int32 {\n\tm.ensure()\n", T)
+	fmt.Fprintf(&b, "\trow := %sNext[m.state*%sNumEvents:][:%sNumEvents]\n", lt, T, T)
+	fmt.Fprintf(&b, "\tfor ev, nxt := range row {\n\t\tif nxt != %sNoState {\n\t\t\tbuf = append(buf, int32(ev))\n\t\t}\n\t}\n\treturn buf\n}\n\n", T)
+
+	fmt.Fprintf(&b, "// Enabled returns the events accepted in the current state, sorted.\n")
+	fmt.Fprintf(&b, "func (m *%s) Enabled() []string {\n\tm.ensure()\n", T)
+	fmt.Fprintf(&b, "\tvar out []string\n")
+	fmt.Fprintf(&b, "\trow := %sNext[m.state*%sNumEvents:][:%sNumEvents]\n", lt, T, T)
+	fmt.Fprintf(&b, "\tfor ev, nxt := range row {\n\t\tif nxt != %sNoState {\n\t\t\tout = append(out, %sEventNames[ev])\n\t\t}\n\t}\n\treturn out\n}\n", T, lt)
+
+	src, err := format.Source([]byte(b.String()))
+	if err != nil {
+		return nil, fmt.Errorf("codegen: internal error formatting table output: %w", err)
+	}
+	return src, nil
+}
+
+// eventIdent mangles an event name into an exported identifier fragment.
+// The polarity sigils every converter alphabet carries — "+m" (remove m
+// from a channel) and "-m" (pass m into a channel) — map to distinct Recv/
+// Send prefixes, because exportedIdent alone erases them: "+d0" and "-d0"
+// would otherwise both mangle to "D0" and silently merge.
+func eventIdent(e string) string {
+	prefix := ""
+	switch {
+	case strings.HasPrefix(e, "+"):
+		prefix, e = "Recv", e[1:]
+	case strings.HasPrefix(e, "-"):
+		prefix, e = "Send", e[1:]
+	}
+	return prefix + exportedIdent(e, "")
+}
+
+// disambiguate assigns each name a unique identifier, deterministically:
+// names are mangled in input order, the first claimant of an identifier
+// keeps it, and later collisions append "_2", "_3", … by claim order.
+// Names whose mangle comes up empty (all-symbol, all-digit) fall back to
+// fallback+index. Distinct inputs therefore never merge and the output is
+// a pure function of the input slice — the collision fix pinned by
+// TestEventIdentCollisions.
+func disambiguate(names []string, mangle func(string) string, fallback string) []string {
+	out := make([]string, len(names))
+	used := make(map[string]bool, len(names))
+	for i, name := range names {
+		base := mangle(name)
+		if base == "" {
+			base = fmt.Sprintf("%s%d", fallback, i)
+		}
+		id := base
+		for n := 2; used[id]; n++ {
+			id = fmt.Sprintf("%s_%d", base, n)
+		}
+		used[id] = true
+		out[i] = id
+	}
+	return out
+}

@@ -1,0 +1,378 @@
+package codegen
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"protoquot/internal/compose"
+	"protoquot/internal/convrt"
+	"protoquot/internal/core"
+	"protoquot/internal/dsl"
+	"protoquot/internal/protocols"
+	"protoquot/internal/protosmith"
+	"protoquot/internal/spec"
+	"protoquot/internal/specgen"
+)
+
+// typeCheckGenerated parses AND type-checks one generated file — parsing
+// alone would admit duplicate top-level identifiers, the exact failure mode
+// of the event-name mangling collision this backend had to solve.
+func typeCheckGenerated(t *testing.T, filename string, src []byte) *ast.File {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, 0)
+	if err != nil {
+		t.Fatalf("generated code does not parse: %v\n%s", err, src)
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check(f.Name.Name, fset, []*ast.File{f}, nil); err != nil {
+		t.Fatalf("generated code does not type-check: %v\n%s", err, src)
+	}
+	return f
+}
+
+// extractedTable is the machine recovered from generated table-backend
+// source by walking its array literals.
+type extractedTable struct {
+	events []string
+	states []string
+	next   []int
+	init   int
+}
+
+// extractTable recovers the compiled arrays from generated source.
+func extractTable(t *testing.T, f *ast.File, typeName string) extractedTable {
+	t.Helper()
+	lt := lowerFirst(typeName)
+	var out extractedTable
+	out.init = -1
+	strArray := func(cl *ast.CompositeLit) []string {
+		var ss []string
+		for _, el := range cl.Elts {
+			lit, ok := el.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				t.Fatalf("non-string element in name array")
+			}
+			v, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ss = append(ss, v)
+		}
+		return ss
+	}
+	intArray := func(cl *ast.CompositeLit) []int {
+		var vs []int
+		for _, el := range cl.Elts {
+			neg := false
+			if u, ok := el.(*ast.UnaryExpr); ok && u.Op == token.SUB {
+				neg = true
+				el = u.X
+			}
+			lit, ok := el.(*ast.BasicLit)
+			if !ok || lit.Kind != token.INT {
+				t.Fatalf("non-int element in table array")
+			}
+			v, err := strconv.Atoi(lit.Value)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if neg {
+				v = -v
+			}
+			vs = append(vs, v)
+		}
+		return vs
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.ValueSpec:
+			if len(d.Names) != 1 || len(d.Values) != 1 {
+				return true
+			}
+			cl, isLit := d.Values[0].(*ast.CompositeLit)
+			switch d.Names[0].Name {
+			case lt + "EventNames":
+				if isLit {
+					out.events = strArray(cl)
+				}
+			case lt + "StateNames":
+				if isLit {
+					out.states = strArray(cl)
+				}
+			case lt + "Next":
+				if isLit {
+					out.next = intArray(cl)
+				}
+			case typeName + "Init":
+				if lit, ok := d.Values[0].(*ast.BasicLit); ok {
+					v, err := strconv.Atoi(lit.Value)
+					if err != nil {
+						t.Fatal(err)
+					}
+					out.init = v
+				}
+			}
+		}
+		return true
+	})
+	if out.events == nil || out.states == nil || out.next == nil || out.init < 0 {
+		t.Fatalf("could not extract table arrays from generated source")
+	}
+	return out
+}
+
+// checkGeneratedTable generates table-backend source for s, type-checks it,
+// and compares the embedded arrays cell-for-cell against convrt.Compile —
+// the generated Go and the runtime table are the same machine. (convrt's
+// differential suite closes the loop to spec.TraceTracker.)
+func checkGeneratedTable(t *testing.T, s *spec.Spec) {
+	t.Helper()
+	const typeName = "Gen"
+	src, err := Generate(s, Config{Package: "gen", Type: typeName, Backend: BackendTable})
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name(), err)
+	}
+	f := typeCheckGenerated(t, "gen.go", src)
+	got := extractTable(t, f, typeName)
+	tab, err := convrt.Compile(s)
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name(), err)
+	}
+	if len(got.events) != tab.NumEvents() || len(got.states) != tab.NumStates() {
+		t.Fatalf("%s: shape %d×%d, want %d×%d", s.Name(),
+			len(got.states), len(got.events), tab.NumStates(), tab.NumEvents())
+	}
+	if got.init != int(tab.Init()) {
+		t.Fatalf("%s: init %d, want %d", s.Name(), got.init, tab.Init())
+	}
+	for i, e := range got.events {
+		if spec.Event(e) != tab.EventName(int32(i)) {
+			t.Fatalf("%s: event %d = %q, want %q", s.Name(), i, e, tab.EventName(int32(i)))
+		}
+	}
+	for i, name := range got.states {
+		if name != tab.StateName(int32(i)) {
+			t.Fatalf("%s: state %d = %q, want %q", s.Name(), i, name, tab.StateName(int32(i)))
+		}
+	}
+	if len(got.next) != tab.NumStates()*tab.NumEvents() {
+		t.Fatalf("%s: %d cells, want %d", s.Name(), len(got.next), tab.NumStates()*tab.NumEvents())
+	}
+	for st := 0; st < tab.NumStates(); st++ {
+		for ev := 0; ev < tab.NumEvents(); ev++ {
+			want, ok := tab.Step(int32(st), int32(ev))
+			if !ok {
+				want = -1
+			}
+			if cell := got.next[st*tab.NumEvents()+ev]; cell != int(want) {
+				t.Fatalf("%s: cell (%d,%d) = %d, want %d", s.Name(), st, ev, cell, want)
+			}
+		}
+	}
+}
+
+func TestGenerateTableColocated(t *testing.T) {
+	pruned, _ := generateColocated(t)
+	checkGeneratedTable(t, pruned)
+
+	// The emitted API surface.
+	src, err := Generate(pruned, Config{Package: "abns", Type: "ABNS", Backend: BackendTable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := typeCheckGenerated(t, "abns.go", src)
+	want := map[string]bool{"NewABNS": false, "Reset": false, "State": false, "StateIndex": false,
+		"Enabled": false, "EnabledIDs": false, "Step": false, "StepID": false, "EventID": false}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			if _, tracked := want[fd.Name.Name]; tracked {
+				want[fd.Name.Name] = true
+			}
+		}
+		return true
+	})
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("generated table code missing %s", name)
+		}
+	}
+}
+
+func TestGenerateUnknownBackend(t *testing.T) {
+	s := spec.NewBuilder("x").Init("a").Ext("a", "x", "a").MustBuild()
+	if _, err := Generate(s, Config{Backend: "llvm"}); err == nil || !strings.Contains(err.Error(), "unknown backend") {
+		t.Fatalf("Generate = %v, want unknown-backend error", err)
+	}
+	// The two named backends and the default all work.
+	for _, b := range []string{"", BackendSwitch, BackendTable} {
+		if _, err := Generate(s, Config{Backend: b}); err != nil {
+			t.Fatalf("backend %q: %v", b, err)
+		}
+	}
+}
+
+// TestGenerateTableDifferentialCorpus is the generated-Go leg of the
+// differential satellite: every specs/ fixture that is converter-shaped,
+// the paper systems, and 25 protosmith-derived converters all generate
+// type-checking source whose arrays equal the runtime table.
+func TestGenerateTableDifferentialCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "specs", "*.spec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no specs/ fixtures found")
+	}
+	covered := 0
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss, err := dsl.Parse(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		for _, s := range ss {
+			if s.NumInternalTransitions() > 0 || !s.DeterministicExternal() {
+				continue
+			}
+			covered++
+			s := s
+			t.Run(filepath.Base(file)+":"+s.Name(), func(t *testing.T) {
+				checkGeneratedTable(t, s)
+			})
+		}
+	}
+	if covered == 0 {
+		t.Fatal("no eligible fixtures")
+	}
+
+	// Paper system beyond the colocated one covered above: chain(2).
+	fam, err := specgen.ParseFamily("chain(2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := compose.Many(fam.Components...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Derive(fam.Service, env, core.Options{OmitVacuous: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("chain2", func(t *testing.T) { checkGeneratedTable(t, res.Converter) })
+	t.Run("colocated-maximal", func(t *testing.T) {
+		r, err := core.Derive(protocols.Service(), protocols.ColocatedB(), core.Options{OmitVacuous: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGeneratedTable(t, r.Converter)
+	})
+
+	if testing.Short() {
+		t.Skip("skipping protosmith sweep in -short mode")
+	}
+	const want = 25
+	found := 0
+	for seed := int64(0); seed < 400 && found < want; seed++ {
+		sys := protosmith.Generate(seed, protosmith.DefaultKnobs())
+		env, err := compose.Many(sys.Components...)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := core.Derive(sys.Service, env, core.Options{OmitVacuous: true, MaxStates: 1 << 16})
+		if err != nil || !res.Exists {
+			continue
+		}
+		found++
+		t.Run(fmt.Sprintf("protosmith-seed%d", seed), func(t *testing.T) {
+			checkGeneratedTable(t, res.Converter)
+		})
+	}
+	if found < want {
+		t.Fatalf("only %d derivable converters in 400 seeds, want %d", found, want)
+	}
+}
+
+// TestEventIdentCollisions is the regression for the exportedIdent
+// collision: "+d0" and "-d0" used to mangle to the same identifier, so a
+// converter alphabet — which pairs them by construction — generated
+// duplicate constants. The polarity prefixes plus deterministic "_n"
+// disambiguation must keep every distinct event name distinct.
+func TestEventIdentCollisions(t *testing.T) {
+	s := spec.NewBuilder("collide").
+		Init("a").
+		Ext("a", "+d0", "b").
+		Ext("b", "-d0", "a"). // polarity pair of +d0
+		Ext("a", "x.y", "a"). // mangles to XY …
+		Ext("a", "x_y", "a"). // … and so does this
+		Ext("a", "xy", "a").  // … and this
+		Ext("b", "***", "b"). // mangles to nothing at all
+		Ext("b", "###", "b"). // … twice
+		MustBuild()
+	src, err := Generate(s, Config{Package: "c", Type: "C", Backend: BackendTable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Type-checking alone proves no duplicate constants were emitted.
+	f := typeCheckGenerated(t, "c.go", src)
+
+	// Both polarity constants exist under distinct names.
+	consts := map[string]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if vs, ok := n.(*ast.ValueSpec); ok {
+			for _, name := range vs.Names {
+				consts[name.Name] = true
+			}
+		}
+		return true
+	})
+	for _, want := range []string{"CEvRecvD0", "CEvSendD0"} {
+		if !consts[want] {
+			t.Errorf("missing constant %s in\n%s", want, src)
+		}
+	}
+
+	// Determinism: regeneration is byte-identical.
+	src2, err := Generate(s, Config{Package: "c", Type: "C", Backend: BackendTable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(src, src2) {
+		t.Fatal("generation is not deterministic")
+	}
+	// And the machine arrays still match the runtime table exactly.
+	checkGeneratedTable(t, s)
+}
+
+func TestDisambiguate(t *testing.T) {
+	got := disambiguate([]string{"+d0", "-d0", "x.y", "x_y", "xy", "***", "###"}, eventIdent, "Event")
+	want := []string{"RecvD0", "SendD0", "XY", "XY_2", "Xy", "Event5", "Event6"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ident %d = %q, want %q (full: %v)", i, got[i], want[i], got)
+		}
+	}
+	seen := map[string]bool{}
+	for _, id := range got {
+		if seen[id] {
+			t.Fatalf("duplicate identifier %q in %v", id, got)
+		}
+		seen[id] = true
+	}
+}

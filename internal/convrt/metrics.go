@@ -1,0 +1,162 @@
+package convrt
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"protoquot/internal/spec"
+)
+
+// latencyRingSize is the per-worker step-latency reservoir: the most
+// recent samples, overwritten in a ring so a long run reports its
+// steady-state tail, not its warmup. A power of two keeps the index math
+// to a mask.
+const latencyRingSize = 1 << 12
+
+// workerMetrics is one worker's counter shard. Counters are atomics so the
+// Runner can snapshot them live while the worker runs; each counter has a
+// single writer, so the atomics cost a fenced add and no contention. The
+// latency ring is single-writer too; snapshot readers copy racily-but-
+// atomically slot by slot, which is sound for quantiles (a torn *set* of
+// samples is still a set of genuine samples).
+type workerMetrics struct {
+	steps      atomic.Int64
+	proposed   atomic.Int64
+	stale      atomic.Int64
+	dropped    atomic.Int64
+	corrupted  atomic.Int64
+	duplicated atomic.Int64
+	reordered  atomic.Int64
+	delayed    atomic.Int64
+	resets     atomic.Int64
+	audits     atomic.Int64
+	violations atomic.Int64
+	starved    atomic.Int64
+	completed  atomic.Int64
+	failed     atomic.Int64
+
+	latPos  atomic.Int64
+	latRing [latencyRingSize]atomic.Int64
+
+	vioMu   *sync.Mutex  // shared across workers; guards vios
+	vios    *[]Violation // shared violation detail sink, capped
+	vioCap_ int
+}
+
+// observeLatency records one executed step's enqueue-to-execute latency.
+func (m *workerMetrics) observeLatency(ns int64) {
+	p := m.latPos.Add(1) - 1
+	m.latRing[p&(latencyRingSize-1)].Store(ns + 1) // +1: 0 means empty slot
+}
+
+// recordViolation appends detail for the first few violations run-wide.
+func (m *workerMetrics) recordViolation(v Violation) {
+	m.vioMu.Lock()
+	if len(*m.vios) < m.vioCap_ {
+		*m.vios = append(*m.vios, v)
+	}
+	m.vioMu.Unlock()
+}
+
+// Violation is the latched detail of one conformance failure: the compiled
+// table and the reference specification disagreed about session behavior.
+type Violation struct {
+	// Session is the offending session's index.
+	Session int32
+	// Kind is "safety" (the table executed an event the specification does
+	// not enable) or "enabled-set" (a sampled audit found the two enabled
+	// sets different).
+	Kind string
+	// State is the table-side state name at the divergence.
+	State string
+	// Event is the offending event for safety violations.
+	Event spec.Event
+	// Steps is how many events the session had executed.
+	Steps int
+	// Enabled is what the reference specification allows at the divergence;
+	// TableEnabled what the compiled table allows (enabled-set kind only).
+	Enabled      []spec.Event
+	TableEnabled []spec.Event
+}
+
+// Metrics is a point-in-time snapshot of a run: throughput counters, the
+// session gauges, and the step-latency quantiles from the merged
+// per-worker rings. Returned by Runner.Metrics (live) and embedded in the
+// final Report.
+type Metrics struct {
+	// Steps counts executed converter events — the msgs/sec numerator.
+	Steps int64
+	// Proposed counts offers onto the wire (≥ Steps: retransmissions after
+	// loss and discarded stale traffic both offer without executing).
+	Proposed int64
+	// Stale counts deliveries discarded by selective receive (duplicates
+	// and post-gap traffic the current state does not enable).
+	Stale int64
+	// Fault-class counters, one per runtime.FaultModel class.
+	Dropped, Corrupted, Duplicated, Reordered, Delayed int64
+	// Resets counts sessions wrapping around after a terminal state.
+	Resets int64
+	// Audits counts sampled enabled-set conformance audits.
+	Audits int64
+	// Violations counts latched conformance violations (each also fails
+	// its session).
+	Violations int64
+	// Starved counts sessions failed by the starvation guard.
+	Starved int64
+
+	// SessionsActive/Completed/Failed partition the configured sessions.
+	SessionsActive    int64
+	SessionsCompleted int64
+	SessionsFailed    int64
+
+	// P50StepNs/P99StepNs are enqueue-to-execute latency quantiles over
+	// the merged rings (0 until the first step lands).
+	P50StepNs int64
+	P99StepNs int64
+}
+
+// merge folds one worker shard into the snapshot.
+func (s *Metrics) merge(m *workerMetrics) {
+	s.Steps += m.steps.Load()
+	s.Proposed += m.proposed.Load()
+	s.Stale += m.stale.Load()
+	s.Dropped += m.dropped.Load()
+	s.Corrupted += m.corrupted.Load()
+	s.Duplicated += m.duplicated.Load()
+	s.Reordered += m.reordered.Load()
+	s.Delayed += m.delayed.Load()
+	s.Resets += m.resets.Load()
+	s.Audits += m.audits.Load()
+	s.Violations += m.violations.Load()
+	s.Starved += m.starved.Load()
+	s.SessionsCompleted += m.completed.Load()
+	s.SessionsFailed += m.failed.Load()
+}
+
+// quantiles computes the latency quantiles across worker rings. It copies
+// the filled slots, sorts, and indexes — snapshot-path work, never on the
+// step path.
+func latencyQuantiles(workers []*workerMetrics) (p50, p99 int64) {
+	var samples []int64
+	for _, m := range workers {
+		n := m.latPos.Load()
+		if n > latencyRingSize {
+			n = latencyRingSize
+		}
+		for i := int64(0); i < n; i++ {
+			if v := m.latRing[i].Load(); v > 0 {
+				samples = append(samples, v-1)
+			}
+		}
+	}
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	idx := func(q float64) int64 {
+		i := int(q * float64(len(samples)-1))
+		return samples[i]
+	}
+	return idx(0.50), idx(0.99)
+}

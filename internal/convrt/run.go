@@ -1,0 +1,266 @@
+package convrt
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	rt "protoquot/internal/runtime"
+	"protoquot/internal/spec"
+)
+
+// Config describes one load run: which compiled converter to execute, how
+// many sessions, how hostile the wire is, and how much conformance
+// checking to attach.
+type Config struct {
+	// Table is the compiled converter every session executes. Required.
+	Table *Table
+	// Reference, when non-nil, attaches a spec.TraceTracker to every
+	// session: each executed event is replayed into the tracker and any
+	// disagreement latches a conformance violation. It should be the
+	// specification Table was compiled from (or one trace-equivalent to
+	// it); Table.Spec() reconstructs one when only the table artifact is
+	// at hand.
+	Reference *spec.Spec
+	// Sessions is the number of concurrent sessions; default 1.
+	Sessions int
+	// StepsPerSession is how many events each session must execute to
+	// complete; default 256.
+	StepsPerSession int
+	// Workers is the number of scheduler goroutines sessions are sharded
+	// across; default GOMAXPROCS.
+	Workers int
+	// Window is the in-flight offer bound per session (the FIFO depth);
+	// default 4. Reordering and duplication need window ≥ 2 for room.
+	Window int
+	// Faults is the wire's fault model (zero = a perfect wire).
+	Faults rt.FaultModel
+	// Seed makes the whole run — every session's walk and fault schedule —
+	// reproducible.
+	Seed int64
+	// ConformEvery audits the full enabled set (table vs tracker) every n
+	// executed steps per session; 0 disables the audit, and it only runs
+	// when Reference is set. The per-event safety check is always on with
+	// a Reference.
+	ConformEvery int
+	// MaxViolations bounds the retained violation details; default 8.
+	MaxViolations int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Table == nil {
+		return c, fmt.Errorf("convrt: Config.Table is required")
+	}
+	if c.Table.NumTransitions() == 0 {
+		return c, fmt.Errorf("convrt: table %q has no transitions; sessions could never step", c.Table.Name())
+	}
+	if c.Sessions <= 0 {
+		c.Sessions = 1
+	}
+	if c.StepsPerSession <= 0 {
+		c.StepsPerSession = 256
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers > c.Sessions {
+		c.Workers = c.Sessions
+	}
+	if c.Window <= 0 {
+		c.Window = 4
+	}
+	if c.MaxViolations <= 0 {
+		c.MaxViolations = 8
+	}
+	return c, nil
+}
+
+// Report is the outcome of a completed run.
+type Report struct {
+	Metrics
+	// Sessions is the configured session count; Completed + Failed +
+	// Canceled partition it at run end.
+	Sessions int
+	// Canceled counts sessions still unfinished when the context ended.
+	Canceled int64
+	// Violations holds the first few latched violation details.
+	ViolationDetails []Violation
+	// Elapsed is the run's wall time; MsgsPerSec is Steps/Elapsed.
+	Elapsed    time.Duration
+	MsgsPerSec float64
+}
+
+// Runner executes a Config. Construct with NewRunner, call Run once;
+// Metrics may be called concurrently with Run for a live snapshot (the
+// metrics surface a dashboard would poll).
+type Runner struct {
+	cfg     Config
+	workers []*workerMetrics
+	shards  [][]Session
+	active  atomic.Int64
+	vioMu   sync.Mutex
+	vios    []Violation
+	started atomic.Bool
+}
+
+// NewRunner validates cfg and prepares sessions (allocation happens here,
+// not on the run path).
+func NewRunner(cfg Config) (*Runner, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{cfg: cfg}
+	r.workers = make([]*workerMetrics, cfg.Workers)
+	r.shards = make([][]Session, cfg.Workers)
+	for w := range r.shards {
+		// Contiguous shards: session ids [w*per, …) so ownership is static
+		// and every session struct is touched by exactly one goroutine.
+		lo, hi := shardRange(cfg.Sessions, cfg.Workers, w)
+		r.shards[w] = make([]Session, hi-lo)
+		m := &workerMetrics{vioMu: &r.vioMu, vios: &r.vios, vioCap_: cfg.MaxViolations}
+		r.workers[w] = m
+		for i := range r.shards[w] {
+			s := &r.shards[w][i]
+			s.init(int32(lo+i), cfg.Table, cfg.Reference, cfg.Seed, cfg.Window,
+				cfg.StepsPerSession, cfg.ConformEvery)
+			s.faults = faultSched{model: cfg.Faults}
+		}
+	}
+	r.active.Store(int64(cfg.Sessions))
+	return r, nil
+}
+
+// shardRange splits n sessions as evenly as possible across k workers.
+func shardRange(n, k, w int) (lo, hi int) {
+	base, rem := n/k, n%k
+	lo = w*base + min(w, rem)
+	hi = lo + base
+	if w < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// Metrics returns a live snapshot: counters, session gauges, and latency
+// quantiles. Safe to call from any goroutine at any time.
+func (r *Runner) Metrics() Metrics {
+	var s Metrics
+	for _, m := range r.workers {
+		s.merge(m)
+	}
+	s.SessionsActive = r.active.Load()
+	s.P50StepNs, s.P99StepNs = latencyQuantiles(r.workers)
+	return s
+}
+
+// Run drives every session to completion (or ctx cancellation) and returns
+// the report. It may be called once per Runner.
+func (r *Runner) Run(ctx context.Context) (*Report, error) {
+	if r.started.Swap(true) {
+		return nil, fmt.Errorf("convrt: Runner.Run called twice")
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := range r.shards {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r.runShard(ctx, r.shards[w], r.workers[w])
+		}(w)
+	}
+	wg.Wait()
+
+	rep := &Report{Sessions: r.cfg.Sessions, Elapsed: time.Since(start)}
+	rep.Metrics = r.Metrics()
+	rep.Canceled = int64(r.cfg.Sessions) - rep.SessionsCompleted - rep.SessionsFailed
+	r.vioMu.Lock()
+	rep.ViolationDetails = append([]Violation(nil), r.vios...)
+	r.vioMu.Unlock()
+	if sec := rep.Elapsed.Seconds(); sec > 0 {
+		rep.MsgsPerSec = float64(rep.Steps) / sec
+	}
+	return rep, ctx.Err()
+}
+
+// runShard is one worker's scheduler loop: sweep the shard's sessions,
+// pumping each; when a full sweep makes no progress, either everything is
+// done, or the earliest delayed message tells us how long to sleep. The
+// ctx check sits once per sweep, not per message.
+func (r *Runner) runShard(ctx context.Context, shard []Session, m *workerMetrics) {
+	remaining := len(shard)
+	for remaining > 0 {
+		if ctx.Err() != nil {
+			return
+		}
+		now := nowNs()
+		progress := false
+		var wakeAt int64
+		remaining = 0
+		for i := range shard {
+			s := &shard[i]
+			if s.done {
+				continue
+			}
+			if s.pump(now, m) {
+				progress = true
+			}
+			if s.done {
+				r.active.Add(-1)
+			}
+			if !s.done {
+				remaining++
+				if b := s.blockedUntil(now); b > 0 && (wakeAt == 0 || b < wakeAt) {
+					wakeAt = b
+				}
+			}
+		}
+		if remaining > 0 && !progress {
+			if wakeAt > 0 {
+				// Every runnable session is waiting out a delay fault.
+				d := time.Duration(wakeAt - nowNs())
+				if d > 0 {
+					sleepCtx(ctx, d)
+				}
+				continue
+			}
+			// No session progressed, none is delayed: the engine's progress
+			// invariant (drained pipeline ⇒ a fresh offer) is broken. Fail
+			// the stragglers rather than spin — this is a bug trap, and the
+			// smoke gate's zero-lost-sessions assertion will surface it.
+			for i := range shard {
+				s := &shard[i]
+				if !s.done {
+					s.failed = true
+					s.done = true
+					m.failed.Add(1)
+					m.starved.Add(1)
+					r.active.Add(-1)
+				}
+			}
+			return
+		}
+	}
+}
+
+// sleepCtx sleeps d or until ctx is done, whichever first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// Run is the one-shot convenience wrapper: NewRunner + Run.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	r, err := NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(ctx)
+}

@@ -1,0 +1,403 @@
+package convrt
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	rt "protoquot/internal/runtime"
+	"protoquot/internal/spec"
+)
+
+func compileLoop(t testing.TB) (*Table, *spec.Spec) {
+	t.Helper()
+	s, err := spec.NewBuilder("ab-loop").
+		State("s0").State("s1").State("s2").
+		Init("s0").
+		Ext("s0", "+a", "s1").
+		Ext("s1", "-b", "s0").
+		Ext("s1", "+a", "s2").
+		Ext("s2", "-b", "s0").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab, s
+}
+
+func TestRunPerfectWire(t *testing.T) {
+	tab, ref := compileLoop(t)
+	rep, err := Run(context.Background(), Config{
+		Table: tab, Reference: ref,
+		Sessions: 50, StepsPerSession: 200, Workers: 4,
+		Seed: 1, ConformEvery: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SessionsCompleted != 50 || rep.SessionsFailed != 0 || rep.Canceled != 0 {
+		t.Fatalf("sessions: completed=%d failed=%d canceled=%d, want 50/0/0",
+			rep.SessionsCompleted, rep.SessionsFailed, rep.Canceled)
+	}
+	if rep.Steps != 50*200 {
+		t.Fatalf("steps = %d, want %d", rep.Steps, 50*200)
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("violations = %d: %+v", rep.Violations, rep.ViolationDetails)
+	}
+	if rep.Audits == 0 {
+		t.Fatal("conformance audits never ran")
+	}
+	// A perfect wire never discards: every offer executes.
+	if rep.Stale != 0 || rep.Dropped+rep.Corrupted+rep.Duplicated+rep.Reordered+rep.Delayed != 0 {
+		t.Fatalf("perfect wire saw faults: %+v", rep.Metrics)
+	}
+	if rep.Proposed != rep.Steps {
+		t.Fatalf("proposed = %d, want %d (no retransmission on a perfect wire)", rep.Proposed, rep.Steps)
+	}
+	if rep.MsgsPerSec <= 0 {
+		t.Fatalf("MsgsPerSec = %v", rep.MsgsPerSec)
+	}
+	if rep.P99StepNs < rep.P50StepNs || rep.P50StepNs <= 0 {
+		t.Fatalf("latency quantiles p50=%d p99=%d", rep.P50StepNs, rep.P99StepNs)
+	}
+}
+
+func TestRunUnderFaults(t *testing.T) {
+	tab, ref := compileLoop(t)
+	faults, err := rt.ParseFaults("loss=0.1,dup=0.1,reorder=0.1,corrupt=0.05,delay=20us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), Config{
+		Table: tab, Reference: ref,
+		Sessions: 40, StepsPerSession: 150, Workers: 4, Window: 4,
+		Faults: faults, Seed: 7, ConformEvery: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SessionsCompleted != 40 {
+		t.Fatalf("completed = %d/40 (failed=%d starved=%d): %+v",
+			rep.SessionsCompleted, rep.SessionsFailed, rep.Starved, rep.ViolationDetails)
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("violations = %d: %+v", rep.Violations, rep.ViolationDetails)
+	}
+	// Every configured fault class must have fired at these rates and
+	// volumes — the load harness exercises what it claims to.
+	if rep.Dropped == 0 || rep.Corrupted == 0 || rep.Duplicated == 0 || rep.Reordered == 0 || rep.Delayed == 0 {
+		t.Fatalf("fault classes silent: %+v", rep.Metrics)
+	}
+	// Loss forces retransmission; duplication and gaps force stale
+	// discards.
+	if rep.Proposed <= rep.Steps {
+		t.Fatalf("proposed = %d, steps = %d: lossy wire should over-offer", rep.Proposed, rep.Steps)
+	}
+	if rep.Stale == 0 {
+		t.Fatal("no stale discards under dup+reorder")
+	}
+}
+
+// TestRunDeterministicAcrossWorkers pins the reproducibility contract:
+// counters are a pure function of (seed, config), independent of worker
+// count and scheduling, because every session owns its stream.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	tab, ref := compileLoop(t)
+	faults, err := rt.ParseFaults("loss=0.15,dup=0.1,reorder=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) Metrics {
+		rep, err := Run(context.Background(), Config{
+			Table: tab, Reference: ref,
+			Sessions: 30, StepsPerSession: 100, Workers: workers,
+			Faults: faults, Seed: 42, ConformEvery: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := rep.Metrics
+		// Latency and the active gauge are timing-dependent by nature.
+		m.P50StepNs, m.P99StepNs, m.SessionsActive = 0, 0, 0
+		return m
+	}
+	a, b, c := run(1), run(4), run(4)
+	if a != b || b != c {
+		t.Fatalf("metrics differ across runs:\n1 worker:  %+v\n4 workers: %+v\n4 workers: %+v", a, b, c)
+	}
+}
+
+// TestRunDetectsMiscompiledTable hand-corrupts a compiled table's successor
+// and checks the online safety conformance path latches it.
+func TestRunDetectsMiscompiledTable(t *testing.T) {
+	tab, ref := compileLoop(t)
+	// Redirect s1 --(-b)--> s0 to s2: the executed trace diverges from the
+	// specification at the following event.
+	ev := tab.EventID("-b")
+	tab.next[1*tab.numEvents+ev] = 2
+	tab.finish()
+	rep, err := Run(context.Background(), Config{
+		Table: tab, Reference: ref,
+		Sessions: 4, StepsPerSession: 100, Workers: 2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations == 0 || rep.SessionsFailed == 0 {
+		t.Fatalf("miscompiled table not caught: %+v", rep.Metrics)
+	}
+	if len(rep.ViolationDetails) == 0 {
+		t.Fatal("no violation details recorded")
+	}
+	v := rep.ViolationDetails[0]
+	if v.Kind != "safety" {
+		t.Fatalf("violation kind %q, want safety", v.Kind)
+	}
+}
+
+// TestRunDetectsRestrictiveTable drops a transition from the table. The
+// session never offers the missing event (it drives from the table), so
+// only the sampled enabled-set audit can see the divergence.
+func TestRunDetectsRestrictiveTable(t *testing.T) {
+	tab, ref := compileLoop(t)
+	// Remove s1 --(+a)--> s2; s1 keeps -b, so sessions still make progress.
+	ev := tab.EventID("+a")
+	tab.next[1*tab.numEvents+ev] = NoState
+	tab.finish()
+	rep, err := Run(context.Background(), Config{
+		Table: tab, Reference: ref,
+		Sessions: 4, StepsPerSession: 100, Workers: 2, Seed: 3, ConformEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations == 0 {
+		t.Fatalf("restrictive table not caught by enabled-set audit: %+v", rep.Metrics)
+	}
+	found := false
+	for _, v := range rep.ViolationDetails {
+		if v.Kind == "enabled-set" {
+			found = true
+			if len(v.Enabled) <= len(v.TableEnabled) {
+				t.Fatalf("audit detail inverted: spec %v vs table %v", v.Enabled, v.TableEnabled)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no enabled-set violation in %+v", rep.ViolationDetails)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	tab, ref := compileLoop(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := Run(ctx, Config{
+		Table: tab, Reference: ref,
+		Sessions: 8, StepsPerSession: 1 << 20, Workers: 2, Seed: 1,
+	})
+	if err == nil {
+		t.Fatal("canceled run returned nil error")
+	}
+	if rep == nil {
+		t.Fatal("canceled run must still report partial metrics")
+	}
+	if rep.Canceled == 0 {
+		t.Fatalf("canceled = %d, want > 0", rep.Canceled)
+	}
+}
+
+// TestRunWithoutReference pins pure-throughput mode: a nil Reference with
+// a positive ConformEvery must run to completion with conformance fully
+// off (no tracker, no audits) rather than dereferencing a nil tracker.
+func TestRunWithoutReference(t *testing.T) {
+	tab, _ := compileLoop(t)
+	faults, err := rt.ParseFaults("loss=0.1,dup=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), Config{
+		Table:           tab,
+		Sessions:        32,
+		StepsPerSession: 100,
+		Workers:         4,
+		Seed:            11,
+		ConformEvery:    8,
+		Faults:          faults,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SessionsCompleted != 32 || rep.SessionsFailed != 0 {
+		t.Fatalf("completed=%d failed=%d, want 32/0", rep.SessionsCompleted, rep.SessionsFailed)
+	}
+	if rep.Audits != 0 || rep.Violations != 0 {
+		t.Errorf("audits=%d violations=%d, want 0/0 without a reference", rep.Audits, rep.Violations)
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Fatal("nil table accepted")
+	}
+	empty, err := spec.NewBuilder("empty").State("s0").Init("s0").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := Compile(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), Config{Table: tab}); err == nil {
+		t.Fatal("zero-transition table accepted")
+	}
+	if _, err := NewRunner(Config{Table: mustCompileLoop(t)}); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewRunner(Config{Table: mustCompileLoop(t)})
+	if _, err := r.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background()); err == nil {
+		t.Fatal("second Run on one Runner accepted")
+	}
+}
+
+func mustCompileLoop(t *testing.T) *Table {
+	t.Helper()
+	tab, _ := compileLoop(t)
+	return tab
+}
+
+// TestLiveMetricsUnderRace exercises the metrics surface a dashboard would
+// poll: several workers step sessions sharing one immutable table while
+// another goroutine snapshots Metrics concurrently. Meaningful under
+// -race; also asserts snapshot monotonicity.
+func TestLiveMetricsUnderRace(t *testing.T) {
+	tab, ref := compileLoop(t)
+	faults, err := rt.ParseFaults("loss=0.05,dup=0.05,delay=50us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(Config{
+		Table: tab, Reference: ref,
+		Sessions: 64, StepsPerSession: 400, Workers: 4,
+		Faults: faults, Seed: 11, ConformEvery: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var last int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m := r.Metrics()
+			if m.Steps < last {
+				t.Errorf("steps went backwards: %d after %d", m.Steps, last)
+				return
+			}
+			last = m.Steps
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	rep, err := r.Run(context.Background())
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SessionsCompleted != 64 || rep.Violations != 0 {
+		t.Fatalf("completed=%d violations=%d: %+v", rep.SessionsCompleted, rep.Violations, rep.ViolationDetails)
+	}
+}
+
+// TestSessionPumpDoesNotAllocate pins the acceptance criterion: the
+// steady-state execution path — deliver, table step, latency observe,
+// fresh offer burst — performs zero allocations per step once a session is
+// initialized. Conformance tracking is deliberately off this path (the
+// tracker keeps per-state maps); Config.Reference documents that.
+func TestSessionPumpDoesNotAllocate(t *testing.T) {
+	tab, _ := compileLoop(t)
+	m := &workerMetrics{vioMu: &sync.Mutex{}, vios: &[]Violation{}, vioCap_: 1}
+	var s Session
+	s.init(0, tab, nil, 99, 4, 1<<30, 0)
+	var now int64
+	allocs := testing.AllocsPerRun(2000, func() {
+		now += int64(time.Millisecond)
+		if !s.pump(now, m) {
+			t.Fatal("pump made no progress on a perfect wire")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state pump allocated %.1f per run, want 0", allocs)
+	}
+	if s.stepsDone == 0 || s.failed {
+		t.Fatalf("session did not run: steps=%d failed=%v", s.stepsDone, s.failed)
+	}
+}
+
+// TestSessionPumpWithFaultsDoesNotAllocate extends the zero-allocation
+// contract to the fault-injection path (drop/dup/reorder draws, ring
+// pushes) — everything except delay, whose wake path sleeps, and the
+// tracker.
+func TestSessionPumpWithFaultsDoesNotAllocate(t *testing.T) {
+	tab, _ := compileLoop(t)
+	faults, err := rt.ParseFaults("loss=0.2,dup=0.2,reorder=0.2,corrupt=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &workerMetrics{vioMu: &sync.Mutex{}, vios: &[]Violation{}, vioCap_: 1}
+	var s Session
+	s.init(0, tab, nil, 123, 4, 1<<30, 0)
+	s.faults = faultSched{model: faults}
+	var now int64
+	allocs := testing.AllocsPerRun(2000, func() {
+		now += int64(time.Millisecond)
+		s.pump(now, m)
+	})
+	if allocs != 0 {
+		t.Fatalf("faulty-wire pump allocated %.1f per run, want 0", allocs)
+	}
+	if s.stepsDone == 0 {
+		t.Fatal("session made no steps")
+	}
+}
+
+func BenchmarkTableStep(b *testing.B) {
+	tab, _ := compileLoop(b)
+	st := tab.Init()
+	var rng uint64 = 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		evs := tab.Enabled(st)
+		rng = rng*6364136223846793005 + 1442695040888963407
+		st, _ = tab.Step(st, evs[rng>>33%uint64(len(evs))])
+	}
+}
+
+func BenchmarkSessionPump(b *testing.B) {
+	tab, _ := compileLoop(b)
+	m := &workerMetrics{vioMu: &sync.Mutex{}, vios: &[]Violation{}, vioCap_: 1}
+	var s Session
+	s.init(0, tab, nil, 99, 4, 1<<62, 0)
+	b.ReportAllocs()
+	var now int64
+	for i := 0; i < b.N; i++ {
+		now += int64(time.Millisecond)
+		s.pump(now, m)
+	}
+}

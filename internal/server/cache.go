@@ -12,6 +12,7 @@ import (
 
 	"protoquot/internal/api"
 	"protoquot/internal/codegen"
+	"protoquot/internal/convrt"
 	"protoquot/internal/dsl"
 	"protoquot/internal/render"
 )
@@ -166,6 +167,23 @@ func (c *Cache) diskGet(key string) (*api.Artifact, bool) {
 		c.logf("cache: corrupt entry %s: %v", p, err)
 		return nil, false
 	}
+	// The compiled-table class is validated independently: a corrupt table
+	// is a miss for that class only, never for the artifact — drop it and
+	// rebuild from the converter, which remains the source of truth.
+	if e.Table != "" {
+		if _, err := convrt.Decode([]byte(e.Table)); err != nil {
+			c.diskErrors.Add(1)
+			c.logf("cache: corrupt table in %s: %v (dropping that artifact class)", p, err)
+			e.Table = ""
+		}
+	}
+	if e.Table == "" && e.Exists && e.Converter != "" {
+		if conv, err := dsl.ParseString(e.Converter); err == nil {
+			if table, err := convrt.CompileEncoded(conv); err == nil {
+				e.Table = string(table)
+			}
+		}
+	}
 	return &e, true
 }
 
@@ -195,6 +213,19 @@ func (c *Cache) diskPut(e *api.Artifact) {
 	// usually is not, so a failure here is expected and not an error.
 	if src, err := codegen.Generate(conv, codegen.Config{Package: "converter"}); err == nil {
 		c.writeAtomic(e.Key, ".go", src)
+	}
+	// The compiled-table sidecar is the execution runtime's artifact class:
+	// <key>.table is directly loadable by `convrt -table`. Prefer the bytes
+	// already on the artifact; rebuild them when an older producer omitted
+	// them. Same eligibility as codegen, so failures are likewise expected.
+	table := []byte(e.Table)
+	if len(table) == 0 {
+		if t, err := convrt.CompileEncoded(conv); err == nil {
+			table = t
+		}
+	}
+	if len(table) > 0 {
+		c.writeAtomic(e.Key, ".table", table)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"protoquot/internal/api"
 	"protoquot/internal/codegen"
+	"protoquot/internal/convrt"
 	"protoquot/internal/dsl"
 	"protoquot/internal/render"
 	"protoquot/internal/spec"
@@ -111,7 +112,13 @@ func (s *Server) respondEntry(w http.ResponseWriter, id string,
 		Stats:     e.Stats,
 		Error:     e.Error,
 	}
-	if e.Exists && e.Converter != "" && (opts.IncludeDOT || opts.IncludeGo) {
+	if opts.IncludeTable && e.Exists {
+		// The compiled table is stored on the artifact; entries written by
+		// older daemons lack it, so fall through to compiling on demand.
+		resp.Table = e.Table
+	}
+	if e.Exists && e.Converter != "" &&
+		(opts.IncludeDOT || opts.IncludeGo || (opts.IncludeTable && resp.Table == "")) {
 		if conv, err := dsl.ParseString(e.Converter); err == nil {
 			if opts.IncludeDOT {
 				resp.DOT = render.DOTString(conv, render.DOTOptions{})
@@ -126,6 +133,11 @@ func (s *Server) respondEntry(w http.ResponseWriter, id string,
 					resp.GoSource = "// codegen: " + err.Error() + "\n"
 				} else {
 					resp.GoSource = string(src)
+				}
+			}
+			if opts.IncludeTable && resp.Table == "" {
+				if table, err := convrt.CompileEncoded(conv); err == nil {
+					resp.Table = string(table)
 				}
 			}
 		}

@@ -34,6 +34,7 @@ import (
 
 	"protoquot/internal/api"
 	"protoquot/internal/compose"
+	"protoquot/internal/convrt"
 	"protoquot/internal/core"
 	"protoquot/internal/dsl"
 	"protoquot/internal/spec"
@@ -404,9 +405,16 @@ func (s *Server) executeDerivation(cr *compiledRequest) flightResult {
 		conv = conv.Minimize()
 	}
 	env := api.ResultEnvelope(cr.key, res, conv, nil)
-	return flightResult{entry: &api.Artifact{
+	entry := &api.Artifact{
 		Key: cr.key, Exists: true, Converter: env.Converter, Stats: env.Stats,
-	}}
+	}
+	// Attach the compiled-table artifact class. Best-effort: every pruned or
+	// quotient converter compiles, and an artifact without a table is still
+	// complete (readers rebuild it from the converter).
+	if table, err := convrt.CompileEncoded(conv); err == nil {
+		entry.Table = string(table)
+	}
+	return flightResult{entry: entry}
 }
 
 // deriveFlight is the node-local engine path shared by client derivations

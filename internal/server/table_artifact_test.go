@@ -1,0 +1,235 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"protoquot/internal/api"
+	"protoquot/internal/convrt"
+	"protoquot/internal/dsl"
+)
+
+// tableEntry builds an artifact carrying its compiled-table class, the way
+// executeDerivation produces them.
+func tableEntry(t *testing.T, i int, convText string) *api.Artifact {
+	t.Helper()
+	conv, err := dsl.ParseString(convText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := convrt.CompileEncoded(conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &api.Artifact{Key: hexKey(i), Exists: true, Converter: convText,
+		Table: string(table)}
+}
+
+func TestCacheTableArtifactRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	convText := "spec C\ninit c0\next c0 x c1\next c1 y c0\n"
+	e := tableEntry(t, 21, convText)
+
+	c1, err := NewCache(4, dir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Put(e)
+	sidecar, err := os.ReadFile(filepath.Join(dir, hexKey(21)+".table"))
+	if err != nil {
+		t.Fatalf(".table sidecar not persisted: %v", err)
+	}
+	if string(sidecar) != e.Table {
+		t.Error("persisted .table differs from the artifact's table")
+	}
+	if _, err := convrt.Decode(sidecar); err != nil {
+		t.Fatalf("persisted .table does not decode: %v", err)
+	}
+
+	// A restarted daemon recovers the table class with the artifact.
+	c2, err := NewCache(4, dir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(hexKey(21))
+	if !ok {
+		t.Fatal("entry not recovered from disk")
+	}
+	if got.Table != e.Table {
+		t.Error("table class lost across the disk round trip")
+	}
+	if _, _, _, _, diskErrors := c2.Counters(); diskErrors != 0 {
+		t.Errorf("diskErrors = %d, want 0", diskErrors)
+	}
+}
+
+// TestCacheTableBackfilledForOldEntries covers entries written before the
+// table class existed: storing a table-less artifact still produces the
+// sidecar, and a disk read rebuilds the in-memory field from the converter.
+func TestCacheTableBackfilledForOldEntries(t *testing.T) {
+	dir := t.TempDir()
+	convText := "spec C\ninit c0\next c0 x c0\n"
+	e := &api.Artifact{Key: hexKey(22), Exists: true, Converter: convText}
+
+	c1, _ := NewCache(4, dir, t.Logf)
+	c1.Put(e)
+	if _, err := os.Stat(filepath.Join(dir, hexKey(22)+".table")); err != nil {
+		t.Fatalf(".table sidecar not rebuilt from the converter: %v", err)
+	}
+	c2, _ := NewCache(4, dir, t.Logf)
+	got, ok := c2.Get(hexKey(22))
+	if !ok {
+		t.Fatal("entry not recovered")
+	}
+	if got.Table == "" {
+		t.Fatal("table class not rebuilt on read")
+	}
+	tab, err := convrt.Decode([]byte(got.Table))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Name() != "C" || tab.NumTransitions() != 1 {
+		t.Errorf("rebuilt table wrong: %s with %d transitions", tab.Name(), tab.NumTransitions())
+	}
+}
+
+// TestCacheCorruptTableToleratedPerClass pins the per-class corruption
+// contract: a corrupt table field is a miss for the table class only — the
+// artifact itself is served, the bad bytes are dropped and rebuilt from the
+// converter, and the incident is counted and logged.
+func TestCacheCorruptTableToleratedPerClass(t *testing.T) {
+	dir := t.TempDir()
+	key := hexKey(23)
+	convText := "spec C\\ninit c0\\next c0 x c0\\n"
+	blob := fmt.Sprintf(`{"key":%q,"exists":true,"converter":"%s","table":"convrt-table/v1\ngarbage"}`,
+		key, convText)
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var logged strings.Builder
+	c, err := NewCache(4, dir, func(f string, v ...any) {
+		fmt.Fprintf(&logged, f+"\n", v...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("artifact with corrupt table class not served")
+	}
+	if got.Table == "" {
+		t.Fatal("table class not rebuilt after dropping corrupt bytes")
+	}
+	if _, err := convrt.Decode([]byte(got.Table)); err != nil {
+		t.Fatalf("rebuilt table does not decode: %v", err)
+	}
+	if _, _, _, _, diskErrors := c.Counters(); diskErrors != 1 {
+		t.Errorf("diskErrors = %d, want 1", diskErrors)
+	}
+	if !strings.Contains(logged.String(), "corrupt table") {
+		t.Errorf("table corruption not logged: %q", logged.String())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := simpleRequest()
+	req.Options.IncludeTable = true
+	req.Options.Prune = true
+	out, code := postDerive(t, ts.URL, req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %+v", code, out.Error)
+	}
+	if out.Table == "" {
+		t.Fatal("table rendering missing")
+	}
+	tab, err := convrt.Decode([]byte(out.Table))
+	if err != nil {
+		t.Fatalf("served table does not decode: %v", err)
+	}
+	if tab.NumStates() == 0 || tab.NumTransitions() == 0 {
+		t.Errorf("served table empty: %d states, %d transitions", tab.NumStates(), tab.NumTransitions())
+	}
+
+	// The selector must not fragment the cache key, and a repeat without it
+	// omits the rendering.
+	plain := simpleRequest()
+	plain.Options.Prune = true
+	out2, _ := postDerive(t, ts.URL, plain)
+	if !out2.Cached {
+		t.Error("include_table fragmented the cache key")
+	}
+	if out2.Table != "" {
+		t.Error("table returned without being requested")
+	}
+	// And a cached repeat with the selector serves the same bytes.
+	out3, _ := postDerive(t, ts.URL, req)
+	if !out3.Cached || out3.Table != out.Table {
+		t.Error("cached repeat served a different table")
+	}
+}
+
+// TestTableRenderingForPreTableCacheEntries drops a table-less artifact
+// into the cache (an entry from an older daemon) and asserts include_table
+// still renders by compiling on demand.
+func TestTableRenderingForPreTableCacheEntries(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	req := simpleRequest()
+	req.Options.Prune = true
+	out, code := postDerive(t, ts.URL, req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %+v", code, out.Error)
+	}
+	e, ok := s.Cache().Get(out.Key)
+	if !ok {
+		t.Fatal("derived entry not cached")
+	}
+	old := *e
+	old.Table = ""
+	s.Cache().Put(&old)
+
+	req.Options.IncludeTable = true
+	out2, _ := postDerive(t, ts.URL, req)
+	if !out2.Cached || out2.Table == "" {
+		t.Fatalf("on-demand table for old entry missing (cached=%v)", out2.Cached)
+	}
+	if _, err := convrt.Decode([]byte(out2.Table)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPeerFillCarriesTable pins the cluster path: a non-owner's fill
+// returns the owner's artifact with the table class intact, so every node
+// serves identical table bytes for one engine run.
+func TestPeerFillCarriesTable(t *testing.T) {
+	nodes := newTestCluster(t, 3, Config{}, -1)
+	req := simpleRequest()
+	req.Options.IncludeTable = true
+	req.Options.Prune = true
+
+	var tables []string
+	for i, nd := range nodes {
+		out, code := postDerive(t, nd.ts.URL, req)
+		if code != http.StatusOK {
+			t.Fatalf("node %d: status %d: %+v", i, code, out.Error)
+		}
+		if out.Table == "" {
+			t.Fatalf("node %d: no table in response", i)
+		}
+		tables = append(tables, out.Table)
+	}
+	if tables[0] != tables[1] || tables[1] != tables[2] {
+		t.Error("nodes served different table bytes for one key")
+	}
+	var derives int64
+	for _, nd := range nodes {
+		derives += nd.srv.statsSnapshot().Derives
+	}
+	if derives != 1 {
+		t.Errorf("engine ran %d times, want 1 (fills must carry the table)", derives)
+	}
+}
